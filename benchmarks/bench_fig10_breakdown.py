@@ -1,0 +1,75 @@
+"""Figure 10: OPT fine-tuning performance breakdown with LongExposure.
+
+Paper: versus full fine-tuning, PEFT removes the optimizer-step cost;
+LongExposure additionally shrinks forward and backward, while the predictor
+overhead it introduces stays a small fraction of the step.
+
+Reproduced shape: for each PEFT method, PEFT+LongExposure spends less time in
+forward+backward than plain PEFT, and the measured prediction overhead is a
+small share of the total step time.
+"""
+
+import pytest
+
+from repro import (
+    FineTuner,
+    TrainingConfig,
+    build_model,
+    get_peft_method,
+)
+from repro.analysis import format_table
+
+from conftest import BENCH_MODEL_SMALL, BENCH_SEQ_LONG, e2e_batches, prepare_engine
+
+METHODS = ["full", "lora", "adapter", "bitfit"]
+RESULTS = {}
+
+
+def run_config(method: str, use_engine: bool, steps: int = 3):
+    model = build_model(BENCH_MODEL_SMALL, seed=0)
+    engine = prepare_engine(model, BENCH_SEQ_LONG) if use_engine else None
+    adapted, _ = get_peft_method(method)(model)
+    if engine:
+        engine.install(adapted)
+    batches = e2e_batches(adapted, BENCH_SEQ_LONG, num_batches=1)
+    tuner = FineTuner(adapted, TrainingConfig(learning_rate=1e-4), engine=engine)
+    report = tuner.train([batches[0]] * (steps + 1))
+    if engine:
+        engine.uninstall(adapted)
+    return report.mean_timings(skip_warmup=1)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_fig10_breakdown(benchmark, method):
+    holder = {}
+
+    def run():
+        holder["peft"] = run_config(method, use_engine=False)
+        holder["longexposure"] = run_config(method, use_engine=(method != "full"))
+        return holder["longexposure"].total
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    RESULTS[method] = holder
+    peft, le = holder["peft"], holder["longexposure"]
+    print(f"\n[Figure 10] {method:8s} "
+          f"PEFT: fwd {peft.forward * 1e3:6.1f} bwd {peft.backward * 1e3:6.1f} "
+          f"optim {peft.optimizer * 1e3:5.1f} | +LongExposure: "
+          f"fwd {le.forward * 1e3:6.1f} bwd {le.backward * 1e3:6.1f} "
+          f"optim {le.optimizer * 1e3:5.1f} pred {le.prediction * 1e3:5.1f} (ms)")
+    if method != "full":
+        # Predictor overhead must remain a small fraction of the step.
+        assert le.prediction < 0.2 * le.total
+
+
+def test_fig10_summary():
+    if not RESULTS:
+        pytest.skip("breakdown results not collected")
+    rows = []
+    for method, holder in RESULTS.items():
+        peft, le = holder["peft"], holder["longexposure"]
+        rows.append([method, f"{peft.total * 1e3:.1f}", f"{le.total * 1e3:.1f}",
+                     f"{peft.total / le.total:.2f}x",
+                     f"{le.prediction * 1e3:.1f}"])
+    print("\n" + format_table(
+        ["method", "PEFT total ms", "+LongExposure total ms", "speedup", "prediction ms"],
+        rows, title="Figure 10 reproduction: fine-tuning performance breakdown"))

@@ -1,0 +1,66 @@
+"""Figure 14: strong scalability of LongExposure with the number of GPUs.
+
+Paper: with the dataset size fixed, step time decreases almost linearly as
+GPUs are added (1 -> 2 -> 4) for three model sizes and three PEFT methods,
+because LongExposure introduces no extra communication.
+
+Reproduced shape: the data-parallel simulator (measured per-shard compute +
+ring all-reduce model over the PEFT gradient volume) shows near-linear
+speedup for every PEFT method, with communication a negligible share.
+"""
+
+import numpy as np
+import pytest
+
+from repro import build_model, get_peft_method
+from repro.analysis import format_table
+from repro.optim import Adam
+from repro.runtime import DataParallelSimulator
+
+from conftest import BENCH_MODEL_SMALL, e2e_batches, prepare_engine
+
+SEQ = 128
+GLOBAL_BATCH = 4
+WORKERS = [1, 2, 4]
+RESULTS = {}
+
+
+@pytest.mark.parametrize("method", ["lora", "adapter", "bitfit"])
+def test_fig14_strong_scaling(benchmark, method):
+    scaling = []
+
+    def run():
+        model = build_model(BENCH_MODEL_SMALL, seed=0)
+        engine = prepare_engine(model, SEQ)
+        adapted, result = get_peft_method(method)(model)
+        engine.install(adapted)
+        optimizer = Adam(adapted.trainable_parameters(), lr=1e-4)
+
+        def step(shard):
+            loss, _ = adapted.loss(shard)
+            loss.backward()
+            optimizer.step()
+            optimizer.zero_grad()
+            adapted.zero_grad()
+
+        generator = np.random.default_rng(0)
+        global_batch = e2e_batches(adapted, SEQ, num_batches=1,
+                                   batch=GLOBAL_BATCH)[0]
+        simulator = DataParallelSimulator(step_fn=step,
+                                          gradient_bytes=result.trainable_parameters * 4)
+        scaling.extend(simulator.run(global_batch, WORKERS))
+        engine.uninstall(adapted)
+        return scaling[-1].step_time_s
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    RESULTS[method] = scaling
+    rows = [[r.num_workers, f"{r.step_time_s * 1e3:.1f}", f"{r.compute_time_s * 1e3:.1f}",
+             f"{r.communication_time_s * 1e6:.1f}us", f"{r.speedup_vs_single:.2f}x",
+             f"{r.efficiency:.0%}"] for r in scaling]
+    print("\n" + format_table(
+        ["workers", "step ms", "compute ms", "comm", "speedup", "efficiency"],
+        rows, title=f"Figure 14 reproduction: strong scaling, LongExposure + {method}"))
+
+    # Near-linear scaling with negligible communication.
+    assert scaling[-1].speedup_vs_single > 1.8
+    assert all(r.communication_time_s < 0.05 * r.step_time_s for r in scaling[1:])

@@ -1,0 +1,56 @@
+"""Strong-scaling study with simulated data-parallel workers (Figure 14 workflow).
+
+Holds the global batch fixed, splits it across 1/2/4 simulated workers, and
+reports the step time, speedup and parallel efficiency of LongExposure-
+accelerated LoRA fine-tuning.  Communication is modelled with a ring
+all-reduce over the (tiny) PEFT gradient volume.
+
+Usage::
+
+    python examples/multi_gpu_scaling.py
+"""
+
+from repro import LongExposure, LongExposureConfig, build_model, get_peft_method
+from repro.analysis import format_table
+from repro.data import E2EDatasetGenerator
+from repro.optim import Adam
+from repro.runtime import DataParallelSimulator
+
+
+def main() -> None:
+    seq_len, global_batch = 128, 4
+    model = build_model("opt-tiny", seed=0)
+    generator = E2EDatasetGenerator(seed=0)
+    batches = generator.token_batches(1, global_batch, seq_len,
+                                      vocab_size=model.config.vocab_size)
+
+    engine = LongExposure(LongExposureConfig(block_size=16, predictor_epochs=4))
+    engine.prepare(model, batches)
+    model, result = get_peft_method("lora")(model)
+    engine.install(model)
+    optimizer = Adam(model.trainable_parameters(), lr=1e-4)
+
+    def step(shard):
+        loss, _ = model.loss(shard)
+        loss.backward()
+        optimizer.step()
+        optimizer.zero_grad()
+        model.zero_grad()
+
+    simulator = DataParallelSimulator(step_fn=step,
+                                      gradient_bytes=result.trainable_parameters * 4)
+    results = simulator.run(batches[0], worker_counts=[1, 2, 4], repeats=2)
+    engine.uninstall(model)
+
+    rows = [[r.num_workers, f"{r.step_time_s * 1e3:.1f}", f"{r.compute_time_s * 1e3:.1f}",
+             f"{r.communication_time_s * 1e6:.1f}", f"{r.speedup_vs_single:.2f}x",
+             f"{r.efficiency:.0%}"] for r in results]
+    print(format_table(
+        ["workers", "step ms", "compute ms", "all-reduce us", "speedup", "efficiency"],
+        rows, title="Strong scaling of LongExposure + LoRA (simulated data parallelism)"))
+    print("\nPEFT gradients are tiny, so the all-reduce cost is negligible and the "
+          "scaling stays near-linear — the paper's Figure 14 conclusion.")
+
+
+if __name__ == "__main__":
+    main()

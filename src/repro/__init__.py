@@ -1,0 +1,30 @@
+"""LongExposure reproduction: accelerating parameter-efficient fine-tuning
+for LLMs under shadowy sparsity (SC 2024).
+
+Top-level convenience imports::
+
+    from repro import build_model, get_peft_method, LongExposure, LongExposureConfig, FineTuner
+
+See ``README.md`` for the quickstart, ``DESIGN.md`` for the system inventory
+and ``EXPERIMENTS.md`` for the paper-vs-measured record of every table and
+figure.
+"""
+
+from repro.models import build_model, get_config, list_configs
+from repro.peft import get_peft_method
+from repro.sparsity import LongExposure, LongExposureConfig
+from repro.runtime import FineTuner, TrainingConfig
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "build_model",
+    "get_config",
+    "list_configs",
+    "get_peft_method",
+    "LongExposure",
+    "LongExposureConfig",
+    "FineTuner",
+    "TrainingConfig",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Reporting helpers: tables, ASCII charts and sparsity statistics.
+
+The benchmarks print their results as plain-text tables/series shaped like
+the paper's tables and figures; this package holds the shared formatting so
+every bench reports consistently.
+"""
+
+from repro.analysis.reporting import format_table, ascii_bar_chart, speedup_series
+from repro.analysis.sparsity_stats import model_sparsity_profile, LayerSparsityProfile
+
+__all__ = [
+    "format_table",
+    "ascii_bar_chart",
+    "speedup_series",
+    "model_sparsity_profile",
+    "LayerSparsityProfile",
+]

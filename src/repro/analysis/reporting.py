@@ -1,0 +1,50 @@
+"""Plain-text tables and charts used by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "",
+                 float_format: str = "{:.2f}") -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    def render(value) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(v) for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in rendered)) if rendered else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(labels: Sequence[str], values: Sequence[float], width: int = 40,
+                    title: str = "", unit: str = "") -> str:
+    """Horizontal ASCII bar chart (used for figure-style benchmark output)."""
+    max_value = max(values) if values else 1.0
+    max_value = max_value if max_value > 0 else 1.0
+    label_width = max((len(l) for l in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(width * value / max_value)))
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def speedup_series(baseline_times: Dict[str, float],
+                   optimized_times: Dict[str, float]) -> Dict[str, float]:
+    """Per-key speedup of ``baseline / optimized`` for matching keys."""
+    out = {}
+    for key, base in baseline_times.items():
+        if key in optimized_times and optimized_times[key] > 0:
+            out[key] = base / optimized_times[key]
+    return out

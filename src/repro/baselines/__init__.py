@@ -1,0 +1,33 @@
+"""Baselines the paper compares against.
+
+* :func:`longformer_block_masks` — sliding-window + global-token masks
+  (Beltagy et al., 2020), applied uniformly to every head;
+* :func:`bigbird_block_masks` — window + global + random blocks (Zaheer et
+  al., 2020), also uniform across heads;
+* :func:`shadowy_uniform_masks` — the "shadowy" ablation: one mask that must
+  cover the significant scores of *all* heads (what you get without the
+  head-specific exposer);
+* :class:`UnstructuredSparseMLPBackend` — element-wise masked (unstructured)
+  sparse MLP execution, the "shadowy" MLP baseline of Figure 9 whose low
+  arithmetic intensity makes it *slower* than dense despite skipping work;
+* the dense PEFT-library baseline is simply the model with its default dense
+  backends (``repro.nn``) plus a PEFT method — no extra code needed.
+"""
+
+from repro.baselines.sparse_attention import (
+    bigbird_block_masks,
+    longformer_block_masks,
+    shadowy_uniform_masks,
+    install_fixed_mask_backend,
+    FixedMaskAttentionBackend,
+)
+from repro.baselines.unstructured import UnstructuredSparseMLPBackend
+
+__all__ = [
+    "bigbird_block_masks",
+    "longformer_block_masks",
+    "shadowy_uniform_masks",
+    "install_fixed_mask_backend",
+    "FixedMaskAttentionBackend",
+    "UnstructuredSparseMLPBackend",
+]

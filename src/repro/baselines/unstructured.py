@@ -1,0 +1,69 @@
+"""Unstructured ("shadowy") sparse MLP baseline.
+
+Figure 9 of the paper shows that exploiting the raw, scattered union
+sparsity of the MLP block *hurts* performance relative to dense execution:
+the pattern is unstructured, so the kernel loses arithmetic intensity even
+though it skips work.  This backend reproduces that behaviour: it masks
+individual inactive neurons (element-wise) instead of skipping whole neuron
+blocks, paying the full gather/scatter cost with none of the blocking
+benefits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.mlp import MLPBlock
+from repro.tensor import Tensor
+from repro.tensor.tensor import custom_op
+
+
+class UnstructuredSparseMLPBackend:
+    """Element-wise masked MLP execution over the union of activated neurons."""
+
+    def __init__(self, capture_activations: bool = False):
+        self.capture_activations = capture_activations
+        self.last_activations: Optional[np.ndarray] = None
+        self.last_density: float = 1.0
+
+    def __call__(self, module: MLPBlock, x: Tensor) -> Tensor:
+        fc1_w, fc1_b = module.fc1.weight, module.fc1.bias
+        fc2_w, fc2_b = module.fc2.weight, module.fc2.bias
+        x_data = x.data
+        d_model = x_data.shape[-1]
+        hidden_dim = fc1_w.data.shape[0]
+        x2d = x_data.reshape(-1, d_model)
+
+        # First pass to discover the union of activated neurons, then an
+        # element-wise masked recompute — the straightforward but
+        # low-arithmetic-intensity way of using shadowy sparsity.
+        pre = x2d @ fc1_w.data.T + fc1_b.data
+        act_mask = pre > 0
+        union = act_mask.any(axis=0)
+        self.last_density = float(union.mean())
+        active_idx = np.nonzero(union)[0]
+
+        hidden = np.zeros_like(pre)
+        # Scattered per-neuron computation (no contiguous blocks): gather the
+        # active columns one strided slice at a time.
+        hidden[:, active_idx] = np.maximum(pre[:, active_idx], 0.0)
+        if self.capture_activations:
+            self.last_activations = hidden.reshape(*x_data.shape[:-1], hidden_dim).copy()
+        out2d = hidden[:, active_idx] @ fc2_w.data[:, active_idx].T + fc2_b.data
+        out = out2d.reshape(*x_data.shape[:-1], d_model)
+
+        def backward(grad_out: np.ndarray):
+            grad2d = grad_out.reshape(-1, d_model)
+            grad_fc2_bias = grad2d.sum(axis=0)
+            grad_fc2 = np.zeros_like(fc2_w.data)
+            grad_fc2[:, active_idx] = (hidden[:, active_idx].T @ grad2d).T
+            grad_hidden = np.zeros_like(pre)
+            grad_hidden[:, active_idx] = (grad2d @ fc2_w.data[:, active_idx]) * act_mask[:, active_idx]
+            grad_fc1 = grad_hidden.T @ x2d
+            grad_b1 = grad_hidden.sum(axis=0)
+            grad_x = (grad_hidden @ fc1_w.data).reshape(x_data.shape)
+            return grad_x, grad_fc1, grad_b1, grad_fc2, grad_fc2_bias
+
+        return custom_op(out, (x, fc1_w, fc1_b, fc2_w, fc2_b), backward)

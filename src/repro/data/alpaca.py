@@ -1,0 +1,97 @@
+"""Synthetic Alpaca-like instruction-tuning corpus.
+
+The Alpaca dataset pairs a natural-language instruction (optionally with an
+input) with a response.  The synthetic generator creates instruction /
+response pairs from composable templates over a small world of entities and
+relations.  Crucially, the responses are *systematic* functions of the
+instructions, so fine-tuning on this corpus genuinely improves the model's
+ability to answer the held-out multiple-choice tasks built from the same
+world (:mod:`repro.data.tasks`) — giving the Table IV accuracy comparison
+something real to measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.tokenizer import Tokenizer, Vocabulary
+
+# A tiny world model shared with the downstream tasks: objects with category,
+# typical location and a salient property.
+WORLD: Dict[str, Dict[str, str]] = {
+    "hammer": {"category": "tool", "place": "workshop", "property": "heavy"},
+    "needle": {"category": "tool", "place": "sewing_kit", "property": "sharp"},
+    "kettle": {"category": "appliance", "place": "kitchen", "property": "hot"},
+    "pillow": {"category": "furnishing", "place": "bedroom", "property": "soft"},
+    "icicle": {"category": "nature", "place": "roof", "property": "cold"},
+    "candle": {"category": "furnishing", "place": "table", "property": "hot"},
+    "sponge": {"category": "tool", "place": "kitchen", "property": "soft"},
+    "anvil": {"category": "tool", "place": "workshop", "property": "heavy"},
+    "feather": {"category": "nature", "place": "nest", "property": "light"},
+    "snowball": {"category": "nature", "place": "yard", "property": "cold"},
+    "razor": {"category": "tool", "place": "bathroom", "property": "sharp"},
+    "blanket": {"category": "furnishing", "place": "bedroom", "property": "soft"},
+}
+
+_QUESTION_TEMPLATES = [
+    ("where would you find a {obj}", "you would find a {obj} in the {place}"),
+    ("what kind of thing is a {obj}", "a {obj} is a {category}"),
+    ("describe the {obj}", "the {obj} is {property}"),
+    ("is a {obj} {property}", "yes a {obj} is {property}"),
+    ("which property fits the {obj}", "the property that fits the {obj} is {property}"),
+]
+
+
+@dataclass
+class InstructionExample:
+    """One instruction-tuning pair."""
+
+    instruction: str
+    response: str
+    text: str
+
+
+class AlpacaDatasetGenerator:
+    """Generates synthetic instruction/response pairs over the shared world."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        words = set("instruction response where would you find a what kind of thing is "
+                    "describe the which property fits yes in no".split())
+        for obj, facts in WORLD.items():
+            words.add(obj)
+            words.update(facts.values())
+        self.vocabulary = Vocabulary(words=sorted(words))
+        self.tokenizer = Tokenizer(self.vocabulary)
+
+    def sample_example(self) -> InstructionExample:
+        rng = self._rng
+        obj = str(rng.choice(list(WORLD)))
+        facts = WORLD[obj]
+        template = _QUESTION_TEMPLATES[int(rng.integers(0, len(_QUESTION_TEMPLATES)))]
+        instruction = template[0].format(obj=obj, **facts)
+        response = template[1].format(obj=obj, **facts)
+        text = f"instruction {instruction} response {response}"
+        return InstructionExample(instruction=instruction, response=response, text=text)
+
+    def sample_examples(self, count: int) -> List[InstructionExample]:
+        return [self.sample_example() for _ in range(count)]
+
+    def token_batches(self, num_batches: int, batch_size: int, seq_len: int,
+                      vocab_size: Optional[int] = None) -> List[np.ndarray]:
+        """Packed token-id batches for fine-tuning (same packing as E2E)."""
+        vocab_size = vocab_size or len(self.vocabulary)
+        batches = []
+        for _ in range(num_batches):
+            rows = []
+            for _ in range(batch_size):
+                ids: List[int] = []
+                while len(ids) < seq_len:
+                    ids.extend(self.tokenizer.encode(self.sample_example().text))
+                rows.append(np.asarray(ids[:seq_len], dtype=np.int64) % vocab_size)
+            batches.append(np.stack(rows))
+        return batches

@@ -1,0 +1,102 @@
+"""Synthetic E2E-like table-to-text corpus (Novikova et al., 2017 analogue).
+
+The real E2E dataset maps restaurant attribute tables ("name[Alimentum],
+food[French], priceRange[cheap], ...") to short natural-language
+descriptions.  The synthetic generator reproduces that structure with a small
+attribute grammar so sequences have the repeated-field statistics and
+moderate vocabulary of the original — which is what matters for the sparsity
+patterns the timing experiments exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.tokenizer import Tokenizer, Vocabulary
+
+_NAMES = ["alimentum", "aromi", "bibimbap", "clowns", "cocum", "cotto", "fitzbillies",
+          "giraffe", "strada", "vaults", "wildwood", "zizzi"]
+_FOODS = ["french", "italian", "japanese", "chinese", "indian", "english", "fast"]
+_PRICES = ["cheap", "moderate", "high", "less_than_20", "more_than_30"]
+_RATINGS = ["low", "average", "high", "3_out_of_5", "5_out_of_5"]
+_AREAS = ["riverside", "city_centre"]
+_FAMILY = ["yes", "no"]
+_NEAR = ["cafe_sicilia", "burger_king", "rainbow_vegetarian", "the_bakers", "crowne_plaza"]
+
+_TEMPLATES = [
+    "{name} is a {food} restaurant in the {area} with a {rating} customer rating "
+    "and {price} prices located near {near} family friendly {family}",
+    "near {near} in the {area} you can find {name} which serves {food} food at "
+    "{price} prices it has a {rating} rating and family friendly is {family}",
+    "{name} serves {food} food its price range is {price} the customer rating is "
+    "{rating} it is in the {area} near {near} and family friendly {family}",
+]
+
+
+@dataclass
+class E2EExample:
+    """One table-to-text pair."""
+
+    attributes: Dict[str, str]
+    meaning_representation: str
+    reference: str
+    text: str                      # "MR <sep> reference" — the LM training string
+
+
+class E2EDatasetGenerator:
+    """Generates synthetic E2E-like examples and token batches."""
+
+    def __init__(self, vocab_size: int = 1024, seed: int = 0):
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        words = sorted(set(_NAMES + _FOODS + _PRICES + _RATINGS + _AREAS + _FAMILY + _NEAR
+                           + "is a restaurant in the with customer rating and prices located "
+                             "near family friendly you can find which serves food at it has "
+                             "its price range the <sep> name area".split()))
+        self.vocabulary = Vocabulary(words=words)
+        self.tokenizer = Tokenizer(self.vocabulary)
+        self.vocab_size = max(vocab_size, len(self.vocabulary))
+
+    def sample_example(self) -> E2EExample:
+        rng = self._rng
+        attributes = {
+            "name": str(rng.choice(_NAMES)),
+            "food": str(rng.choice(_FOODS)),
+            "price": str(rng.choice(_PRICES)),
+            "rating": str(rng.choice(_RATINGS)),
+            "area": str(rng.choice(_AREAS)),
+            "family": str(rng.choice(_FAMILY)),
+            "near": str(rng.choice(_NEAR)),
+        }
+        meaning = " ".join(f"{key} {value}" for key, value in attributes.items())
+        template = _TEMPLATES[int(rng.integers(0, len(_TEMPLATES)))]
+        reference = template.format(**attributes)
+        return E2EExample(attributes=attributes, meaning_representation=meaning,
+                          reference=reference, text=f"{meaning} <sep> {reference}")
+
+    def sample_examples(self, count: int) -> List[E2EExample]:
+        return [self.sample_example() for _ in range(count)]
+
+    def token_batches(self, num_batches: int, batch_size: int, seq_len: int,
+                      vocab_size: Optional[int] = None) -> List[np.ndarray]:
+        """Token-id batches sized for a given model vocabulary.
+
+        Multiple examples are packed into each row until ``seq_len`` is filled
+        (the standard LM packing used for throughput measurements).  Token ids
+        are taken modulo ``vocab_size`` so the batches remain valid for the
+        scaled-down model vocabularies.
+        """
+        vocab_size = vocab_size or self.vocab_size
+        batches = []
+        for _ in range(num_batches):
+            rows = []
+            for _ in range(batch_size):
+                ids: List[int] = []
+                while len(ids) < seq_len:
+                    ids.extend(self.tokenizer.encode(self.sample_example().text))
+                rows.append(np.asarray(ids[:seq_len], dtype=np.int64) % vocab_size)
+            batches.append(np.stack(rows))
+        return batches

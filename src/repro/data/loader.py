@@ -1,0 +1,52 @@
+"""Simple batch loader utilities shared by examples and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+
+class BatchLoader:
+    """Cycles over a fixed list of token-id batches, optionally shuffling rows.
+
+    Keeping a *fixed* set of pre-generated batches (rather than generating on
+    the fly) makes timing runs reproducible and keeps data-generation cost out
+    of the measured step time — the same methodology the paper uses by timing
+    steady-state steps over a real dataset.
+    """
+
+    def __init__(self, batches: Sequence[np.ndarray], shuffle: bool = False, seed: int = 0):
+        if not batches:
+            raise ValueError("BatchLoader needs at least one batch")
+        self.batches: List[np.ndarray] = [np.asarray(b) for b in batches]
+        self.shuffle = shuffle
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        order = np.arange(len(self.batches))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for index in order:
+            yield self.batches[index]
+
+    def take(self, count: int) -> Iterator[np.ndarray]:
+        """Yield ``count`` batches, cycling over the stored set as needed."""
+        produced = 0
+        while produced < count:
+            for batch in self:
+                if produced >= count:
+                    return
+                yield batch
+                produced += 1
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.batches[0].shape[0])
+
+    @property
+    def seq_len(self) -> int:
+        return int(self.batches[0].shape[1])

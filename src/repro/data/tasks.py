@@ -1,0 +1,188 @@
+"""Synthetic downstream multiple-choice tasks (Table III / Table IV analogue).
+
+The paper evaluates fine-tuned models on PIQA, Winogrande, RTE, COPA and
+HellaSwag via likelihood scoring: for each question, every candidate
+continuation is scored by the log-probability the model assigns to it and the
+highest-scoring candidate is chosen.  Each synthetic suite below follows the
+same protocol over the small world model shared with the Alpaca-like
+instruction corpus, so fine-tuning on that corpus measurably improves
+accuracy — giving the "with vs. without LongExposure" comparison of Table IV
+real signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.alpaca import WORLD, AlpacaDatasetGenerator
+from repro.data.tokenizer import Tokenizer
+
+
+@dataclass
+class MultipleChoiceExample:
+    """A context with candidate continuations, one of which is correct."""
+
+    context: str
+    choices: List[str]
+    answer_index: int
+
+
+@dataclass
+class MultipleChoiceTask:
+    """A named task with a description (Table III) and its examples."""
+
+    name: str
+    description: str
+    examples: List[MultipleChoiceExample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+
+@dataclass
+class TaskSuite:
+    """The five evaluation tasks plus the tokenizer used to score them."""
+
+    tasks: Dict[str, MultipleChoiceTask]
+    tokenizer: Tokenizer
+
+    def names(self) -> List[str]:
+        return list(self.tasks)
+
+
+def _wrong_value(rng: np.random.Generator, field_name: str, correct: str) -> str:
+    values = sorted({facts[field_name] for facts in WORLD.values() if facts[field_name] != correct})
+    return str(rng.choice(values))
+
+
+def build_task_suite(examples_per_task: int = 40, seed: int = 0) -> TaskSuite:
+    """Construct the five synthetic suites over the shared world model.
+
+    The mapping to the paper's tasks is structural, not semantic:
+
+    =============  =====================================================
+    paper task     synthetic analogue
+    =============  =====================================================
+    PIQA           physical-property selection ("the X is <property>")
+    Winogrande     location resolution ("you would find a X in the <place>")
+    RTE            entailment between a fact and a hypothesis (yes/no)
+    COPA           cause/effect style choice between two facts
+    HellaSwag      continuation of a two-sentence description
+    =============  =====================================================
+    """
+    rng = np.random.default_rng(seed)
+    generator = AlpacaDatasetGenerator(seed=seed)
+    tokenizer = generator.tokenizer
+    objects = sorted(WORLD)
+
+    def sample_obj() -> str:
+        return str(rng.choice(objects))
+
+    tasks: Dict[str, MultipleChoiceTask] = {}
+
+    piqa = MultipleChoiceTask("piqa", "Physical commonsense reasoning")
+    for _ in range(examples_per_task):
+        obj = sample_obj()
+        correct = WORLD[obj]["property"]
+        wrong = _wrong_value(rng, "property", correct)
+        answer = int(rng.integers(0, 2))
+        choices = [f"the {obj} is {correct}", f"the {obj} is {wrong}"]
+        if answer == 1:
+            choices.reverse()
+        piqa.examples.append(MultipleChoiceExample(
+            context=f"instruction describe the {obj} response",
+            choices=choices, answer_index=answer if answer == 0 else 1))
+    tasks["piqa"] = piqa
+
+    winogrande = MultipleChoiceTask("winogrande", "Physical interactions understanding")
+    for _ in range(examples_per_task):
+        obj = sample_obj()
+        correct = WORLD[obj]["place"]
+        wrong = _wrong_value(rng, "place", correct)
+        answer = int(rng.integers(0, 2))
+        choices = [f"you would find a {obj} in the {correct}",
+                   f"you would find a {obj} in the {wrong}"]
+        if answer == 1:
+            choices.reverse()
+        winogrande.examples.append(MultipleChoiceExample(
+            context=f"instruction where would you find a {obj} response",
+            choices=choices, answer_index=answer))
+    tasks["winogrande"] = winogrande
+
+    rte = MultipleChoiceTask("rte", "Natural language understanding")
+    for _ in range(examples_per_task):
+        obj = sample_obj()
+        true_prop = WORLD[obj]["property"]
+        entailed = bool(rng.integers(0, 2))
+        prop = true_prop if entailed else _wrong_value(rng, "property", true_prop)
+        answer = 0 if entailed else 1
+        rte.examples.append(MultipleChoiceExample(
+            context=f"instruction is a {obj} {prop} response",
+            choices=[f"yes a {obj} is {prop}", f"no a {obj} is not {prop}"],
+            answer_index=answer))
+    tasks["rte"] = rte
+
+    copa = MultipleChoiceTask("copa", "Commonsense causal reasoning")
+    for _ in range(examples_per_task):
+        obj = sample_obj()
+        correct = WORLD[obj]["category"]
+        wrong = _wrong_value(rng, "category", correct)
+        answer = int(rng.integers(0, 2))
+        choices = [f"a {obj} is a {correct}", f"a {obj} is a {wrong}"]
+        if answer == 1:
+            choices.reverse()
+        copa.examples.append(MultipleChoiceExample(
+            context=f"instruction what kind of thing is a {obj} response",
+            choices=choices, answer_index=answer))
+    tasks["copa"] = copa
+
+    hellaswag = MultipleChoiceTask("hellaswag", "Natural language commonsense")
+    for _ in range(examples_per_task):
+        obj = sample_obj()
+        correct_place = WORLD[obj]["place"]
+        correct_prop = WORLD[obj]["property"]
+        wrong_prop = _wrong_value(rng, "property", correct_prop)
+        answer = int(rng.integers(0, 2))
+        choices = [f"the property that fits the {obj} is {correct_prop}",
+                   f"the property that fits the {obj} is {wrong_prop}"]
+        if answer == 1:
+            choices.reverse()
+        hellaswag.examples.append(MultipleChoiceExample(
+            context=(f"instruction where would you find a {obj} response you would find "
+                     f"a {obj} in the {correct_place} instruction which property fits "
+                     f"the {obj} response"),
+            choices=choices, answer_index=answer))
+    tasks["hellaswag"] = hellaswag
+
+    return TaskSuite(tasks=tasks, tokenizer=tokenizer)
+
+
+def evaluate_model_on_task(model, task: MultipleChoiceTask, tokenizer: Tokenizer,
+                           vocab_size: Optional[int] = None,
+                           max_examples: Optional[int] = None) -> Dict[str, float]:
+    """Likelihood-scored accuracy of ``model`` on one task.
+
+    Returns ``{"accuracy": ..., "stderr": ..., "n": ...}`` matching the
+    accuracy/stderr pairs of the paper's Table IV.
+    """
+    vocab_size = vocab_size or model.config.vocab_size
+    correct = 0
+    examples = task.examples[:max_examples] if max_examples else task.examples
+    for example in examples:
+        scores = []
+        context_ids = tokenizer.encode(example.context, add_eos=False)
+        for choice in example.choices:
+            choice_ids = tokenizer.encode(choice, add_bos=False, add_eos=False)
+            ids = np.asarray(context_ids + choice_ids, dtype=np.int64) % vocab_size
+            score = model.sequence_log_likelihood(ids, completion_start=len(context_ids))
+            # Length-normalised likelihood, as lm-eval-harness does for PIQA-style tasks.
+            scores.append(score / max(len(choice_ids), 1))
+        predicted = int(np.argmax(scores))
+        correct += int(predicted == example.answer_index)
+    n = len(examples)
+    accuracy = correct / max(n, 1)
+    stderr = float(np.sqrt(accuracy * (1 - accuracy) / max(n, 1)))
+    return {"accuracy": accuracy, "stderr": stderr, "n": n}

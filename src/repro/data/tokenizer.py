@@ -1,0 +1,94 @@
+"""Word-level vocabulary and tokenizer for the synthetic corpora."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class Vocabulary:
+    """Bidirectional word <-> id mapping with reserved special tokens."""
+
+    pad_token: str = "<pad>"
+    bos_token: str = "<bos>"
+    eos_token: str = "<eos>"
+    unk_token: str = "<unk>"
+    words: List[str] = field(default_factory=list)
+
+    def __post_init__(self):
+        specials = [self.pad_token, self.bos_token, self.eos_token, self.unk_token]
+        ordered = specials + [w for w in self.words if w not in specials]
+        self._word_to_id: Dict[str, int] = {w: i for i, w in enumerate(ordered)}
+        self._id_to_word: List[str] = ordered
+
+    def __len__(self) -> int:
+        return len(self._id_to_word)
+
+    @property
+    def pad_id(self) -> int:
+        return self._word_to_id[self.pad_token]
+
+    @property
+    def bos_id(self) -> int:
+        return self._word_to_id[self.bos_token]
+
+    @property
+    def eos_id(self) -> int:
+        return self._word_to_id[self.eos_token]
+
+    @property
+    def unk_id(self) -> int:
+        return self._word_to_id[self.unk_token]
+
+    def id_of(self, word: str) -> int:
+        return self._word_to_id.get(word, self.unk_id)
+
+    def word_of(self, index: int) -> str:
+        if 0 <= index < len(self._id_to_word):
+            return self._id_to_word[index]
+        return self.unk_token
+
+    @classmethod
+    def from_corpus(cls, texts: Iterable[str], max_size: Optional[int] = None) -> "Vocabulary":
+        """Build a frequency-sorted vocabulary from whitespace-tokenised texts."""
+        counts: Dict[str, int] = {}
+        for text in texts:
+            for word in text.split():
+                counts[word] = counts.get(word, 0) + 1
+        ordered = [w for w, _ in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))]
+        if max_size is not None:
+            ordered = ordered[: max(0, max_size - 4)]
+        return cls(words=ordered)
+
+
+class Tokenizer:
+    """Whitespace tokenizer over a :class:`Vocabulary` with padding helpers."""
+
+    def __init__(self, vocabulary: Vocabulary):
+        self.vocabulary = vocabulary
+
+    def encode(self, text: str, add_bos: bool = True, add_eos: bool = True) -> List[int]:
+        ids = [self.vocabulary.id_of(w) for w in text.split()]
+        if add_bos:
+            ids = [self.vocabulary.bos_id] + ids
+        if add_eos:
+            ids = ids + [self.vocabulary.eos_id]
+        return ids
+
+    def decode(self, ids: Iterable[int]) -> str:
+        specials = {self.vocabulary.pad_id, self.vocabulary.bos_id, self.vocabulary.eos_id}
+        return " ".join(self.vocabulary.word_of(int(i)) for i in ids if int(i) not in specials)
+
+    def encode_batch(self, texts: List[str], seq_len: int,
+                     pad_to_multiple: Optional[int] = None) -> np.ndarray:
+        """Encode, truncate/pad to ``seq_len`` and stack into an int array."""
+        if pad_to_multiple:
+            seq_len = -(-seq_len // pad_to_multiple) * pad_to_multiple
+        batch = np.full((len(texts), seq_len), self.vocabulary.pad_id, dtype=np.int64)
+        for row, text in enumerate(texts):
+            ids = self.encode(text)[:seq_len]
+            batch[row, :len(ids)] = ids
+        return batch

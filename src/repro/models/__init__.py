@@ -1,0 +1,29 @@
+"""Model families used in the paper's evaluation: OPT and GPT-2.
+
+Both are decoder-only causal language models built from
+:class:`repro.nn.TransformerBlock`; OPT uses ReLU MLPs (and therefore has
+exploitable MLP activation sparsity), GPT-2 uses GeLU MLPs (only the
+attention optimisations apply, cf. Figure 13 of the paper).
+
+The :mod:`repro.models.config` registry contains the paper's model sizes
+(OPT-350M/1.3B/2.7B, GPT-2 Large/XL) for parameter accounting and the memory
+model, plus scaled-down ``tiny``/``small``/``medium`` variants that are what
+the tests and benchmarks actually execute on CPU.
+"""
+
+from repro.models.config import ModelConfig, get_config, list_configs, register_config
+from repro.models.base import CausalLMModel
+from repro.models.opt import OPTModel
+from repro.models.gpt2 import GPT2Model
+from repro.models.factory import build_model
+
+__all__ = [
+    "ModelConfig",
+    "get_config",
+    "list_configs",
+    "register_config",
+    "CausalLMModel",
+    "OPTModel",
+    "GPT2Model",
+    "build_model",
+]

@@ -1,0 +1,31 @@
+"""Model factory: build the right family class from a configuration name."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.models.base import CausalLMModel
+from repro.models.config import ModelConfig, get_config
+from repro.models.gpt2 import GPT2Model
+from repro.models.opt import OPTModel
+
+_FAMILIES = {
+    "opt": OPTModel,
+    "gpt2": GPT2Model,
+}
+
+
+def build_model(config: Union[str, ModelConfig], seed: int = 0) -> CausalLMModel:
+    """Instantiate a model from a config name or :class:`ModelConfig`.
+
+    Examples
+    --------
+    >>> model = build_model("opt-tiny")
+    >>> model.config.family
+    'opt'
+    """
+    if isinstance(config, str):
+        config = get_config(config)
+    if config.family not in _FAMILIES:
+        raise KeyError(f"unknown model family {config.family!r}")
+    return _FAMILIES[config.family](config, seed=seed)

@@ -1,0 +1,53 @@
+"""Activation modules.
+
+The distinction between ReLU and GeLU matters for the reproduction: OPT uses
+ReLU, which produces exact zeros and therefore exploitable MLP sparsity,
+while GPT-2 uses GeLU, for which the paper only applies the attention-side
+optimisations (Section VII-D / Figure 13).  ``get_activation`` is the single
+switch the model configs use.
+"""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+
+class ReLU(Module):
+    """Rectified linear unit: the source of MLP activation sparsity in OPT."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class GELU(Module):
+    """Gaussian error linear unit (tanh approximation), used by GPT-2."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.gelu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+_ACTIVATIONS = {
+    "relu": ReLU,
+    "gelu": GELU,
+    "tanh": Tanh,
+    "sigmoid": Sigmoid,
+}
+
+
+def get_activation(name: str) -> Module:
+    """Instantiate an activation module by name (``relu``, ``gelu``, ...)."""
+    key = name.lower()
+    if key not in _ACTIVATIONS:
+        raise KeyError(f"unknown activation {name!r}; available: {sorted(_ACTIVATIONS)}")
+    return _ACTIVATIONS[key]()

@@ -1,0 +1,106 @@
+"""Elementary layers: Linear, Embedding, LayerNorm and Dropout.
+
+Initialisation follows the conventions of the OPT / GPT-2 releases (normal
+with small std for projections, ones/zeros for LayerNorm).  ``Linear`` stores
+its weight in the ``(out_features, in_features)`` layout used by PyTorch
+checkpoints so that model configs and parameter counts line up with the
+paper's Table II.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, functional as F
+from repro.tensor.tensor import embedding_lookup
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 init_std: float = 0.02, rng: Optional[np.random.Generator] = None,
+                 name: str = ""):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            rng.normal(0.0, init_std, size=(out_features, in_features)).astype(np.float32),
+            name=f"{name}.weight" if name else "weight",
+        )
+        self.bias: Optional[Parameter]
+        if bias:
+            self.bias = Parameter(np.zeros(out_features, dtype=np.float32),
+                                  name=f"{name}.bias" if name else "bias")
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def extra_repr(self) -> str:
+        return f"in={self.in_features}, out={self.out_features}, bias={self.bias is not None}"
+
+
+class Embedding(Module):
+    """Token (or position) embedding table."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, init_std: float = 0.02,
+                 rng: Optional[np.random.Generator] = None, name: str = ""):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(
+            rng.normal(0.0, init_std, size=(num_embeddings, embedding_dim)).astype(np.float32),
+            name=f"{name}.weight" if name else "weight",
+        )
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices)
+        if indices.max(initial=0) >= self.num_embeddings or indices.min(initial=0) < 0:
+            raise IndexError("embedding index out of range")
+        return embedding_lookup(self.weight, indices)
+
+    def extra_repr(self) -> str:
+        return f"num={self.num_embeddings}, dim={self.embedding_dim}"
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension with learnable affine."""
+
+    def __init__(self, dim: int, eps: float = 1e-5, name: str = ""):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.weight = Parameter(np.ones(dim, dtype=np.float32),
+                                name=f"{name}.weight" if name else "weight")
+        self.bias = Parameter(np.zeros(dim, dtype=np.float32),
+                              name=f"{name}.bias" if name else "bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+    def extra_repr(self) -> str:
+        return f"dim={self.dim}, eps={self.eps}"
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode."""
+
+    def __init__(self, p: float = 0.0, seed: int = 0):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self._rng)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"

@@ -1,0 +1,75 @@
+"""Transformer MLP (feed-forward) block with pluggable execution backends.
+
+The block is the usual ``fc1 -> activation -> fc2`` expansion.  The default
+:class:`DenseMLPBackend` runs both linear layers densely; LongExposure's
+engine swaps in a neuron-sparse backend that only loads and multiplies the
+columns of ``fc1`` / rows of ``fc2`` whose neuron blocks the predictor marks
+active (Section VI-B of the paper).
+
+Backends may expose ``last_activations`` with the post-activation values of
+the most recent forward pass; the predictor data-collection pass and the
+sparsity-statistics analysis read it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.activations import get_activation
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+
+class DenseMLPBackend:
+    """Baseline dense execution of the MLP block."""
+
+    def __init__(self, capture_activations: bool = False):
+        self.capture_activations = capture_activations
+        self.last_activations: Optional[np.ndarray] = None
+
+    def __call__(self, module: "MLPBlock", x: Tensor) -> Tensor:
+        hidden = module.activation(module.fc1(x))
+        if self.capture_activations:
+            self.last_activations = hidden.data.copy()
+        return module.fc2(hidden)
+
+
+class MLPBlock(Module):
+    """Position-wise feed-forward block ``fc2(act(fc1(x)))``.
+
+    Parameters
+    ----------
+    dim:
+        Model dimension.
+    hidden_dim:
+        Expansion dimension (4x ``dim`` for OPT/GPT-2).
+    activation:
+        ``"relu"`` (OPT — sparsity-friendly) or ``"gelu"`` (GPT-2).
+    """
+
+    def __init__(self, dim: int, hidden_dim: int, activation: str = "relu",
+                 dropout: float = 0.0, rng: Optional[np.random.Generator] = None,
+                 layer_index: int = 0):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(100 + layer_index)
+        self.dim = dim
+        self.hidden_dim = hidden_dim
+        self.activation_name = activation
+        self.layer_index = layer_index
+
+        self.fc1 = Linear(dim, hidden_dim, rng=rng, name=f"layer{layer_index}.mlp.fc1")
+        self.fc2 = Linear(hidden_dim, dim, rng=rng, name=f"layer{layer_index}.mlp.fc2")
+        self.activation = get_activation(activation)
+        self.dropout = Dropout(dropout, seed=1000 + layer_index)
+
+        # Swappable kernel; LongExposure installs a neuron-sparse backend here.
+        self.backend = DenseMLPBackend()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.dropout(self.backend(self, x))
+
+    def extra_repr(self) -> str:
+        return f"dim={self.dim}, hidden={self.hidden_dim}, act={self.activation_name}"

@@ -1,0 +1,68 @@
+"""Adam and AdamW optimizers.
+
+Adam keeps two FP32 moment buffers per trainable parameter; this is exactly
+the optimizer state whose elimination for frozen parameters gives PEFT its
+optimizer-step savings (Table I) and part of its memory savings (Figure 8).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.base import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) over the provided (trainable) parameters."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-3,
+                 betas=(0.9, 0.999), eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def _apply_weight_decay(self, param: Parameter, grad: np.ndarray) -> np.ndarray:
+        if self.weight_decay:
+            return grad + self.weight_decay * param.data
+        return grad
+
+    def step(self) -> None:
+        self.step_count += 1
+        t = self.step_count
+        bias1 = 1.0 - self.beta1 ** t
+        bias2 = 1.0 - self.beta2 ** t
+        for index, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = self._apply_weight_decay(param, param.grad)
+            m = self._m[index]
+            v = self._v[index]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_size_bytes(self) -> int:
+        return int(sum(m.nbytes + v.nbytes for m, v in zip(self._m, self._v)))
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
+
+    def _apply_weight_decay(self, param: Parameter, grad: np.ndarray) -> np.ndarray:
+        if self.weight_decay:
+            # Decoupled decay applied directly to the weights.
+            param.data -= self.lr * self.weight_decay * param.data
+        return grad

@@ -1,0 +1,35 @@
+"""Optimizer base class operating on :class:`repro.nn.Parameter` objects."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer holding a list of parameters and per-parameter state."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: List[Parameter] = [p for p in params]
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on all managed parameters."""
+        for param in self.params:
+            param.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def state_size_bytes(self) -> int:
+        """Bytes of optimizer state (used by the analytic memory model)."""
+        return 0
+
+    def num_parameters(self) -> int:
+        return int(sum(p.numel() for p in self.params))

@@ -1,0 +1,93 @@
+"""Mixed-precision emulation and gradient utilities.
+
+The paper fine-tunes with mixed precision (FP16 parameters, FP32
+activations).  NumPy has no tensor cores, so the reproduction emulates the
+*numerical* aspects that matter for correctness — loss scaling with overflow
+detection and gradient clipping — while the memory model
+(:mod:`repro.runtime.memory`) accounts for the byte-level savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.tensor import Tensor
+
+
+@dataclass
+class MixedPrecisionConfig:
+    """How mixed precision is emulated."""
+
+    enabled: bool = True
+    param_dtype: str = "float16"
+    compute_dtype: str = "float32"
+    init_scale: float = 2.0 ** 10
+    growth_factor: float = 2.0
+    backoff_factor: float = 0.5
+    growth_interval: int = 100
+
+    def param_bytes(self) -> int:
+        return np.dtype(self.param_dtype).itemsize
+
+    def compute_bytes(self) -> int:
+        return np.dtype(self.compute_dtype).itemsize
+
+
+class GradScaler:
+    """Dynamic loss scaling with overflow detection (torch.cuda.amp style)."""
+
+    def __init__(self, config: MixedPrecisionConfig | None = None):
+        self.config = config or MixedPrecisionConfig()
+        self.scale = self.config.init_scale if self.config.enabled else 1.0
+        self._good_steps = 0
+        self.overflow_count = 0
+
+    def scale_loss(self, loss: Tensor) -> Tensor:
+        """Multiply the loss by the current scale before ``backward()``."""
+        if not self.config.enabled:
+            return loss
+        return loss * self.scale
+
+    def unscale_and_check(self, params: Iterable[Parameter]) -> bool:
+        """Divide gradients by the scale; return True if they are finite."""
+        finite = True
+        inv = 1.0 / self.scale
+        for param in params:
+            if param.grad is None:
+                continue
+            if self.config.enabled:
+                param.grad = param.grad * inv
+            if not np.all(np.isfinite(param.grad)):
+                finite = False
+        return finite
+
+    def update(self, found_overflow: bool) -> None:
+        """Adjust the scale after a step (backoff on overflow, grow otherwise)."""
+        if not self.config.enabled:
+            return
+        if found_overflow:
+            self.scale = max(1.0, self.scale * self.config.backoff_factor)
+            self._good_steps = 0
+            self.overflow_count += 1
+        else:
+            self._good_steps += 1
+            if self._good_steps >= self.config.growth_interval:
+                self.scale *= self.config.growth_factor
+                self._good_steps = 0
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Clip gradients to a global L2 norm; returns the pre-clip norm."""
+    params = [p for p in params if p.grad is not None]
+    if not params:
+        return 0.0
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if max_norm > 0 and total > max_norm:
+        ratio = max_norm / (total + 1e-12)
+        for p in params:
+            p.grad = p.grad * ratio
+    return total

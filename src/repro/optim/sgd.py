@@ -1,0 +1,41 @@
+"""Stochastic gradient descent with optional momentum and weight decay."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.base import Optimizer
+
+
+class SGD(Optimizer):
+    """Plain SGD: ``p -= lr * (grad + weight_decay * p)`` with momentum buffer."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-2,
+                 momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params] if momentum else None
+
+    def step(self) -> None:
+        self.step_count += 1
+        for index, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self._velocity is not None:
+                self._velocity[index] = self.momentum * self._velocity[index] + grad
+                grad = self._velocity[index]
+            param.data -= self.lr * grad
+
+    def state_size_bytes(self) -> int:
+        if self._velocity is None:
+            return 0
+        return int(sum(v.nbytes for v in self._velocity))

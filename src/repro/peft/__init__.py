@@ -1,0 +1,50 @@
+"""Parameter-efficient fine-tuning (PEFT) methods.
+
+Implements the four PEFT techniques used in the paper's evaluation plus the
+full fine-tuning reference:
+
+* :class:`LoRAConfig` / :func:`apply_lora` — low-rank adapters injected into
+  the attention and MLP projections (Hu et al., 2021);
+* :class:`AdapterConfig` / :func:`apply_adapter` — bottleneck adapter layers
+  inserted after each sub-layer (Houlsby et al., 2019);
+* :class:`BitFitConfig` / :func:`apply_bitfit` — only bias terms trainable
+  (Ben Zaken et al., 2021);
+* :class:`PrefixTuningConfig` / :func:`apply_prefix_tuning` — trainable
+  prefix/prompt vectors prepended to the input (Li & Liang, 2021, "P-Tuning"
+  in the paper's Table I);
+* :func:`apply_full_finetuning` — everything trainable (the Table I
+  reference row).
+
+Every ``apply_*`` function mutates a :class:`repro.models.CausalLMModel`
+in-place (freeze backbone, add trainable parameters) and returns a
+:class:`PEFTResult` describing what became trainable.  ``get_peft_method``
+provides name-based dispatch for the benchmark harness.
+"""
+
+from repro.peft.base import PEFTResult, count_trainable, describe_trainable
+from repro.peft.lora import LoRAConfig, LoRALinear, apply_lora
+from repro.peft.adapter import AdapterConfig, BottleneckAdapter, apply_adapter
+from repro.peft.bitfit import BitFitConfig, apply_bitfit
+from repro.peft.prefix import PrefixTuningConfig, PrefixEncoder, apply_prefix_tuning
+from repro.peft.full import apply_full_finetuning
+from repro.peft.registry import PEFT_METHODS, get_peft_method
+
+__all__ = [
+    "PEFTResult",
+    "count_trainable",
+    "describe_trainable",
+    "LoRAConfig",
+    "LoRALinear",
+    "apply_lora",
+    "AdapterConfig",
+    "BottleneckAdapter",
+    "apply_adapter",
+    "BitFitConfig",
+    "apply_bitfit",
+    "PrefixTuningConfig",
+    "PrefixEncoder",
+    "apply_prefix_tuning",
+    "apply_full_finetuning",
+    "PEFT_METHODS",
+    "get_peft_method",
+]

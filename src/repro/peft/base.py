@@ -1,0 +1,70 @@
+"""Shared PEFT plumbing: result record and trainable-parameter accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.nn import Module
+
+
+@dataclass
+class PEFTResult:
+    """What a PEFT method did to a model.
+
+    Attributes
+    ----------
+    method:
+        Name of the PEFT method ("lora", "adapter", ...).
+    trainable_parameters:
+        Number of parameters left trainable after applying the method.
+    total_parameters:
+        Total parameter count of the adapted model (backbone + injected).
+    injected_parameters:
+        Number of *new* parameters the method added (0 for BitFit / full FT).
+    trainable_names:
+        Names of the trainable parameters, for inspection and tests.
+    extra:
+        Method-specific details (rank, bottleneck size, prefix length, ...).
+    """
+
+    method: str
+    trainable_parameters: int
+    total_parameters: int
+    injected_parameters: int = 0
+    trainable_names: List[str] = field(default_factory=list)
+    extra: Dict = field(default_factory=dict)
+
+    @property
+    def trainable_fraction(self) -> float:
+        """Fraction of all parameters that are trainable (paper quotes <0.01 for LoRA)."""
+        if self.total_parameters == 0:
+            return 0.0
+        return self.trainable_parameters / self.total_parameters
+
+    def summary(self) -> str:
+        return (f"{self.method}: {self.trainable_parameters:,} trainable "
+                f"of {self.total_parameters:,} total "
+                f"({100 * self.trainable_fraction:.4f}%)")
+
+
+def count_trainable(model: Module) -> int:
+    """Number of trainable parameters in ``model``."""
+    return int(sum(p.numel() for p in model.parameters() if p.requires_grad))
+
+
+def describe_trainable(model: Module) -> List[str]:
+    """Names of trainable parameters (sorted for deterministic output)."""
+    return sorted(name for name, p in model.named_parameters() if p.requires_grad)
+
+
+def make_result(model: Module, method: str, injected: int, extra: Dict) -> PEFTResult:
+    """Assemble a :class:`PEFTResult` from the model's current state."""
+    return PEFTResult(
+        method=method,
+        trainable_parameters=count_trainable(model),
+        total_parameters=model.num_parameters(),
+        injected_parameters=injected,
+        trainable_names=describe_trainable(model),
+        extra=dict(extra),
+    )

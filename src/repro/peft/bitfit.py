@@ -1,0 +1,37 @@
+"""BitFit (Ben Zaken et al., 2021): train only the bias terms.
+
+No new parameters are injected; every parameter whose name ends in ``bias``
+(and, optionally, the LayerNorm affine parameters) stays trainable while the
+rest of the backbone is frozen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.models.base import CausalLMModel
+from repro.peft.base import PEFTResult, make_result
+
+
+@dataclass
+class BitFitConfig:
+    """Which parameters BitFit leaves trainable."""
+
+    include_layernorm: bool = False
+
+
+def apply_bitfit(model: CausalLMModel, config: Optional[BitFitConfig] = None) -> PEFTResult:
+    """Freeze everything except bias (and optionally LayerNorm) parameters."""
+    config = config or BitFitConfig()
+    n_trainable_tensors = 0
+    for name, param in model.named_parameters():
+        is_bias = name.endswith("bias") or name.endswith(".bias")
+        is_norm = ("norm" in name) and config.include_layernorm
+        param.requires_grad = bool(is_bias or is_norm)
+        n_trainable_tensors += int(param.requires_grad)
+    if n_trainable_tensors == 0:
+        raise RuntimeError("BitFit found no bias parameters to train")
+    return make_result(model, "bitfit", 0,
+                       {"include_layernorm": config.include_layernorm,
+                        "trainable_tensors": n_trainable_tensors})

@@ -1,0 +1,17 @@
+"""Full fine-tuning reference: every backbone parameter is trainable.
+
+This is the "Full Param." row of the paper's Table I — the baseline whose
+optimizer-step cost PEFT methods eliminate and whose forward/backward cost
+LongExposure then attacks.
+"""
+
+from __future__ import annotations
+
+from repro.models.base import CausalLMModel
+from repro.peft.base import PEFTResult, make_result
+
+
+def apply_full_finetuning(model: CausalLMModel) -> PEFTResult:
+    """Mark every parameter trainable and report the accounting."""
+    model.unfreeze()
+    return make_result(model, "full", 0, {})

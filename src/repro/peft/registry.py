@@ -1,0 +1,60 @@
+"""Name-based dispatch of PEFT methods for the benchmark harness.
+
+``get_peft_method(name)(model)`` applies the method with its default
+configuration and returns ``(model, PEFTResult)``; prefix tuning returns the
+wrapping model, all other methods return the (mutated) input model, so the
+caller can use the returned model uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.models.base import CausalLMModel
+from repro.nn import Module
+from repro.peft.adapter import AdapterConfig, apply_adapter
+from repro.peft.base import PEFTResult
+from repro.peft.bitfit import BitFitConfig, apply_bitfit
+from repro.peft.full import apply_full_finetuning
+from repro.peft.lora import LoRAConfig, apply_lora
+from repro.peft.prefix import PrefixTuningConfig, apply_prefix_tuning
+
+ApplyFn = Callable[[CausalLMModel], Tuple[Module, PEFTResult]]
+
+
+def _lora(model: CausalLMModel, **kwargs) -> Tuple[Module, PEFTResult]:
+    return model, apply_lora(model, LoRAConfig(**kwargs) if kwargs else None)
+
+
+def _adapter(model: CausalLMModel, **kwargs) -> Tuple[Module, PEFTResult]:
+    return model, apply_adapter(model, AdapterConfig(**kwargs) if kwargs else None)
+
+
+def _bitfit(model: CausalLMModel, **kwargs) -> Tuple[Module, PEFTResult]:
+    return model, apply_bitfit(model, BitFitConfig(**kwargs) if kwargs else None)
+
+
+def _prefix(model: CausalLMModel, **kwargs) -> Tuple[Module, PEFTResult]:
+    return apply_prefix_tuning(model, PrefixTuningConfig(**kwargs) if kwargs else None)
+
+
+def _full(model: CausalLMModel, **kwargs) -> Tuple[Module, PEFTResult]:
+    return model, apply_full_finetuning(model)
+
+
+PEFT_METHODS: Dict[str, ApplyFn] = {
+    "lora": _lora,
+    "adapter": _adapter,
+    "bitfit": _bitfit,
+    "prefix": _prefix,
+    "p-tuning": _prefix,
+    "full": _full,
+}
+
+
+def get_peft_method(name: str) -> ApplyFn:
+    """Look up a PEFT method by name ("lora", "adapter", "bitfit", "prefix", "full")."""
+    key = name.lower()
+    if key not in PEFT_METHODS:
+        raise KeyError(f"unknown PEFT method {name!r}; available: {sorted(PEFT_METHODS)}")
+    return PEFT_METHODS[key]

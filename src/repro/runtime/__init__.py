@@ -1,0 +1,35 @@
+"""Fine-tuning runtime: trainer, profiling, memory model, platforms, scaling.
+
+This package is the harness the paper's evaluation is built on:
+
+* :class:`FineTuner` — the training loop with per-phase wall-clock timing
+  (forward / backward / optimizer step / prediction overhead), producing the
+  breakdowns of Table I and Figure 10 and the per-batch times of Figures 7
+  and 13;
+* :mod:`repro.runtime.memory` — analytic memory model for Figure 8;
+* :mod:`repro.runtime.platform` — A100 / A6000 specifications and roofline
+  estimates used to contextualise the measured CPU numbers;
+* :mod:`repro.runtime.distributed` — simulated data-parallel workers for the
+  strong-scaling study of Figure 14.
+"""
+
+from repro.runtime.trainer import FineTuner, PhaseTimings, TrainingConfig, TrainingReport
+from repro.runtime.profiler import PhaseProfiler
+from repro.runtime.memory import MemoryModel, MemoryBreakdown
+from repro.runtime.platform import PlatformSpec, PLATFORMS, roofline_step_time
+from repro.runtime.distributed import DataParallelSimulator, ScalingResult
+
+__all__ = [
+    "FineTuner",
+    "PhaseTimings",
+    "TrainingConfig",
+    "TrainingReport",
+    "PhaseProfiler",
+    "MemoryModel",
+    "MemoryBreakdown",
+    "PlatformSpec",
+    "PLATFORMS",
+    "roofline_step_time",
+    "DataParallelSimulator",
+    "ScalingResult",
+]

@@ -1,0 +1,107 @@
+"""Simulated data-parallel scaling (reproduces Figure 14).
+
+The paper's strong-scaling study holds the global batch fixed and spreads it
+over 1/2/4 GPUs; because every LongExposure optimisation is local to the
+model computation, no extra communication is introduced and scaling is
+linear.  Without multiple GPUs, the reproduction simulates data parallelism:
+
+* the global batch is split into per-worker shards;
+* each worker's compute time is *measured* by running its shard through the
+  real model (sequentially, but timed per shard);
+* the step time of the simulated N-worker system is the maximum shard time
+  (workers run concurrently in the real system) plus an all-reduce term from
+  a simple latency/bandwidth communication model over the gradient volume —
+  which is tiny under PEFT, preserving the paper's "no extra communication
+  overhead" conclusion.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn import Module
+
+
+@dataclass
+class CommunicationModel:
+    """Ring all-reduce cost model: latency + volume / bandwidth per step."""
+
+    latency_s: float = 5e-5
+    bandwidth_gbps: float = 300.0        # NVLink-class interconnect
+
+    def allreduce_time(self, gradient_bytes: float, num_workers: int) -> float:
+        if num_workers <= 1:
+            return 0.0
+        volume = 2.0 * gradient_bytes * (num_workers - 1) / num_workers
+        return self.latency_s * np.log2(num_workers) + volume / (self.bandwidth_gbps * 1e9)
+
+
+@dataclass
+class ScalingResult:
+    """Outcome of a strong-scaling measurement for one worker count."""
+
+    num_workers: int
+    step_time_s: float
+    compute_time_s: float
+    communication_time_s: float
+    speedup_vs_single: float = 1.0
+    efficiency: float = 1.0
+
+
+class DataParallelSimulator:
+    """Simulates strong scaling of fine-tuning across data-parallel workers."""
+
+    def __init__(self, step_fn: Callable[[np.ndarray], float],
+                 gradient_bytes: float,
+                 comm: Optional[CommunicationModel] = None):
+        """
+        Parameters
+        ----------
+        step_fn:
+            Callable executing one fine-tuning step on a batch shard and
+            returning nothing of interest; it is timed with ``perf_counter``.
+        gradient_bytes:
+            Bytes of gradients that would be all-reduced per step (trainable
+            parameters x 4 for FP32 gradients) — tiny under PEFT.
+        comm:
+            Communication model; defaults to an NVLink-class ring all-reduce.
+        """
+        self.step_fn = step_fn
+        self.gradient_bytes = float(gradient_bytes)
+        self.comm = comm or CommunicationModel()
+
+    def _measure_shard(self, shard: np.ndarray, repeats: int = 1) -> float:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            self.step_fn(shard)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def run(self, global_batch: np.ndarray, worker_counts: Sequence[int],
+            repeats: int = 1) -> List[ScalingResult]:
+        """Measure simulated step time for each worker count (strong scaling)."""
+        global_batch = np.asarray(global_batch)
+        results: List[ScalingResult] = []
+        single_time = None
+        for workers in worker_counts:
+            if global_batch.shape[0] % workers != 0:
+                raise ValueError(f"global batch of {global_batch.shape[0]} sequences "
+                                 f"cannot be split over {workers} workers")
+            shards = np.split(global_batch, workers, axis=0)
+            shard_times = [self._measure_shard(shard, repeats) for shard in shards]
+            compute = max(shard_times)
+            communication = self.comm.allreduce_time(self.gradient_bytes, workers)
+            step_time = compute + communication
+            if single_time is None:
+                single_time = step_time
+            speedup = single_time / step_time if step_time > 0 else float("inf")
+            results.append(ScalingResult(
+                num_workers=workers, step_time_s=step_time, compute_time_s=compute,
+                communication_time_s=communication, speedup_vs_single=speedup,
+                efficiency=speedup / workers))
+        return results

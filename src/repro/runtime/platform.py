@@ -1,0 +1,80 @@
+"""Hardware platform specifications and roofline estimates.
+
+The paper evaluates on an A100-80GB workstation ("Platform A") and a 4x
+A6000 server ("Platform B").  The reproduction cannot run on those GPUs, so
+this module carries their published specifications and a simple roofline
+model that converts the *algorithmic* work of a fine-tuning step (FLOPs and
+bytes moved, both of which the sparsity machinery changes) into an estimated
+step time per platform.  The estimates contextualise the measured CPU
+wall-clock: relative speedups transfer because both numerator and denominator
+use the same kernel structure; absolute numbers are indicative only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.models.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Peak specifications of an evaluation platform."""
+
+    name: str
+    memory_gb: float
+    memory_bandwidth_gbps: float      # GB/s
+    fp32_tflops: float
+    fp16_tflops: float
+    num_devices: int = 1
+
+    def flop_time(self, flops: float, fp16: bool = True, efficiency: float = 0.45) -> float:
+        """Seconds to execute ``flops`` at a realistic fraction of peak."""
+        peak = (self.fp16_tflops if fp16 else self.fp32_tflops) * 1e12
+        return flops / (peak * efficiency)
+
+    def memory_time(self, bytes_moved: float, efficiency: float = 0.7) -> float:
+        """Seconds to move ``bytes_moved`` at a realistic fraction of peak bandwidth."""
+        return bytes_moved / (self.memory_bandwidth_gbps * 1e9 * efficiency)
+
+
+# Published specifications (the paper quotes 19.5 FP32 TFLOPs / 1555 GB/s for
+# the A100 and 38.71 FP32 TFLOPs / 768 GB/s for the A6000).
+PLATFORMS: Dict[str, PlatformSpec] = {
+    "A100": PlatformSpec(name="A100", memory_gb=80, memory_bandwidth_gbps=1555,
+                         fp32_tflops=19.5, fp16_tflops=312.0, num_devices=1),
+    "A6000": PlatformSpec(name="A6000", memory_gb=48, memory_bandwidth_gbps=768,
+                          fp32_tflops=38.71, fp16_tflops=155.0, num_devices=4),
+}
+
+
+def training_step_flops(config: ModelConfig, batch: int, seq_len: int,
+                        attention_density: float = 1.0,
+                        mlp_density: float = 1.0) -> float:
+    """Approximate FLOPs of one fine-tuning step (forward + backward).
+
+    The backward pass costs roughly 2x the forward pass; attention score /
+    context work scales with the retained block density and MLP work with the
+    retained neuron density — the two quantities LongExposure reduces.
+    """
+    cfg = config
+    tokens = batch * seq_len
+    proj_flops = 4 * 2 * tokens * cfg.dim * cfg.dim                       # q,k,v,out
+    attn_flops = 2 * 2 * batch * cfg.num_heads * seq_len * seq_len * cfg.head_dim
+    attn_flops *= attention_density
+    mlp_flops = 2 * 2 * tokens * cfg.dim * cfg.hidden_dim * mlp_density
+    per_layer = proj_flops + attn_flops + mlp_flops
+    lm_head = 2 * tokens * cfg.dim * cfg.vocab_size
+    forward = cfg.num_layers * per_layer + lm_head
+    return float(forward * 3.0)                                           # fwd + ~2x bwd
+
+
+def roofline_step_time(config: ModelConfig, platform: PlatformSpec, batch: int,
+                       seq_len: int, attention_density: float = 1.0,
+                       mlp_density: float = 1.0) -> float:
+    """Roofline estimate of one step's wall-clock on ``platform`` (seconds)."""
+    flops = training_step_flops(config, batch, seq_len, attention_density, mlp_density)
+    # Weight traffic dominates the memory side for small batches.
+    bytes_moved = config.num_parameters() * 2 * 3.0
+    return max(platform.flop_time(flops), platform.memory_time(bytes_moved))

@@ -1,0 +1,62 @@
+"""Lightweight phase profiler used by the trainer and the benchmarks."""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import Dict, Iterator, List
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock time per named phase.
+
+    Usage::
+
+        profiler = PhaseProfiler()
+        with profiler.phase("forward"):
+            ...
+        profiler.totals()["forward"]   # seconds
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = defaultdict(float)
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[name] += elapsed
+            self._counts[name] += 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record externally-measured time (e.g. the engine's predictor overhead)."""
+        self._totals[name] += seconds
+        self._counts[name] += 1
+
+    def totals(self) -> Dict[str, float]:
+        return dict(self._totals)
+
+    def counts(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def mean(self, name: str) -> float:
+        count = self._counts.get(name, 0)
+        return self._totals.get(name, 0.0) / count if count else 0.0
+
+    def reset(self) -> None:
+        self._totals.clear()
+        self._counts.clear()
+
+    def report(self) -> str:
+        """Human-readable table of phase totals and shares."""
+        total = sum(self._totals.values()) or 1.0
+        lines = [f"{'phase':<18}{'total (ms)':>12}{'share':>9}{'calls':>8}"]
+        for name, seconds in sorted(self._totals.items(), key=lambda kv: -kv[1]):
+            lines.append(f"{name:<18}{seconds * 1000:>12.1f}{seconds / total:>8.1%}"
+                         f"{self._counts[name]:>8}")
+        return "\n".join(lines)

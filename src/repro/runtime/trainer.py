@@ -1,0 +1,186 @@
+"""Phase-timed fine-tuning trainer.
+
+The trainer reproduces the measurement protocol behind the paper's Table I,
+Figure 7, Figure 10 and Figure 13: every training step is split into the
+forward pass, the backward pass and the optimizer step, each timed with
+``time.perf_counter``; when a LongExposure engine is attached, the prediction
+overhead its backends accumulate is reported as a separate phase (it is part
+of the forward/backward wall-clock, shown separately for the breakdown).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn import Module
+from repro.optim import Adam, GradScaler, MixedPrecisionConfig, clip_grad_norm
+from repro.optim.base import Optimizer
+from repro.runtime.profiler import PhaseProfiler
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of the fine-tuning loop."""
+
+    learning_rate: float = 1e-3
+    weight_decay: float = 0.0
+    max_steps: Optional[int] = None
+    grad_clip: float = 0.0
+    mixed_precision: bool = False
+    log_every: int = 0
+    seed: int = 0
+
+
+@dataclass
+class PhaseTimings:
+    """Per-phase timing of one training step (seconds)."""
+
+    forward: float
+    backward: float
+    optimizer: float
+    prediction: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.forward + self.backward + self.optimizer
+
+    def as_milliseconds(self) -> dict:
+        return {
+            "forward_ms": self.forward * 1000,
+            "backward_ms": self.backward * 1000,
+            "optimizer_ms": self.optimizer * 1000,
+            "prediction_ms": self.prediction * 1000,
+            "total_ms": self.total * 1000,
+        }
+
+
+@dataclass
+class TrainingReport:
+    """Aggregate result of a fine-tuning run."""
+
+    steps: int
+    losses: List[float]
+    step_timings: List[PhaseTimings]
+    tokens_processed: int
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    def mean_timings(self, skip_warmup: int = 1) -> PhaseTimings:
+        """Average phase timings, skipping warm-up steps (cache effects)."""
+        timings = self.step_timings[skip_warmup:] or self.step_timings
+        return PhaseTimings(
+            forward=float(np.mean([t.forward for t in timings])),
+            backward=float(np.mean([t.backward for t in timings])),
+            optimizer=float(np.mean([t.optimizer for t in timings])),
+            prediction=float(np.mean([t.prediction for t in timings])),
+        )
+
+    def mean_step_ms(self, skip_warmup: int = 1) -> float:
+        return self.mean_timings(skip_warmup).total * 1000
+
+    def breakdown_table(self) -> str:
+        """Table-I-style row: phase times and their share of the total."""
+        mean = self.mean_timings()
+        total = mean.total or 1.0
+        return (f"fwd {mean.forward * 1000:7.1f}ms ({mean.forward / total:5.1%})  "
+                f"bwd {mean.backward * 1000:7.1f}ms ({mean.backward / total:5.1%})  "
+                f"optim {mean.optimizer * 1000:6.1f}ms ({mean.optimizer / total:5.1%})  "
+                f"total {total * 1000:7.1f}ms")
+
+
+class FineTuner:
+    """Runs fine-tuning steps on a (PEFT-adapted, optionally sparsified) model.
+
+    Parameters
+    ----------
+    model:
+        Any module exposing ``loss(input_ids) -> (Tensor, int)`` — a
+        :class:`repro.models.CausalLMModel` or a PEFT wrapper around one.
+    optimizer:
+        Optimizer over the *trainable* parameters; defaults to Adam, matching
+        the paper's setup.
+    engine:
+        Optional :class:`repro.sparsity.LongExposure` whose prediction
+        overhead should be read out per step.
+    """
+
+    def __init__(self, model: Module, config: Optional[TrainingConfig] = None,
+                 optimizer: Optional[Optimizer] = None, engine=None):
+        self.model = model
+        self.config = config or TrainingConfig()
+        trainable = model.trainable_parameters()
+        if not trainable:
+            raise ValueError("model has no trainable parameters; apply a PEFT method first")
+        self.optimizer = optimizer or Adam(trainable, lr=self.config.learning_rate,
+                                           weight_decay=self.config.weight_decay)
+        self.engine = engine
+        self.scaler = GradScaler(MixedPrecisionConfig(enabled=self.config.mixed_precision))
+        self.profiler = PhaseProfiler()
+
+    # -- single step -------------------------------------------------------------
+    def step(self, input_ids: np.ndarray,
+             labels: Optional[np.ndarray] = None) -> (float, PhaseTimings):
+        """One fine-tuning step; returns (loss value, phase timings)."""
+        engine_pred_before = self.engine.stats.prediction_seconds if self.engine else 0.0
+
+        start = time.perf_counter()
+        loss, _ = self.model.loss(input_ids, labels=labels)
+        forward_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        scaled = self.scaler.scale_loss(loss)
+        scaled.backward()
+        backward_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        finite = self.scaler.unscale_and_check(self.optimizer.params)
+        if self.config.grad_clip > 0:
+            clip_grad_norm(self.optimizer.params, self.config.grad_clip)
+        if finite:
+            self.optimizer.step()
+        self.scaler.update(found_overflow=not finite)
+        self.optimizer.zero_grad()
+        self.model.zero_grad()
+        optimizer_s = time.perf_counter() - start
+
+        prediction_s = 0.0
+        if self.engine is not None:
+            prediction_s = self.engine.stats.prediction_seconds - engine_pred_before
+
+        self.profiler.add("forward", forward_s)
+        self.profiler.add("backward", backward_s)
+        self.profiler.add("optimizer", optimizer_s)
+        if self.engine is not None:
+            self.profiler.add("prediction", prediction_s)
+
+        timing = PhaseTimings(forward=forward_s, backward=backward_s,
+                              optimizer=optimizer_s, prediction=prediction_s)
+        return float(loss.data), timing
+
+    # -- full loop ------------------------------------------------------------------
+    def train(self, batches: Iterable[np.ndarray],
+              max_steps: Optional[int] = None) -> TrainingReport:
+        """Fine-tune over an iterable of token-id batches."""
+        max_steps = max_steps if max_steps is not None else self.config.max_steps
+        losses: List[float] = []
+        timings: List[PhaseTimings] = []
+        tokens = 0
+        for step_index, batch in enumerate(batches):
+            if max_steps is not None and step_index >= max_steps:
+                break
+            batch = np.asarray(batch)
+            loss_value, timing = self.step(batch)
+            losses.append(loss_value)
+            timings.append(timing)
+            tokens += int(batch.size)
+            if self.config.log_every and (step_index + 1) % self.config.log_every == 0:
+                print(f"step {step_index + 1}: loss={loss_value:.4f} "
+                      f"step_time={timing.total * 1000:.1f}ms")
+        return TrainingReport(steps=len(losses), losses=losses,
+                              step_timings=timings, tokens_processed=tokens)

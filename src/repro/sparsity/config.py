@@ -1,0 +1,80 @@
+"""Configuration of the LongExposure system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass
+class LongExposureConfig:
+    """Knobs of the end-to-end LongExposure engine.
+
+    Attributes
+    ----------
+    block_size:
+        Side length of the attention score blocks and the MLP neuron blocks
+        (``blk_size`` in the paper's Section V).  Sequence lengths and the MLP
+        hidden dimension are processed in units of this block.
+    attention_coverage:
+        Fraction of total attention probability mass a head's block mask must
+        retain when the exposer derives the ground-truth mask (recall-oriented,
+        paper Section V-B).
+    mlp_threshold:
+        Neuron-block importance filter threshold, expressed as a fraction of
+        the peak block importance (the paper sweeps 1 %–5 % in Figure 9).
+    predictor_rank:
+        Rank ``r`` of the low-rank approximation matrices in the attention
+        predictor (``r << d``).
+    downsample:
+        Whether the attention predictor down-samples the sequence dimension
+        from ``s`` to ``~sqrt(s)`` before computing approximate scores.
+    predictor_noise_std:
+        Standard deviation of the Gaussian noise added to predictor training
+        inputs (data augmentation for robustness to evolving PEFT parameters).
+    predictor_pos_weight:
+        Positive-class weight of the predictor BCE loss; values > 1 prioritise
+        recall over precision as the paper prescribes.
+    predictor_epochs / predictor_lr / predictor_batch:
+        Offline predictor-training schedule.
+    optimize_attention / optimize_mlp:
+        Component switches.  ``optimize_mlp`` is disabled automatically for
+        GeLU models (GPT-2), matching the paper's Figure 13 setup.
+    oracle_mode:
+        If True, the engine uses the exposer's exact (ground-truth) masks at
+        runtime instead of predictor outputs.  Used for ablations and tests;
+        the paper's "shadowy" baselines correspond to uniform oracle masks.
+    mlp_offload_inactive:
+        Whether the memory model assumes inactive neuron blocks stay on the
+        host ("LongExposure (optimal)" curve in Figure 8).
+    seed:
+        RNG seed for predictor initialisation and training shuffles.
+    """
+
+    block_size: int = 32
+    attention_coverage: float = 0.90
+    attention_threshold: float = 0.02
+    mlp_threshold: float = 0.03
+    predictor_rank: int = 8
+    downsample: bool = True
+    predictor_noise_std: float = 0.02
+    predictor_pos_weight: float = 4.0
+    predictor_epochs: int = 30
+    predictor_lr: float = 1e-2
+    predictor_batch: int = 16
+    optimize_attention: bool = True
+    optimize_mlp: bool = True
+    oracle_mode: bool = False
+    mlp_offload_inactive: bool = False
+    min_active_mlp_blocks: int = 1
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.block_size <= 0 or self.block_size & (self.block_size - 1):
+            raise ValueError("block_size must be a positive power of two")
+        if not 0.0 < self.attention_coverage <= 1.0:
+            raise ValueError("attention_coverage must be in (0, 1]")
+        if not 0.0 <= self.mlp_threshold < 1.0:
+            raise ValueError("mlp_threshold must be in [0, 1)")
+        if self.predictor_rank <= 0:
+            raise ValueError("predictor_rank must be positive")

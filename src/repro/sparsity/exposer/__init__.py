@@ -1,0 +1,25 @@
+"""Shadowy-sparsity Exposer (paper Section IV).
+
+Derives structured, exploitable sparse patterns from the heavily-overlapped
+("shadowy") sparsity of sequence inputs:
+
+* :class:`AttentionExposer` — per-head block masks chosen so each head keeps
+  the blocks carrying most of its own attention mass, instead of one uniform
+  mask shared by all heads;
+* :class:`MLPExposer` — neuron-block importance filtering that treats
+  weakly-activated neurons as inactive, turning scattered ReLU sparsity into
+  block-wise structured sparsity.
+
+Both classes also compute the "shadowy" reference statistics (uniform mask /
+raw union sparsity) used as the ablation baseline in Figure 9.
+"""
+
+from repro.sparsity.exposer.attention import AttentionExposer, AttentionSparsityReport
+from repro.sparsity.exposer.mlp import MLPExposer, MLPSparsityReport
+
+__all__ = [
+    "AttentionExposer",
+    "AttentionSparsityReport",
+    "MLPExposer",
+    "MLPSparsityReport",
+]

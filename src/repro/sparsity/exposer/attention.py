@@ -1,0 +1,145 @@
+"""Head-specific attention mask derivation (Shadowy-sparsity Exposer).
+
+During fine-tuning the attention scores form an ``(s, s)`` matrix per head;
+a uniform mask that must retain the important scores of *every* head (the
+"shadowy" approach) ends up nearly dense.  The exposer instead derives one
+mask per head: block-reduce that head's attention mass, keep the blocks that
+carry it, and snap the result to the nearest atomic pattern from the pool so
+the dynamic-aware operators can reuse their offline layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sparsity.patterns import PatternPool, block_count, causal_block_mask
+
+
+@dataclass
+class AttentionSparsityReport:
+    """Sparsity statistics of one attention layer for one batch.
+
+    ``*_sparsity`` values are fractions of the *causal* score blocks that can
+    be skipped (higher is sparser / cheaper).
+    """
+
+    per_head_sparsity: np.ndarray        # (heads,)
+    head_specific_sparsity: float        # LongExposure: mean over heads
+    shadowy_sparsity: float              # uniform mask covering all heads
+    per_token_sparsity: float            # mean sparsity of individual tokens
+    head_patterns: List[str]             # matched atomic pattern per head
+
+    def summary(self) -> str:
+        return (f"head-specific={self.head_specific_sparsity:.3f} "
+                f"shadowy={self.shadowy_sparsity:.3f} "
+                f"per-token={self.per_token_sparsity:.3f}")
+
+
+class AttentionExposer:
+    """Derives per-head block masks from exact attention probabilities."""
+
+    def __init__(self, pattern_pool: PatternPool, block_size: int,
+                 coverage: float = 0.95, score_threshold: float = 0.02):
+        if not 0.0 < coverage <= 1.0:
+            raise ValueError("coverage must be in (0, 1]")
+        self.pattern_pool = pattern_pool
+        self.block_size = block_size
+        self.coverage = coverage
+        self.score_threshold = score_threshold
+
+    # -- block reduction ---------------------------------------------------------
+    def block_reduce(self, probs: np.ndarray) -> np.ndarray:
+        """Reduce attention probabilities to per-block mass.
+
+        ``probs`` has shape ``(batch, heads, seq, seq)``; the result has shape
+        ``(heads, n_blocks, n_blocks)`` — summed over the batch and over the
+        elements of each block, then zeroed above the causal diagonal.
+        """
+        probs = np.asarray(probs)
+        if probs.ndim == 3:
+            probs = probs[None]
+        batch, heads, seq, _ = probs.shape
+        bs = self.block_size
+        n_blocks = block_count(seq, bs)
+        padded = n_blocks * bs
+        if padded != seq:
+            pad = padded - seq
+            probs = np.pad(probs, ((0, 0), (0, 0), (0, pad), (0, pad)))
+        reduced = probs.reshape(batch, heads, n_blocks, bs, n_blocks, bs).sum(axis=(0, 3, 5))
+        reduced *= causal_block_mask(n_blocks)[None]
+        return reduced
+
+    # -- mask derivation -----------------------------------------------------------
+    def head_block_masks(self, probs: np.ndarray) -> Tuple[np.ndarray, List[str]]:
+        """Per-head boolean block masks and their matched atomic pattern names."""
+        block_mass = self.block_reduce(probs)
+        heads, n_blocks, _ = block_mass.shape
+        names = self.pattern_pool.match_many(block_mass, coverage=self.coverage)
+        masks = np.stack([self.pattern_pool.mask(name, n_blocks) for name in names])
+        return masks, names
+
+    def raw_block_masks(self, probs: np.ndarray) -> np.ndarray:
+        """Coverage-based masks *without* snapping to atomic patterns.
+
+        Keeps, per head, the smallest set of highest-mass blocks whose
+        cumulative mass reaches ``coverage``.  Used to measure how much
+        sparsity exists before the pattern-pool constraint (tests, Figure 9
+        analysis).
+        """
+        block_mass = self.block_reduce(probs)
+        heads, n_blocks, _ = block_mass.shape
+        causal = causal_block_mask(n_blocks)
+        masks = np.zeros_like(block_mass, dtype=bool)
+        for h in range(heads):
+            mass = block_mass[h]
+            total = mass.sum()
+            if total <= 0:
+                masks[h] = causal
+                continue
+            flat = mass.reshape(-1)
+            order = np.argsort(flat)[::-1]
+            cumulative = np.cumsum(flat[order])
+            needed = int(np.searchsorted(cumulative, self.coverage * total)) + 1
+            keep = order[:needed]
+            mask = np.zeros(n_blocks * n_blocks, dtype=bool)
+            mask[keep] = True
+            masks[h] = mask.reshape(n_blocks, n_blocks) & causal
+            np.fill_diagonal(masks[h], True)
+        return masks
+
+    def uniform_block_mask(self, probs: np.ndarray) -> np.ndarray:
+        """The "shadowy" baseline: one mask that covers all heads at once."""
+        per_head = self.raw_block_masks(probs)
+        return np.any(per_head, axis=0)
+
+    # -- statistics -------------------------------------------------------------------
+    def analyze(self, probs: np.ndarray) -> AttentionSparsityReport:
+        """Full sparsity report for one layer (drives Figure 9's left panel)."""
+        probs = np.asarray(probs)
+        if probs.ndim == 3:
+            probs = probs[None]
+        masks, names = self.head_block_masks(probs)
+        heads, n_blocks, _ = masks.shape
+        causal_total = causal_block_mask(n_blocks).sum()
+        per_head_sparsity = 1.0 - masks.sum(axis=(1, 2)) / causal_total
+        uniform = self.uniform_block_mask(probs)
+        shadowy = 1.0 - uniform.sum() / causal_total
+
+        # Per-token sparsity: fraction of keys each individual query can skip
+        # (threshold on its own normalised attention row).
+        norm = probs / np.maximum(probs.max(axis=-1, keepdims=True), 1e-12)
+        token_keep = (norm > self.score_threshold)
+        causal_elems = np.tril(np.ones(probs.shape[-2:], dtype=bool))
+        per_token = 1.0 - token_keep[..., causal_elems].sum() / (
+            probs.shape[0] * probs.shape[1] * causal_elems.sum())
+
+        return AttentionSparsityReport(
+            per_head_sparsity=per_head_sparsity,
+            head_specific_sparsity=float(per_head_sparsity.mean()),
+            shadowy_sparsity=float(shadowy),
+            per_token_sparsity=float(per_token),
+            head_patterns=names,
+        )

@@ -1,0 +1,45 @@
+"""Dynamic-aware sparse operators (paper Section VI).
+
+Two families of kernels:
+
+* block-sparse attention (:mod:`repro.sparsity.ops.block_sparse`) — the SDD
+  (sparse = dense x dense) score computation and DSD (dense = sparse x dense)
+  context computation over the blocks selected by per-head masks, driven by
+  :class:`repro.sparsity.ops.layout.MultiHeadLayout` which implements the
+  offline lookup-table pool and online per-head combination of Figure 6;
+* neuron-sparse MLP (:mod:`repro.sparsity.ops.neuron_sparse`) — column/row
+  gathered matrix multiplications that only load the neuron blocks predicted
+  active, with an optional transposed ("coalesced") weight layout mirroring
+  the paper's memory-coalescing optimisation.
+
+All operators register fused custom backwards, so skipping a block in the
+forward pass also skips its gradient work — the property derived in the
+paper's Section II-D.
+"""
+
+from repro.sparsity.ops.layout import LayoutPool, MultiHeadLayout
+from repro.sparsity.ops.block_sparse import (
+    BlockSparseMatrix,
+    block_sparse_attention,
+    block_sparse_sdd,
+    block_sparse_dsd,
+    dense_attention_reference,
+)
+from repro.sparsity.ops.neuron_sparse import (
+    NeuronSparseWeights,
+    neuron_sparse_linear_pair,
+    neuron_sparse_matmul,
+)
+
+__all__ = [
+    "LayoutPool",
+    "MultiHeadLayout",
+    "BlockSparseMatrix",
+    "block_sparse_attention",
+    "block_sparse_sdd",
+    "block_sparse_dsd",
+    "dense_attention_reference",
+    "NeuronSparseWeights",
+    "neuron_sparse_linear_pair",
+    "neuron_sparse_matmul",
+]

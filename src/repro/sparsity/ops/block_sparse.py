@@ -1,0 +1,266 @@
+"""Block-sparse attention operators (SDD / DSD) and the fused training op.
+
+The attention computation under a per-head block mask decomposes into two
+sparse matrix multiplications (paper Section VI-A):
+
+* **SDD** (``sparse = dense x dense``): only the score blocks listed in the
+  layout are computed from Q and K;
+* **DSD** (``dense = sparse x dense``): the sparse probability blocks are
+  multiplied with V to produce the dense context.
+
+Both are implemented as *block-gathered batched matmuls*: the active blocks
+of Q/K/V are gathered with fancy indexing into a ``(batch, nnz, block, ·)``
+stack and a single ``np.matmul`` call processes all of them, so the per-block
+work is done by BLAS and the Python overhead is independent of the number of
+blocks.  The row-wise softmax across blocks of the same query row uses
+``np.maximum.reduceat`` / ``np.add.reduceat`` over the (head, row)-sorted
+layout, which is why :class:`~repro.sparsity.ops.layout.MultiHeadLayout`
+guarantees that ordering.
+
+:1func:`block_sparse_attention` is the fused autograd op used during
+fine-tuning: its custom backward touches exactly the same blocks as the
+forward, realising the paper's observation that inactive positions drop out
+of the gradient computation as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.sparsity.ops.layout import MultiHeadLayout
+from repro.tensor import Tensor
+from repro.tensor.tensor import custom_op
+
+_NEG_INF = np.float32(-1e9)
+
+
+# ---------------------------------------------------------------------------
+# shared helpers
+# ---------------------------------------------------------------------------
+
+def _pad_to_blocks(x: np.ndarray, block_size: int, axis: int) -> np.ndarray:
+    """Zero-pad ``x`` along ``axis`` so its length is a block multiple."""
+    length = x.shape[axis]
+    remainder = length % block_size
+    if remainder == 0:
+        return x
+    pad = [(0, 0)] * x.ndim
+    pad[axis] = (0, block_size - remainder)
+    return np.pad(x, pad)
+
+
+def _blockify(x: np.ndarray, block_size: int) -> np.ndarray:
+    """(batch, heads, seq, dim) -> (batch, heads, n_blocks, block, dim)."""
+    batch, heads, seq, dim = x.shape
+    n_blocks = seq // block_size
+    return x.reshape(batch, heads, n_blocks, block_size, dim)
+
+
+def _segment_geometry(layout: MultiHeadLayout) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return (segment ids per block, segment heads, segment rows)."""
+    starts = layout.row_segment_starts
+    nnz = layout.nnz
+    seg_lengths = np.diff(np.append(starts, nnz))
+    seg_ids = np.repeat(np.arange(starts.shape[0]), seg_lengths)
+    return seg_ids, layout.heads[starts], layout.rows[starts]
+
+
+def _block_element_mask(layout: MultiHeadLayout, seq_len: int) -> np.ndarray:
+    """Element-level validity mask of each active block ``(nnz, bs, bs)``.
+
+    Enforces causality inside diagonal blocks and masks key positions beyond
+    the (possibly padded) sequence length.
+    """
+    bs = layout.block_size
+    offs = np.arange(bs)
+    q_pos = layout.rows[:, None] * bs + offs[None, :]          # (nnz, bs)
+    k_pos = layout.cols[:, None] * bs + offs[None, :]          # (nnz, bs)
+    allowed = q_pos[:, :, None] >= k_pos[:, None, :]
+    allowed &= k_pos[:, None, :] < seq_len
+    return allowed
+
+
+# ---------------------------------------------------------------------------
+# standalone SDD / DSD kernels (numpy level, used by the operator benchmarks)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BlockSparseMatrix:
+    """Blocks of a sparse (batch, heads, seq, seq) matrix plus their layout."""
+
+    data: np.ndarray            # (batch, nnz, block, block)
+    layout: MultiHeadLayout
+    seq_len: int
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the dense (batch, heads, seq, seq) matrix (tests only)."""
+        bs = self.layout.block_size
+        batch = self.data.shape[0]
+        full = self.layout.n_blocks * bs
+        dense = np.zeros((batch, self.layout.n_heads, full, full), dtype=self.data.dtype)
+        for idx, (h, r, c) in enumerate(zip(self.layout.heads, self.layout.rows,
+                                            self.layout.cols)):
+            dense[:, h, r * bs:(r + 1) * bs, c * bs:(c + 1) * bs] = self.data[:, idx]
+        return dense[:, :, :self.seq_len, :self.seq_len]
+
+
+def block_sparse_sdd(q: np.ndarray, k: np.ndarray, layout: MultiHeadLayout,
+                     scale: float = 1.0) -> BlockSparseMatrix:
+    """Compute only the active blocks of ``Q @ K^T`` (SDD kernel).
+
+    ``q``/``k`` have shape ``(batch, heads, seq, dim)``; the result holds the
+    ``(batch, nnz, block, block)`` stack of active score blocks.
+    """
+    bs = layout.block_size
+    seq_len = q.shape[2]
+    q_pad = _blockify(_pad_to_blocks(q, bs, axis=2), bs)
+    k_pad = _blockify(_pad_to_blocks(k, bs, axis=2), bs)
+    q_blk = q_pad[:, layout.heads, layout.rows]                 # (batch, nnz, bs, dim)
+    k_blk = k_pad[:, layout.heads, layout.cols]
+    scores = np.matmul(q_blk, np.swapaxes(k_blk, -1, -2)) * scale
+    return BlockSparseMatrix(data=scores, layout=layout, seq_len=seq_len)
+
+
+def block_sparse_dsd(blocks: BlockSparseMatrix, v: np.ndarray) -> np.ndarray:
+    """Multiply sparse probability blocks with dense ``V`` (DSD kernel).
+
+    Returns the dense context of shape ``(batch, heads, seq, dim)``.
+    """
+    layout = blocks.layout
+    bs = layout.block_size
+    batch, _, seq_len, dim = v.shape
+    v_pad = _blockify(_pad_to_blocks(v, bs, axis=2), bs)
+    v_blk = v_pad[:, layout.heads, layout.cols]                 # (batch, nnz, bs, dim)
+    ctx_blk = np.matmul(blocks.data, v_blk)                     # (batch, nnz, bs, dim)
+
+    starts = layout.row_segment_starts
+    _, seg_heads, seg_rows = _segment_geometry(layout)
+    ctx_seg = np.add.reduceat(ctx_blk, starts, axis=1)          # (batch, nseg, bs, dim)
+    out = np.zeros((batch, layout.n_heads, layout.n_blocks, bs, dim), dtype=v.dtype)
+    out[:, seg_heads, seg_rows] = ctx_seg
+    return out.reshape(batch, layout.n_heads, layout.n_blocks * bs, dim)[:, :, :seq_len]
+
+
+def dense_attention_reference(q: np.ndarray, k: np.ndarray, v: np.ndarray,
+                              mask: Optional[np.ndarray] = None,
+                              scale: Optional[float] = None) -> np.ndarray:
+    """Plain dense softmax attention used as the comparison baseline."""
+    scale = scale if scale is not None else 1.0 / np.sqrt(q.shape[-1])
+    scores = np.matmul(q, np.swapaxes(k, -1, -2)) * scale
+    if mask is not None:
+        scores = np.where(mask, scores, _NEG_INF)
+    scores = scores - scores.max(axis=-1, keepdims=True)
+    probs = np.exp(scores)
+    if mask is not None:
+        probs = probs * mask
+    denom = probs.sum(axis=-1, keepdims=True)
+    probs = probs / np.where(denom == 0, 1.0, denom)
+    return np.matmul(probs, v)
+
+
+# ---------------------------------------------------------------------------
+# fused block-sparse attention (autograd op used during fine-tuning)
+# ---------------------------------------------------------------------------
+
+def block_sparse_attention(q: Tensor, k: Tensor, v: Tensor, layout: MultiHeadLayout,
+                           scale: Optional[float] = None) -> Tensor:
+    """Fused block-sparse ``softmax(QK^T) V`` with a block-sparse backward.
+
+    Parameters
+    ----------
+    q, k, v:
+        Tensors of shape ``(batch, heads, seq, head_dim)``.
+    layout:
+        Active blocks per head, produced by the layout pool (predicted
+        patterns) or from exposer masks (oracle mode).
+    scale:
+        Score scaling; defaults to ``1/sqrt(head_dim)``.
+
+    The softmax normalises over the *union of active blocks in each query
+    row*, with causal masking inside diagonal blocks.  The backward pass
+    computes gradients for Q, K and V only through the active blocks, so both
+    compute and gradient work scale with ``layout.nnz`` rather than with the
+    full ``seq²`` score matrix.
+    """
+    bs = layout.block_size
+    batch, n_heads, seq_len, head_dim = q.shape
+    if n_heads != layout.n_heads:
+        raise ValueError(f"layout has {layout.n_heads} heads, tensors have {n_heads}")
+    scale = scale if scale is not None else 1.0 / np.sqrt(head_dim)
+
+    q_pad = _blockify(_pad_to_blocks(q.data, bs, axis=2), bs)
+    k_pad = _blockify(_pad_to_blocks(k.data, bs, axis=2), bs)
+    v_pad = _blockify(_pad_to_blocks(v.data, bs, axis=2), bs)
+    padded_len = layout.n_blocks * bs
+
+    heads, rows, cols = layout.heads, layout.rows, layout.cols
+    starts = layout.row_segment_starts
+    seg_ids, seg_heads, seg_rows = _segment_geometry(layout)
+
+    q_blk = q_pad[:, heads, rows]                                # (batch, nnz, bs, dim)
+    k_blk = k_pad[:, heads, cols]
+    v_blk = v_pad[:, heads, cols]
+
+    scores = np.matmul(q_blk, np.swapaxes(k_blk, -1, -2)) * scale
+    allowed = _block_element_mask(layout, seq_len)               # (nnz, bs, bs)
+    scores = np.where(allowed[None], scores, _NEG_INF)
+
+    # Row-wise softmax across all blocks sharing a (head, query-row) segment.
+    block_max = scores.max(axis=-1)                              # (batch, nnz, bs)
+    seg_max = np.maximum.reduceat(block_max, starts, axis=1)     # (batch, nseg, bs)
+    row_max = seg_max[:, seg_ids]                                # (batch, nnz, bs)
+    exp = np.exp(scores - row_max[..., None]) * allowed[None]
+    block_sum = exp.sum(axis=-1)                                 # (batch, nnz, bs)
+    seg_sum = np.add.reduceat(block_sum, starts, axis=1)
+    row_sum = seg_sum[:, seg_ids]
+    row_sum = np.where(row_sum == 0.0, 1.0, row_sum)
+    probs = exp / row_sum[..., None]                             # (batch, nnz, bs, bs)
+
+    ctx_blk = np.matmul(probs, v_blk)                            # (batch, nnz, bs, dim)
+    ctx_seg = np.add.reduceat(ctx_blk, starts, axis=1)
+    out = np.zeros((batch, n_heads, layout.n_blocks, bs, head_dim), dtype=q.data.dtype)
+    out[:, seg_heads, seg_rows] = ctx_seg
+    out = out.reshape(batch, n_heads, padded_len, head_dim)[:, :, :seq_len]
+
+    n_blocks = layout.n_blocks
+    col_order, col_starts, col_seg_heads, col_seg_cols = layout.col_geometry()
+
+    def _scatter_to_cols(contrib: np.ndarray) -> np.ndarray:
+        """Accumulate per-block contributions onto their (head, col) blocks."""
+        contrib_sorted = contrib[:, col_order]
+        seg = np.add.reduceat(contrib_sorted, col_starts, axis=1)
+        out_blocks = np.zeros((batch, n_heads, n_blocks, bs, head_dim), dtype=np.float32)
+        out_blocks[:, col_seg_heads, col_seg_cols] = seg
+        return out_blocks.reshape(batch, n_heads, padded_len, head_dim)
+
+    def backward(grad_out: np.ndarray):
+        grad_out_pad = _blockify(_pad_to_blocks(grad_out, bs, axis=2), bs)
+        dout_blk = grad_out_pad[:, heads, rows]                  # (batch, nnz, bs, dim)
+
+        # dV: P^T @ dOut accumulated onto (head, col) blocks.
+        dv = _scatter_to_cols(np.matmul(np.swapaxes(probs, -1, -2), dout_blk))
+
+        # dP and softmax backward restricted to active blocks.
+        dP = np.matmul(dout_blk, np.swapaxes(v_blk, -1, -2))     # (batch, nnz, bs, bs)
+        inner_blk = (dP * probs).sum(axis=-1)                    # (batch, nnz, bs)
+        inner_seg = np.add.reduceat(inner_blk, starts, axis=1)
+        inner_row = inner_seg[:, seg_ids]
+        dS = probs * (dP - inner_row[..., None])
+        dS *= scale
+
+        # dQ: contributions land on (head, row) blocks — contiguous segments.
+        dq_contrib = np.matmul(dS, k_blk)                        # (batch, nnz, bs, dim)
+        dq_seg = np.add.reduceat(dq_contrib, starts, axis=1)
+        dq = np.zeros((batch, n_heads, n_blocks, bs, head_dim), dtype=np.float32)
+        dq[:, seg_heads, seg_rows] = dq_seg
+        dq = dq.reshape(batch, n_heads, padded_len, head_dim)
+
+        # dK: dS^T @ Q accumulated onto (head, col) blocks.
+        dk = _scatter_to_cols(np.matmul(np.swapaxes(dS, -1, -2), q_blk))
+
+        return (dq[:, :, :seq_len], dk[:, :, :seq_len], dv[:, :, :seq_len])
+
+    return custom_op(out, (q, k, v), backward)

@@ -1,0 +1,136 @@
+"""Attention sparse-pattern predictor (paper Section V, Figure 5a).
+
+For every layer, the predictor owns per-head trainable low-rank matrices
+``W_Q_hat, W_K_hat ∈ R^{d×r}`` (``r << d``).  Given the layer input ``X`` it
+
+1. down-samples the sequence dimension by taking one representative token per
+   attention block (the paper down-samples ``s -> sqrt(s)``; choosing the
+   block stride makes the approximate score matrix land directly on the block
+   grid the operators use),
+2. computes approximate scores ``S_hat = (X W_Q_hat)(X W_K_hat)^T`` per head,
+3. thresholds them into a binary block mask, reduces over the batch
+   dimension, and
+4. snaps each head's mask to the closest atomic pattern from the pool, which
+   is what the layout lookup expects.
+
+Two code paths exist: :meth:`forward` builds an autograd graph (used by the
+offline trainer), while :meth:`predict_patterns` is the allocation-light pure
+NumPy path used inside the fine-tuning hot loop, where the predictor runs
+under ``no_grad`` and its cost is part of the measured overhead (Figure 10).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.sparsity.patterns import PatternPool, block_count, causal_block_mask
+from repro.tensor import Tensor
+
+
+class AttentionPredictor(Module):
+    """Per-head low-rank approximate-score predictor for one attention layer."""
+
+    def __init__(self, dim: int, num_heads: int, rank: int, block_size: int,
+                 pattern_pool: PatternPool, threshold: float = 0.02,
+                 coverage: float = 0.95, seed: int = 0):
+        super().__init__()
+        if rank > dim:
+            raise ValueError("predictor rank must not exceed the model dimension")
+        rng = np.random.default_rng(seed)
+        self.dim = dim
+        self.num_heads = num_heads
+        self.rank = rank
+        self.block_size = block_size
+        self.pattern_pool = pattern_pool
+        self.threshold = threshold
+        self.coverage = coverage
+        scale = 1.0 / np.sqrt(dim)
+        self.w_q = Parameter(rng.normal(0.0, scale, size=(num_heads, dim, rank)).astype(np.float32),
+                             name="predictor.attn.w_q")
+        self.w_k = Parameter(rng.normal(0.0, scale, size=(num_heads, dim, rank)).astype(np.float32),
+                             name="predictor.attn.w_k")
+
+    # -- shared helpers ------------------------------------------------------------
+    def downsample_indices(self, seq_len: int) -> np.ndarray:
+        """One representative position per attention block (centre token)."""
+        n_blocks = block_count(seq_len, self.block_size)
+        centers = np.arange(n_blocks) * self.block_size + self.block_size // 2
+        return np.minimum(centers, seq_len - 1)
+
+    # -- training path (autograd) ----------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:
+        """Approximate block scores ``(batch, heads, n_blocks, n_blocks)``.
+
+        ``x`` is the layer input of shape ``(batch, seq, dim)``; the output is
+        the raw (pre-sigmoid) score of each causal block being important.
+        """
+        batch, seq, dim = x.shape
+        idx = self.downsample_indices(seq)
+        x_ds = x[:, idx, :]                                     # (batch, nb, dim)
+        x_b = x_ds.reshape(batch, 1, len(idx), dim)             # broadcast over heads
+        q_hat = x_b.matmul(self.w_q)                            # (batch, heads, nb, r)
+        k_hat = x_b.matmul(self.w_k)
+        scores = q_hat.matmul(k_hat.swapaxes(-1, -2))           # (batch, heads, nb, nb)
+        return scores * (1.0 / np.sqrt(self.rank))
+
+    # -- inference path (pure NumPy, no graph) -----------------------------------------
+    def approximate_scores(self, x: np.ndarray) -> np.ndarray:
+        """NumPy version of :meth:`forward` used in the fine-tuning hot loop."""
+        x = np.asarray(x)
+        if x.ndim == 2:
+            x = x[None]
+        batch, seq, dim = x.shape
+        idx = self.downsample_indices(seq)
+        x_ds = x[:, idx, :]                                     # (batch, nb, dim)
+        q_hat = np.einsum("bnd,hdr->bhnr", x_ds, self.w_q.data, optimize=True)
+        k_hat = np.einsum("bnd,hdr->bhnr", x_ds, self.w_k.data, optimize=True)
+        scores = np.matmul(q_hat, np.swapaxes(k_hat, -1, -2))
+        return scores / np.sqrt(self.rank)
+
+    def block_masks(self, x: np.ndarray) -> np.ndarray:
+        """Binary per-head block masks ``(heads, n_blocks, n_blocks)``.
+
+        The sigmoid scores are thresholded, reduced over the batch dimension
+        (a block is kept if any sample needs it — the recall-oriented
+        reduction of Figure 5), and restricted to the causal triangle.
+        """
+        scores = self.approximate_scores(x)                     # (batch, heads, nb, nb)
+        probs = 1.0 / (1.0 + np.exp(-scores))
+        keep = probs > (0.5 + self.threshold)
+        keep = keep.any(axis=0)                                 # reduce over batch
+        n_blocks = keep.shape[-1]
+        keep &= causal_block_mask(n_blocks)[None]
+        diag = np.eye(n_blocks, dtype=bool)
+        keep |= diag[None]
+        return keep
+
+    def predict_patterns(self, x: np.ndarray) -> List[str]:
+        """Atomic pattern name per head for the current batch input ``x``.
+
+        Each head's predicted block mass (sigmoid confidence above the 0.5
+        decision boundary, averaged over the batch) is matched against the
+        pool: the cheapest atomic pattern covering at least ``coverage`` of
+        that mass is selected.  Subtracting the 0.5 baseline suppresses the
+        uniform background confidence of clearly-inactive blocks so the
+        matcher sees the same concentrated mass picture the exposer sees.
+        """
+        scores = self.approximate_scores(x)                     # (batch, heads, nb, nb)
+        probs = 1.0 / (1.0 + np.exp(-scores))
+        mass = np.clip(probs - 0.5, 0.0, None).mean(axis=0)     # (heads, nb, nb)
+        n_blocks = mass.shape[-1]
+        mass = mass * causal_block_mask(n_blocks)[None]
+        return self.pattern_pool.match_many(mass, coverage=self.coverage)
+
+    def overhead_flops(self, seq_len: int, batch: int = 1) -> int:
+        """Analytic predictor cost (Cost_Q + Cost_K + Cost_QK of Section V-C)."""
+        nb = block_count(seq_len, self.block_size)
+        cost_q = batch * self.num_heads * nb * self.dim * self.rank
+        cost_k = cost_q
+        cost_qk = batch * self.num_heads * nb * nb * self.rank
+        return int(cost_q + cost_k + cost_qk)
+
+    def extra_repr(self) -> str:
+        return f"heads={self.num_heads}, rank={self.rank}, block={self.block_size}"

@@ -1,0 +1,107 @@
+"""Collection of predictor training data from the frozen model.
+
+Predictors are trained offline on data gathered from inference-style passes
+of the (frozen) backbone — exactly the situation of the paper: "All
+predictors are pre-trained offline using data collected from model
+inference."  For every layer we record
+
+* the input to the attention sub-layer (post-LayerNorm hidden states) and the
+  exact attention probabilities of every head, and
+* the input to the MLP sub-layer and the post-ReLU activations.
+
+The recorded inputs become predictor inputs; the exposer converts the exact
+probabilities / activations into the binary block labels the predictors are
+trained against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.models.base import CausalLMModel
+from repro.nn.attention import causal_mask
+from repro.tensor import Tensor, no_grad
+
+
+@dataclass
+class CollectedLayerData:
+    """Per-layer recordings across all collection batches."""
+
+    attention_inputs: List[np.ndarray] = field(default_factory=list)   # (batch, seq, dim)
+    attention_probs: List[np.ndarray] = field(default_factory=list)    # (batch, heads, seq, seq)
+    mlp_inputs: List[np.ndarray] = field(default_factory=list)         # (batch, seq, dim)
+    mlp_activations: List[np.ndarray] = field(default_factory=list)    # (batch, seq, hidden)
+
+    def merged(self) -> Dict[str, np.ndarray]:
+        """Concatenate recordings along the batch axis."""
+        return {
+            "attention_inputs": np.concatenate(self.attention_inputs, axis=0),
+            "attention_probs": np.concatenate(self.attention_probs, axis=0),
+            "mlp_inputs": np.concatenate(self.mlp_inputs, axis=0),
+            "mlp_activations": np.concatenate(self.mlp_activations, axis=0),
+        }
+
+
+def _dense_attention_probs(attention, x_norm: Tensor,
+                           mask: np.ndarray) -> np.ndarray:
+    """Recompute the attention probabilities of a layer for data collection."""
+    q = attention.split_heads(attention.q_proj(x_norm)).data
+    k = attention.split_heads(attention.k_proj(x_norm)).data
+    scale = 1.0 / np.sqrt(attention.head_dim)
+    scores = np.matmul(q, np.swapaxes(k, -1, -2)) * scale
+    scores = np.where(mask, scores, -1e9)
+    scores = scores - scores.max(axis=-1, keepdims=True)
+    probs = np.exp(scores) * mask
+    denom = probs.sum(axis=-1, keepdims=True)
+    return probs / np.where(denom == 0, 1.0, denom)
+
+
+def collect_layer_data(model: CausalLMModel, batches: Iterable[np.ndarray],
+                       max_batches: Optional[int] = None) -> List[CollectedLayerData]:
+    """Run inference passes and record per-layer predictor training data.
+
+    Parameters
+    ----------
+    model:
+        The (frozen) backbone model — collection must happen *before* PEFT
+        wrapping so the recorded statistics describe the pre-trained weights.
+    batches:
+        Iterable of integer token-id arrays of shape ``(batch, seq)``.
+    max_batches:
+        Optional cap on the number of batches to record.
+
+    Returns
+    -------
+    list of :class:`CollectedLayerData`, one entry per transformer layer.
+    """
+    layers = [CollectedLayerData() for _ in model.blocks]
+    with no_grad():
+        for index, batch in enumerate(batches):
+            if max_batches is not None and index >= max_batches:
+                break
+            input_ids = np.asarray(batch)
+            if input_ids.ndim == 1:
+                input_ids = input_ids[None, :]
+            bsz, seq = input_ids.shape
+            mask = causal_mask(seq)
+            positions = np.broadcast_to(np.arange(seq), (bsz, seq))
+            hidden = (model.token_embedding(input_ids)
+                      + model.position_embedding(positions))
+            for layer_idx, block in enumerate(model.blocks):
+                record = layers[layer_idx]
+                x_norm = block.attn_norm(hidden)
+                record.attention_inputs.append(x_norm.data.copy())
+                record.attention_probs.append(
+                    _dense_attention_probs(block.attention, x_norm, mask))
+                hidden = hidden + block.attention(x_norm, attn_mask=mask)
+
+                x_norm2 = block.mlp_norm(hidden)
+                record.mlp_inputs.append(x_norm2.data.copy())
+                pre = block.mlp.fc1(x_norm2)
+                act = block.mlp.activation(pre)
+                record.mlp_activations.append(act.data.copy())
+                hidden = hidden + block.mlp.fc2(act)
+    return layers

@@ -1,0 +1,79 @@
+"""MLP neuron-block predictor (paper Section V, Figure 5b).
+
+A single trainable matrix ``W_A_hat ∈ R^{d×n_blk}`` maps each token to a
+score per neuron block; thresholding and a reduction over the batch and
+sequence dimensions produce the active-block set for the whole input.  The
+same prediction is applied to both linear layers of the MLP because their
+activation patterns are coupled (a dead hidden neuron kills a column of fc1
+and a row of fc2 simultaneously).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+
+class MLPPredictor(Module):
+    """Low-rank neuron-block activity predictor for one MLP layer."""
+
+    def __init__(self, dim: int, hidden_dim: int, block_size: int,
+                 threshold: float = 0.5, min_active_blocks: int = 1, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.dim = dim
+        self.hidden_dim = hidden_dim
+        self.block_size = block_size
+        self.n_blocks = -(-hidden_dim // block_size)
+        self.threshold = threshold
+        self.min_active_blocks = max(1, int(min_active_blocks))
+        scale = 1.0 / np.sqrt(dim)
+        self.w_a = Parameter(rng.normal(0.0, scale, size=(dim, self.n_blocks)).astype(np.float32),
+                             name="predictor.mlp.w_a")
+        self.bias = Parameter(np.zeros(self.n_blocks, dtype=np.float32),
+                              name="predictor.mlp.bias")
+
+    # -- training path (autograd) -----------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:
+        """Per-token block logits ``(batch, seq, n_blocks)`` (pre-sigmoid)."""
+        return x.matmul(self.w_a) + self.bias
+
+    # -- inference path (pure NumPy) ----------------------------------------------------
+    def block_scores(self, x: np.ndarray) -> np.ndarray:
+        """Sequence-level block scores.
+
+        Stage one scores every token independently (sigmoid of the per-token
+        logits); stage two consolidates them into one score per block by
+        averaging over the batch and sequence dimensions — the fraction of
+        tokens for which the block is important.  Blocks that only a handful
+        of tokens care about therefore score low, mirroring the exposer's
+        sequence-level importance filter.
+        """
+        x = np.asarray(x)
+        if x.ndim == 2:
+            x = x[None]
+        logits = x.reshape(-1, self.dim) @ self.w_a.data + self.bias.data
+        probs = 1.0 / (1.0 + np.exp(-logits))
+        return probs.mean(axis=0)
+
+    def predict_active_blocks(self, x: np.ndarray) -> np.ndarray:
+        """Indices of neuron blocks predicted active for the whole input."""
+        scores = self.block_scores(x)
+        active = np.nonzero(scores >= self.threshold)[0]
+        if active.size < self.min_active_blocks:
+            active = np.argsort(scores)[::-1][:self.min_active_blocks]
+            active = np.sort(active)
+        return active.astype(np.int64)
+
+    def overhead_flops(self, seq_len: int, batch: int = 1) -> int:
+        """Analytic predictor cost (Cost_A + Cost_AND of Section V-C)."""
+        cost_a = batch * seq_len * self.dim * self.n_blocks
+        cost_and = batch * seq_len
+        return int(cost_a + cost_and)
+
+    def extra_repr(self) -> str:
+        return f"dim={self.dim}, blocks={self.n_blocks}, block_size={self.block_size}"

@@ -1,0 +1,196 @@
+"""Offline predictor training (paper Section V-B).
+
+Both optimisations the paper prescribes are implemented here:
+
+* **noise augmentation** — Gaussian noise is added to the recorded inputs so
+  the predictors do not overfit the exact pre-trained activations and stay
+  robust while the PEFT parameters evolve during fine-tuning;
+* **recall-weighted loss** — the BCE positive class (block *is* needed) is
+  up-weighted, because predicting an active block as inactive damages the
+  model output, whereas the opposite error only costs a little extra compute.
+
+Training uses the same Adam optimizer as the main stack; the predictors are
+tiny (rank ``r << d``), so a few dozen epochs converge in well under a second
+even on the CPU substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.optim import Adam
+from repro.sparsity.exposer import AttentionExposer, MLPExposer
+from repro.sparsity.patterns import causal_block_mask
+from repro.sparsity.predictor.attention import AttentionPredictor
+from repro.sparsity.predictor.mlp import MLPPredictor
+from repro.tensor import Tensor, functional as F
+
+
+@dataclass
+class PredictorTrainingConfig:
+    """Schedule and regularisation of offline predictor training."""
+
+    epochs: int = 30
+    lr: float = 1e-2
+    batch_size: int = 16
+    noise_std: float = 0.02
+    pos_weight: float = 4.0
+    seed: int = 0
+
+
+@dataclass
+class PredictorMetrics:
+    """Quality of a trained predictor on its training data (labels are cheap)."""
+
+    recall: float
+    precision: float
+    loss: float
+    epochs: int
+
+    def summary(self) -> str:
+        return f"recall={self.recall:.4f} precision={self.precision:.4f} loss={self.loss:.4f}"
+
+
+def _recall_precision(pred: np.ndarray, target: np.ndarray) -> Tuple[float, float]:
+    pred = np.asarray(pred, dtype=bool)
+    target = np.asarray(target, dtype=bool)
+    true_pos = float((pred & target).sum())
+    recall = true_pos / max(float(target.sum()), 1.0)
+    precision = true_pos / max(float(pred.sum()), 1.0)
+    return recall, precision
+
+
+# ---------------------------------------------------------------------------
+# attention predictor
+# ---------------------------------------------------------------------------
+
+def attention_block_labels(exposer: AttentionExposer, probs: np.ndarray) -> np.ndarray:
+    """Per-sample, per-head binary block labels from exact attention probs."""
+    probs = np.asarray(probs)
+    labels = []
+    for i in range(probs.shape[0]):
+        labels.append(exposer.raw_block_masks(probs[i:i + 1]))
+    return np.stack(labels).astype(np.float32)       # (batch, heads, nb, nb)
+
+
+def train_attention_predictor(predictor: AttentionPredictor,
+                              inputs: np.ndarray, probs: np.ndarray,
+                              exposer: AttentionExposer,
+                              config: Optional[PredictorTrainingConfig] = None
+                              ) -> PredictorMetrics:
+    """Train one layer's attention predictor on collected data.
+
+    Parameters
+    ----------
+    inputs:
+        Recorded layer inputs ``(n_samples, seq, dim)``.
+    probs:
+        Exact attention probabilities ``(n_samples, heads, seq, seq)``.
+    """
+    config = config or PredictorTrainingConfig()
+    rng = np.random.default_rng(config.seed)
+    labels = attention_block_labels(exposer, probs)
+    n_blocks = labels.shape[-1]
+    causal = causal_block_mask(n_blocks).astype(np.float32)
+
+    optimizer = Adam(predictor.trainable_parameters(), lr=config.lr)
+    n_samples = inputs.shape[0]
+    last_loss = 0.0
+    for _ in range(config.epochs):
+        order = rng.permutation(n_samples)
+        for start in range(0, n_samples, config.batch_size):
+            idx = order[start:start + config.batch_size]
+            x = inputs[idx]
+            if config.noise_std > 0:
+                x = x + rng.normal(0.0, config.noise_std, size=x.shape).astype(np.float32)
+            target = labels[idx] * causal
+            logits = predictor(Tensor(x))
+            loss = F.binary_cross_entropy_with_logits(logits, target,
+                                                      pos_weight=config.pos_weight)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            last_loss = float(loss.data)
+
+    # Evaluate block-level recall/precision on the clean training inputs.
+    scores = predictor.approximate_scores(inputs)
+    pred = (1.0 / (1.0 + np.exp(-scores))) > 0.5
+    pred = pred & causal.astype(bool)[None, None]
+    target = (labels > 0.5) & causal.astype(bool)[None, None]
+    recall, precision = _recall_precision(pred, target)
+    return PredictorMetrics(recall=recall, precision=precision,
+                            loss=last_loss, epochs=config.epochs)
+
+
+# ---------------------------------------------------------------------------
+# MLP predictor
+# ---------------------------------------------------------------------------
+
+def mlp_token_block_labels(activations: np.ndarray, block_size: int,
+                           threshold: float = 0.02) -> np.ndarray:
+    """Per-token binary labels: is this neuron block *important* for the token?
+
+    Importance is the block's share of the token's activation mass relative to
+    the token's peak block, thresholded the same way the exposer filters the
+    sequence-level pattern — so the predictor learns the filtered pattern the
+    operators will actually execute, not the raw (shadowy) activity.
+    """
+    activations = np.asarray(activations)
+    batch, seq, hidden = activations.shape
+    n_blocks = -(-hidden // block_size)
+    padded = n_blocks * block_size
+    mass = np.abs(activations).astype(np.float32)
+    if padded != hidden:
+        mass = np.pad(mass, ((0, 0), (0, 0), (0, padded - hidden)))
+    block_mass = mass.reshape(batch, seq, n_blocks, block_size).sum(axis=-1)
+    peak = np.maximum(block_mass.max(axis=-1, keepdims=True), 1e-12)
+    return (block_mass >= threshold * peak).astype(np.float32)
+
+
+def train_mlp_predictor(predictor: MLPPredictor,
+                        inputs: np.ndarray, activations: np.ndarray,
+                        exposer: MLPExposer,
+                        config: Optional[PredictorTrainingConfig] = None
+                        ) -> PredictorMetrics:
+    """Train one layer's MLP neuron-block predictor on collected data."""
+    config = config or PredictorTrainingConfig()
+    rng = np.random.default_rng(config.seed)
+    token_labels = mlp_token_block_labels(activations, predictor.block_size,
+                                          threshold=exposer.threshold)
+
+    optimizer = Adam(predictor.trainable_parameters(), lr=config.lr)
+    n_samples = inputs.shape[0]
+    last_loss = 0.0
+    for _ in range(config.epochs):
+        order = rng.permutation(n_samples)
+        for start in range(0, n_samples, config.batch_size):
+            idx = order[start:start + config.batch_size]
+            x = inputs[idx]
+            if config.noise_std > 0:
+                x = x + rng.normal(0.0, config.noise_std, size=x.shape).astype(np.float32)
+            target = token_labels[idx]
+            logits = predictor(Tensor(x))
+            loss = F.binary_cross_entropy_with_logits(logits, target,
+                                                      pos_weight=config.pos_weight)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            last_loss = float(loss.data)
+
+    # Sequence-level evaluation against the exposer's ground-truth block sets
+    # (this is the recall the paper reports: 96.35 % on average).
+    recalls, precisions = [], []
+    for i in range(n_samples):
+        truth = np.zeros(predictor.n_blocks, dtype=bool)
+        truth[exposer.active_blocks(activations[i:i + 1])] = True
+        pred = np.zeros(predictor.n_blocks, dtype=bool)
+        pred[predictor.predict_active_blocks(inputs[i:i + 1])] = True
+        r, p = _recall_precision(pred, truth)
+        recalls.append(r)
+        precisions.append(p)
+    return PredictorMetrics(recall=float(np.mean(recalls)),
+                            precision=float(np.mean(precisions)),
+                            loss=last_loss, epochs=config.epochs)

@@ -1,0 +1,224 @@
+"""Composite differentiable functions built on top of :class:`Tensor`.
+
+These mirror the subset of ``torch.nn.functional`` that transformer
+fine-tuning needs: softmax, layer normalisation, dropout, masked attention
+softmax and the token-level cross entropy loss.  Each function registers a
+fused backward closure rather than composing many elementary ops, which keeps
+the tape short and the Python overhead per training step low — important
+because the benchmarks time real wall-clock of these kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, custom_op
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis`` with a fused backward."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        dot = (grad * probs).sum(axis=axis, keepdims=True)
+        return ((grad - dot) * probs,)
+
+    return custom_op(probs, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax with fused backward (used by the LM loss)."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - logsumexp
+    probs = np.exp(out)
+
+    def backward(grad):
+        return (grad - probs * grad.sum(axis=axis, keepdims=True),)
+
+    return custom_op(out, (x,), backward)
+
+
+def masked_softmax(scores: Tensor, mask: Optional[np.ndarray], axis: int = -1,
+                   neg_fill: float = -1e9) -> Tensor:
+    """Softmax over attention scores with an additive boolean mask.
+
+    ``mask`` follows the convention "True = keep, False = drop"; dropped
+    positions receive probability (numerically) zero.  Rows that are fully
+    masked produce a uniform distribution over the row instead of NaNs, which
+    can happen for padded sequences or extremely sparse attention patterns.
+    """
+    data = scores.data
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        data = np.where(mask, data, neg_fill)
+    shifted = data - data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    if mask is not None:
+        exp = exp * mask
+    denom = exp.sum(axis=axis, keepdims=True)
+    safe_denom = np.where(denom == 0, 1.0, denom)
+    probs = exp / safe_denom
+
+    def backward(grad):
+        if mask is not None:
+            grad = grad * mask
+        dot = (grad * probs).sum(axis=axis, keepdims=True)
+        return ((grad - dot) * probs,)
+
+    return custom_op(probs, (scores,), backward)
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last dimension with affine parameters."""
+    mean = x.data.mean(axis=-1, keepdims=True)
+    centered = x.data - mean
+    var = (centered ** 2).mean(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    normalized = centered * inv_std
+    out = normalized * weight.data + bias.data
+    dim = x.data.shape[-1]
+
+    def backward(grad):
+        grad_weight = (grad * normalized).reshape(-1, dim).sum(axis=0)
+        grad_bias = grad.reshape(-1, dim).sum(axis=0)
+        grad_norm = grad * weight.data
+        grad_x = inv_std * (
+            grad_norm
+            - grad_norm.mean(axis=-1, keepdims=True)
+            - normalized * (grad_norm * normalized).mean(axis=-1, keepdims=True)
+        )
+        return grad_x, grad_weight, grad_bias
+
+    return custom_op(out, (x, weight, bias), backward)
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout; identity when ``training`` is False or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    rng = rng if rng is not None else np.random.default_rng()
+    keep = (rng.random(x.data.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    data = x.data * keep
+
+    def backward(grad):
+        return (grad * keep,)
+
+    return custom_op(data, (x,), backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with a fused backward.
+
+    ``weight`` has shape ``(out_features, in_features)`` following the
+    PyTorch convention so that checkpoint-style configs translate directly.
+    """
+    x_data = x.data
+    out = np.matmul(x_data, weight.data.T)
+    if bias is not None:
+        out = out + bias.data
+    in_features = weight.data.shape[1]
+    out_features = weight.data.shape[0]
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad):
+        grad2d = grad.reshape(-1, out_features)
+        x2d = x_data.reshape(-1, in_features)
+        grad_x = np.matmul(grad, weight.data).reshape(x_data.shape)
+        grad_w = np.matmul(grad2d.T, x2d)
+        if bias is None:
+            return grad_x, grad_w
+        grad_b = grad2d.sum(axis=0)
+        return grad_x, grad_w, grad_b
+
+    return custom_op(out, parents, backward)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  ignore_index: int = -100) -> Tuple[Tensor, int]:
+    """Token-level cross entropy for language modelling.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(batch, seq, vocab)`` (or ``(N, vocab)``).
+    targets:
+        Integer array of shape ``(batch, seq)`` (or ``(N,)``); positions equal
+        to ``ignore_index`` do not contribute to the loss.
+
+    Returns
+    -------
+    (loss, n_valid):
+        The mean negative log-likelihood over valid positions and the number
+        of valid positions (useful for aggregating across batches).
+    """
+    targets = np.asarray(targets)
+    vocab = logits.data.shape[-1]
+    flat_logits = logits.data.reshape(-1, vocab)
+    flat_targets = targets.reshape(-1)
+    valid = flat_targets != ignore_index
+    n_valid = int(valid.sum())
+    safe_targets = np.where(valid, flat_targets, 0)
+
+    shifted = flat_logits - flat_logits.max(axis=-1, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_probs = shifted - logsumexp
+    picked = log_probs[np.arange(flat_targets.shape[0]), safe_targets]
+    losses = -picked * valid
+    denom = max(n_valid, 1)
+    loss_value = losses.sum() / denom
+
+    probs = np.exp(log_probs)
+
+    def backward(grad):
+        grad = np.asarray(grad).reshape(())
+        grad_flat = probs.copy()
+        grad_flat[np.arange(flat_targets.shape[0]), safe_targets] -= 1.0
+        grad_flat *= (valid[:, None] / denom) * grad
+        return (grad_flat.reshape(logits.data.shape),)
+
+    loss = custom_op(np.asarray(loss_value, dtype=np.float32), (logits,), backward)
+    return loss, n_valid
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray,
+                                     pos_weight: float = 1.0) -> Tensor:
+    """Element-wise BCE with logits; ``pos_weight`` up-weights positives.
+
+    This is the loss used for predictor training: the paper prioritises
+    recall over precision ("weights that should be active but are predicted
+    inactive hurt the most"), which is realised by ``pos_weight > 1``.
+    """
+    targets = np.asarray(targets, dtype=np.float32)
+    x = logits.data
+    sig = 1.0 / (1.0 + np.exp(-x))
+    eps = 1e-12
+    per_elem = -(pos_weight * targets * np.log(sig + eps)
+                 + (1.0 - targets) * np.log(1.0 - sig + eps))
+    loss_value = per_elem.mean()
+    count = x.size
+
+    def backward(grad):
+        grad = np.asarray(grad).reshape(())
+        local = (pos_weight * targets * (sig - 1.0) + (1.0 - targets) * sig)
+        return (grad * local / count,)
+
+    return custom_op(np.asarray(loss_value, dtype=np.float32), (logits,), backward)
+
+
+def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target array."""
+    target = np.asarray(target, dtype=pred.data.dtype)
+    diff = pred.data - target
+    value = (diff ** 2).mean()
+    count = diff.size
+
+    def backward(grad):
+        grad = np.asarray(grad).reshape(())
+        return (grad * 2.0 * diff / count,)
+
+    return custom_op(np.asarray(value, dtype=np.float32), (pred,), backward)

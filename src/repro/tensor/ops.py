@@ -1,0 +1,18 @@
+"""Free-function tensor operations re-exported for convenient importing.
+
+The elementary operations live as methods on :class:`repro.tensor.Tensor`;
+graph-level helpers (concatenation, stacking, embedding lookup and the
+``custom_op`` extension hook used by the sparse kernels) are defined in
+:mod:`repro.tensor.tensor` and surfaced here under a stable module path.
+"""
+
+from repro.tensor.tensor import (
+    Tensor,
+    concatenate,
+    custom_op,
+    embedding_lookup,
+    stack,
+    where,
+)
+
+__all__ = ["Tensor", "concatenate", "custom_op", "embedding_lookup", "stack", "where"]

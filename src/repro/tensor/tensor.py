@@ -1,0 +1,596 @@
+"""Core :class:`Tensor` type with reverse-mode automatic differentiation.
+
+The engine follows the classic tape-based design: every differentiable
+operation produces a new ``Tensor`` that remembers its parents and a closure
+computing the local vector-Jacobian product.  Calling :meth:`Tensor.backward`
+performs a topological sort of the recorded graph and accumulates gradients
+into the ``grad`` attribute of every tensor created with
+``requires_grad=True``.
+
+Only the operations needed by the transformer / PEFT / LongExposure stack are
+implemented, but they are implemented for arbitrary batch dimensions with
+full NumPy broadcasting semantics so that the same code path serves the tiny
+unit-test models and the benchmark models.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, "Tensor", Sequence]
+
+# ---------------------------------------------------------------------------
+# global autograd switch (mirrors torch.no_grad)
+# ---------------------------------------------------------------------------
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradient information."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction.
+
+    Used for inference-style passes such as predictor data collection and
+    downstream-task evaluation where gradients are not needed; it keeps the
+    memory footprint of those passes at the inference level, matching the
+    paper's observation that PEFT forward passes mirror inference.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it matches ``shape`` after broadcasting.
+
+    NumPy broadcasting may have expanded the operand along leading axes or
+    along axes of size one; the corresponding gradient must be summed back.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over extra leading dimensions.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over broadcast (size-1) dimensions.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
+    if isinstance(value, Tensor):
+        value = value.data
+    array = np.asarray(value)
+    if dtype is not None and array.dtype != dtype:
+        array = array.astype(dtype)
+    elif array.dtype == np.float64:
+        # Default compute precision mirrors the paper's FP32 activations.
+        array = array.astype(np.float32)
+    return array
+
+
+class Tensor:
+    """A NumPy array plus the bookkeeping needed for reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to ``numpy.ndarray``.  Float64 inputs are
+        down-cast to float32, the default compute precision of the stack.
+    requires_grad:
+        Whether gradients should be accumulated for this tensor.
+    name:
+        Optional human-readable label used in profiling and debugging output.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "name", "_backward", "_parents")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = ""):
+        self.data: np.ndarray = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self.name = name
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+
+    # -- basic introspection ------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numel(self) -> int:
+        return int(self.data.size)
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=False, name=self.name)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad, name=self.name)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.data.shape}, dtype={self.data.dtype}{flag}{label})"
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    # -- graph construction helpers -----------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: Iterable["Tensor"],
+              backward: Optional[Callable[[np.ndarray], None]]) -> "Tensor":
+        parents = tuple(parents)
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    # -- backward pass --------------------------------------------------------
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Back-propagate from this tensor through the recorded graph.
+
+        ``grad`` defaults to ones for scalar outputs (the typical loss case).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+
+        # Topological order via iterative DFS (avoids recursion limits for
+        # deep transformer graphs).
+        topo: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and node._backward is None:
+                # Leaf tensor (parameter or input with requires_grad).
+                node._accumulate(node_grad)
+                continue
+            if node._backward is None:
+                continue
+            parent_grads = node._backward(node_grad)
+            if parent_grads is None:
+                continue
+            if not isinstance(parent_grads, tuple):
+                parent_grads = (parent_grads,)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                pgrad = _unbroadcast(np.asarray(pgrad, dtype=parent.data.dtype), parent.data.shape)
+                if parent._backward is None and parent._parents == ():
+                    parent._accumulate(pgrad)
+                else:
+                    existing = grads.get(id(parent))
+                    grads[id(parent)] = pgrad if existing is None else existing + pgrad
+                    # keep a reference so intermediate gradients survive until use
+                    if parent.requires_grad and parent._backward is None:
+                        parent._accumulate(pgrad)
+
+    # -- arithmetic -----------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data + other.data
+
+        def backward(grad):
+            return grad, grad
+
+        return Tensor._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad):
+            return (-grad,)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data - other.data
+
+        def backward(grad):
+            return grad, -grad
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other) - self
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data * other.data
+        a, b = self, other
+
+        def backward(grad):
+            return grad * b.data, grad * a.data
+
+        return Tensor._make(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data / other.data
+        a, b = self, other
+
+        def backward(grad):
+            return grad / b.data, -grad * a.data / (b.data ** 2)
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported")
+        data = self.data ** exponent
+        base = self
+
+        def backward(grad):
+            return (grad * exponent * base.data ** (exponent - 1),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        return self.matmul(other)
+
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        """Batched matrix multiplication with broadcasting over batch dims."""
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = np.matmul(self.data, other.data)
+        a, b = self, other
+
+        def backward(grad):
+            a_data, b_data = a.data, b.data
+            if b_data.ndim == 1:
+                grad_a = np.multiply.outer(grad, b_data) if a_data.ndim > 1 else grad * b_data
+                grad_b = np.tensordot(grad, a_data, axes=(range(grad.ndim), range(a_data.ndim - 1)))
+                return grad_a, grad_b
+            if a_data.ndim == 1:
+                grad_a = np.matmul(grad, np.swapaxes(b_data, -1, -2))
+                grad_b = np.multiply.outer(a_data, grad)
+                return grad_a, grad_b
+            grad_a = np.matmul(grad, np.swapaxes(b_data, -1, -2))
+            grad_b = np.matmul(np.swapaxes(a_data, -1, -2), grad)
+            return _unbroadcast(grad_a, a_data.shape), _unbroadcast(grad_b, b_data.shape)
+
+        return Tensor._make(data, (self, other), backward)
+
+    # -- elementwise nonlinearities -------------------------------------------
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(grad):
+            return (grad * data,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        base = self
+
+        def backward(grad):
+            return (grad / base.data,)
+
+        return Tensor._make(np.log(self.data), (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+
+        def backward(grad):
+            return (grad * 0.5 / data,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(grad):
+            return (grad * (1.0 - data ** 2),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad):
+            return (grad * data * (1.0 - data),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        data = self.data * mask
+
+        def backward(grad):
+            return (grad * mask,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def gelu(self) -> "Tensor":
+        """Gaussian error linear unit (tanh approximation, as used by GPT-2)."""
+        x = self.data
+        c = np.sqrt(2.0 / np.pi).astype(np.float32)
+        inner = c * (x + 0.044715 * x ** 3)
+        tanh_inner = np.tanh(inner)
+        data = 0.5 * x * (1.0 + tanh_inner)
+
+        def backward(grad):
+            sech2 = 1.0 - tanh_inner ** 2
+            d_inner = c * (1.0 + 3 * 0.044715 * x ** 2)
+            local = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
+            return (grad * local,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+
+        def backward(grad):
+            return (grad * sign,)
+
+        return Tensor._make(np.abs(self.data), (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        mask = (self.data >= low) & (self.data <= high)
+        data = np.clip(self.data, low, high)
+
+        def backward(grad):
+            return (grad * mask,)
+
+        return Tensor._make(data, (self,), backward)
+
+    # -- reductions -------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.data.shape
+
+        def backward(grad):
+            grad = np.asarray(grad)
+            if axis is None:
+                return (np.broadcast_to(grad, shape).copy(),)
+            if not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                for ax in sorted(a % len(shape) for a in axes):
+                    grad = np.expand_dims(grad, ax)
+            return (np.broadcast_to(grad, shape).copy(),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mean = self.mean(axis=axis, keepdims=True)
+        centered = self - mean
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+        base = self
+
+        def backward(grad):
+            grad = np.asarray(grad)
+            if axis is None:
+                mask = (base.data == data)
+                return (mask * grad / mask.sum(),)
+            expanded = data if keepdims else np.expand_dims(data, axis)
+            g = grad if keepdims else np.expand_dims(grad, axis)
+            mask = (base.data == expanded)
+            counts = mask.sum(axis=axis, keepdims=True)
+            return (mask * g / counts,)
+
+        return Tensor._make(data, (self,), backward)
+
+    # -- shape manipulation -----------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+        data = self.data.reshape(shape)
+
+        def backward(grad):
+            return (grad.reshape(original),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad):
+            return (grad.transpose(inverse),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.data.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(*axes)
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+        shape = self.data.shape
+        dtype = self.data.dtype
+
+        # Basic indexing (slices / ints / None) never selects the same element
+        # twice, so the gradient can be written with a cheap assignment; only
+        # advanced indexing (arrays, boolean masks) needs the scatter-add.
+        index_parts = index if isinstance(index, tuple) else (index,)
+        advanced = any(isinstance(part, (np.ndarray, list)) or
+                       (isinstance(part, Tensor)) for part in index_parts)
+
+        def backward(grad):
+            full = np.zeros(shape, dtype=dtype)
+            if advanced:
+                np.add.at(full, index, grad)
+            else:
+                full[index] = grad
+            return (full,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def pad_sequence_dim(self, axis: int, before: int, after: int) -> "Tensor":
+        """Zero-pad along ``axis`` (used by prefix-tuning and block rounding)."""
+        pad = [(0, 0)] * self.data.ndim
+        pad[axis] = (before, after)
+        data = np.pad(self.data, pad)
+        slicer = [slice(None)] * self.data.ndim
+        slicer[axis] = slice(before, before + self.data.shape[axis])
+        slicer = tuple(slicer)
+
+        def backward(grad):
+            return (grad[slicer],)
+
+        return Tensor._make(data, (self,), backward)
+
+    # -- comparison helpers (non-differentiable, return numpy) -------------------
+    def argmax(self, axis=None) -> np.ndarray:
+        return self.data.argmax(axis=axis)
+
+    def __gt__(self, other) -> np.ndarray:
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data > other
+
+    def __lt__(self, other) -> np.ndarray:
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data < other
+
+
+# ---------------------------------------------------------------------------
+# free functions on tensors
+# ---------------------------------------------------------------------------
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable concatenation along ``axis``."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+
+    def backward(grad):
+        grads = []
+        start = 0
+        for size in sizes:
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(start, start + size)
+            grads.append(grad[tuple(slicer)])
+            start += size
+        return tuple(grads)
+
+    return Tensor._make(data, tensors, backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable stack along a new ``axis``."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        return tuple(np.take(grad, i, axis=axis) for i in range(len(tensors)))
+
+    return Tensor._make(data, tensors, backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable selection; ``condition`` is a plain boolean array."""
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    condition = np.asarray(condition)
+    data = np.where(condition, a.data, b.data)
+
+    def backward(grad):
+        return grad * condition, grad * (~condition if condition.dtype == bool else 1 - condition)
+
+    return Tensor._make(data, (a, b), backward)
+
+
+def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``weight`` for integer ``indices`` (token embedding)."""
+    indices = np.asarray(indices)
+    data = weight.data[indices]
+    vocab, dim = weight.data.shape
+
+    def backward(grad):
+        full = np.zeros((vocab, dim), dtype=weight.data.dtype)
+        np.add.at(full, indices.reshape(-1), grad.reshape(-1, dim))
+        return (full,)
+
+    return Tensor._make(data, (weight,), backward)
+
+
+def custom_op(data: np.ndarray, parents: Sequence[Tensor],
+              backward: Callable[[np.ndarray], Tuple[Optional[np.ndarray], ...]]) -> Tensor:
+    """Public hook for registering custom primitives (used by sparse ops)."""
+    return Tensor._make(np.asarray(data), parents, backward)

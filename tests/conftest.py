@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite.
+
+Model construction and predictor preparation are comparatively expensive on
+the CPU substrate, so the fixtures that need them are session-scoped and the
+tests treat the returned objects as read-only (or clone what they mutate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.sparsity import LongExposure, LongExposureConfig
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_model():
+    """A small OPT model shared by read-only tests."""
+    return build_model("opt-tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_batches():
+    generator = np.random.default_rng(7)
+    return [generator.integers(0, 512, size=(2, 64)) for _ in range(2)]
+
+
+@pytest.fixture(scope="session")
+def prepared_engine(tiny_batches):
+    """A LongExposure engine prepared (predictors trained) on a tiny model."""
+    model = build_model("opt-tiny", seed=0)
+    config = LongExposureConfig(block_size=16, predictor_epochs=4, seed=0)
+    engine = LongExposure(config)
+    engine.prepare(model, tiny_batches)
+    return model, engine

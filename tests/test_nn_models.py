@@ -1,0 +1,202 @@
+"""Tests of the nn module library and the OPT / GPT-2 model families."""
+
+import numpy as np
+import pytest
+
+from repro.models import GPT2Model, OPTModel, build_model, get_config, list_configs
+from repro.models.config import PAPER_TO_EXECUTABLE, ModelConfig, register_config
+from repro.nn import (
+    Dropout,
+    Embedding,
+    GELU,
+    LayerNorm,
+    Linear,
+    MLPBlock,
+    Module,
+    ModuleList,
+    MultiHeadAttention,
+    Parameter,
+    ReLU,
+    TransformerBlock,
+)
+from repro.nn.attention import causal_mask
+from repro.tensor import Tensor
+
+
+class TestModuleSystem:
+    def test_parameter_discovery_is_recursive(self):
+        block = TransformerBlock(dim=16, num_heads=2, hidden_dim=32)
+        names = [name for name, _ in block.named_parameters()]
+        assert any("attention.q_proj.weight" in n for n in names)
+        assert any("mlp.fc1.bias" in n for n in names)
+        assert block.num_parameters() == sum(p.numel() for p in block.parameters())
+
+    def test_freeze_and_trainable_parameters(self):
+        layer = Linear(4, 4)
+        assert len(layer.trainable_parameters()) == 2
+        layer.freeze()
+        assert layer.trainable_parameters() == []
+        layer.unfreeze()
+        assert len(layer.trainable_parameters()) == 2
+
+    def test_state_dict_roundtrip(self):
+        a = Linear(3, 5, rng=np.random.default_rng(0))
+        b = Linear(3, 5, rng=np.random.default_rng(1))
+        assert not np.allclose(a.weight.data, b.weight.data)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_state_dict_strict_mismatch_raises(self):
+        a = Linear(3, 5)
+        with pytest.raises(KeyError):
+            a.load_state_dict({"weight": a.weight.data})  # missing bias
+
+    def test_module_list_indexing(self):
+        layers = ModuleList([Linear(2, 2) for _ in range(3)])
+        assert len(layers) == 3
+        assert isinstance(layers[1], Linear)
+        assert len(list(layers.named_parameters())) == 6
+
+    def test_train_eval_propagates(self):
+        block = TransformerBlock(dim=8, num_heads=2, hidden_dim=16, dropout=0.1)
+        block.eval()
+        assert not block.attention.dropout.training
+        block.train()
+        assert block.mlp.dropout.training
+
+
+class TestLayers:
+    def test_linear_shapes_and_bias(self):
+        layer = Linear(6, 3)
+        out = layer(Tensor(np.ones((2, 5, 6), dtype=np.float32)))
+        assert out.shape == (2, 5, 3)
+        no_bias = Linear(6, 3, bias=False)
+        assert no_bias.bias is None
+
+    def test_embedding_out_of_range_raises(self):
+        emb = Embedding(10, 4)
+        with pytest.raises(IndexError):
+            emb(np.array([11]))
+
+    def test_layernorm_parameters_learnable(self):
+        norm = LayerNorm(8)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 8)).astype(np.float32))
+        out = norm(x)
+        out.sum().backward()
+        assert norm.weight.grad is not None and norm.bias.grad is not None
+
+    def test_dropout_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_activation_factory(self):
+        from repro.nn import get_activation
+        assert isinstance(get_activation("relu"), ReLU)
+        assert isinstance(get_activation("gelu"), GELU)
+        with pytest.raises(KeyError):
+            get_activation("swish")
+
+
+class TestAttentionAndMLP:
+    def test_attention_output_shape_and_causality(self):
+        attn = MultiHeadAttention(dim=16, num_heads=4)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 6, 16)).astype(np.float32))
+        out = attn(x)
+        assert out.shape == (2, 6, 16)
+
+    def test_attention_rejects_bad_head_count(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(dim=10, num_heads=3)
+
+    def test_causal_mask_is_lower_triangular(self):
+        mask = causal_mask(5)
+        assert mask[0, 0] and not mask[0, 4] and mask[4, 0]
+
+    def test_split_merge_heads_roundtrip(self):
+        attn = MultiHeadAttention(dim=8, num_heads=2)
+        x = Tensor(np.arange(2 * 3 * 8, dtype=np.float32).reshape(2, 3, 8))
+        np.testing.assert_allclose(attn.merge_heads(attn.split_heads(x)).data, x.data)
+
+    def test_mlp_backend_capture(self):
+        mlp = MLPBlock(dim=8, hidden_dim=16, activation="relu")
+        mlp.backend.capture_activations = True
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 4, 8)).astype(np.float32))
+        mlp(x)
+        assert mlp.backend.last_activations.shape == (1, 4, 16)
+        assert np.all(mlp.backend.last_activations >= 0)
+
+
+class TestModelConfigs:
+    def test_registry_contains_paper_models(self):
+        for name in ["opt-350m", "opt-1.3b", "opt-2.7b", "gpt2-large", "gpt2-xl"]:
+            assert name in list_configs()
+
+    def test_paper_parameter_counts_are_plausible(self):
+        # Within ~40% of the nominal sizes (embedding/vocab choices differ slightly).
+        assert 0.25e9 < get_config("opt-350m").num_parameters() < 0.5e9
+        assert 1.0e9 < get_config("opt-1.3b").num_parameters() < 1.7e9
+        assert 2.2e9 < get_config("opt-2.7b").num_parameters() < 3.3e9
+
+    def test_paper_to_executable_mapping_resolves(self):
+        for paper, executable in PAPER_TO_EXECUTABLE.items():
+            assert get_config(executable).family == get_config(paper).family
+
+    def test_unknown_config_raises(self):
+        with pytest.raises(KeyError):
+            get_config("opt-175b")
+
+    def test_register_custom_config(self):
+        cfg = ModelConfig(name="opt-custom-test", family="opt", vocab_size=128,
+                          max_seq_len=64, dim=32, num_layers=1, num_heads=2)
+        register_config(cfg)
+        assert get_config("opt-custom-test").dim == 32
+
+
+class TestModels:
+    def test_family_validation(self):
+        with pytest.raises(ValueError):
+            OPTModel(get_config("gpt2-tiny"))
+        with pytest.raises(ValueError):
+            GPT2Model(get_config("opt-tiny"))
+
+    def test_forward_shapes(self, tiny_model):
+        ids = np.arange(10).reshape(1, 10) % tiny_model.config.vocab_size
+        hidden = tiny_model(ids)
+        assert hidden.shape == (1, 10, tiny_model.config.dim)
+        logits = tiny_model.logits(hidden)
+        assert logits.shape == (1, 10, tiny_model.config.vocab_size)
+
+    def test_sequence_too_long_raises(self, tiny_model):
+        too_long = np.zeros((1, tiny_model.config.max_seq_len + 1), dtype=np.int64)
+        with pytest.raises(ValueError):
+            tiny_model(too_long)
+
+    def test_loss_and_gradients_flow_to_all_parameters(self):
+        model = build_model("opt-tiny", seed=3)
+        ids = np.random.default_rng(0).integers(0, model.config.vocab_size, size=(2, 16))
+        loss, n_valid = model.loss(ids)
+        assert n_valid == 2 * 15
+        loss.backward()
+        missing = [name for name, p in model.named_parameters() if p.grad is None]
+        assert missing == []
+
+    def test_gpt2_model_runs(self):
+        model = build_model("gpt2-tiny", seed=0)
+        ids = np.random.default_rng(1).integers(0, model.config.vocab_size, size=(1, 12))
+        loss, _ = model.loss(ids)
+        assert np.isfinite(float(loss.data))
+
+    def test_sparsify_init_produces_per_token_sparsity(self, tiny_model, tiny_batches):
+        """The structured initialiser must yield high per-token ReLU sparsity."""
+        block = tiny_model.blocks[0]
+        block.mlp.backend.capture_activations = True
+        tiny_model(tiny_batches[0])
+        acts = block.mlp.backend.last_activations
+        per_token_sparsity = (acts <= 0).mean()
+        assert per_token_sparsity > 0.7
+        block.mlp.backend.capture_activations = False
+
+    def test_sequence_log_likelihood_is_negative(self, tiny_model):
+        ids = np.arange(12) % tiny_model.config.vocab_size
+        ll = tiny_model.sequence_log_likelihood(ids, completion_start=6)
+        assert ll < 0

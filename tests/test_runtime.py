@@ -1,0 +1,177 @@
+"""Tests of the runtime substrate: trainer, profiler, memory, platform, scaling."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model, get_config
+from repro.peft import get_peft_method
+from repro.runtime import (
+    DataParallelSimulator,
+    FineTuner,
+    MemoryModel,
+    PLATFORMS,
+    PhaseProfiler,
+    TrainingConfig,
+    roofline_step_time,
+)
+from repro.runtime.distributed import CommunicationModel
+from repro.runtime.platform import training_step_flops
+
+
+def make_finetuner(method="lora", **config_kwargs):
+    model = build_model("opt-tiny", seed=0)
+    adapted, _ = get_peft_method(method)(model)
+    return FineTuner(adapted, TrainingConfig(**config_kwargs))
+
+
+def batches(n=3, seq=32):
+    rng = np.random.default_rng(0)
+    return [rng.integers(0, 512, size=(2, seq)) for _ in range(n)]
+
+
+class TestFineTuner:
+    def test_requires_trainable_parameters(self):
+        model = build_model("opt-tiny", seed=0)
+        model.freeze()
+        with pytest.raises(ValueError):
+            FineTuner(model)
+
+    def test_single_step_returns_timings(self):
+        tuner = make_finetuner()
+        loss, timing = tuner.step(batches(1)[0])
+        assert np.isfinite(loss)
+        assert timing.forward > 0 and timing.backward > 0 and timing.optimizer > 0
+        assert timing.total == pytest.approx(timing.forward + timing.backward + timing.optimizer)
+        assert "total_ms" in timing.as_milliseconds()
+
+    def test_training_reduces_loss(self):
+        tuner = make_finetuner("full", learning_rate=5e-3)
+        data = batches(8)
+        report = tuner.train([data[i % len(data)] for i in range(12)])
+        assert report.steps == 12
+        assert report.losses[-1] < report.losses[0]
+        assert report.tokens_processed == 12 * 2 * 32
+
+    def test_max_steps_respected(self):
+        tuner = make_finetuner()
+        report = tuner.train(batches(5), max_steps=2)
+        assert report.steps == 2
+
+    def test_report_breakdown_table(self):
+        tuner = make_finetuner()
+        report = tuner.train(batches(3))
+        table = report.breakdown_table()
+        assert "fwd" in table and "optim" in table
+        assert report.mean_step_ms() > 0
+
+    def test_mixed_precision_step_is_finite(self):
+        tuner = make_finetuner(mixed_precision=True, grad_clip=1.0)
+        loss, _ = tuner.step(batches(1)[0])
+        assert np.isfinite(loss)
+
+    def test_optimizer_phase_scales_with_trainable_parameters(self):
+        """PEFT's optimizer step must be cheaper than full fine-tuning's (Table I)."""
+        full = make_finetuner("full")
+        lora = make_finetuner("lora")
+        data = batches(4)
+        full_report = full.train(data)
+        lora_report = lora.train(data)
+        assert (lora_report.mean_timings().optimizer
+                < full_report.mean_timings().optimizer)
+
+
+class TestProfiler:
+    def test_phases_accumulate(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("a"):
+            pass
+        profiler.add("a", 0.5)
+        profiler.add("b", 0.25)
+        totals = profiler.totals()
+        assert totals["a"] > 0.5 and totals["b"] == 0.25
+        assert profiler.counts()["a"] == 2
+        assert "phase" in profiler.report()
+        profiler.reset()
+        assert profiler.totals() == {}
+
+
+class TestMemoryModel:
+    def setup_method(self):
+        self.model = MemoryModel(get_config("opt-1.3b"))
+
+    def test_peft_uses_less_memory_than_full(self):
+        peft = self.model.peft_baseline(4, 1024, trainable_params=2_000_000)
+        full = self.model.full_finetuning(4, 1024)
+        assert peft.total < full.total
+
+    def test_long_exposure_saves_memory_over_peft(self):
+        peft = self.model.peft_baseline(4, 1024, trainable_params=2_000_000)
+        sparse = self.model.long_exposure(4, 1024, trainable_params=2_000_000,
+                                          attention_density=0.3, mlp_density=0.5)
+        optimal = self.model.long_exposure(4, 1024, trainable_params=2_000_000,
+                                           attention_density=0.3, mlp_density=0.5,
+                                           offload_inactive=True)
+        assert sparse.total < peft.total
+        assert optimal.total < sparse.total
+
+    def test_attention_buffers_grow_quadratically_with_sequence(self):
+        short = self.model.peft_baseline(4, 512, 2_000_000).attention_buffers
+        long = self.model.peft_baseline(4, 1024, 2_000_000).attention_buffers
+        assert long == pytest.approx(4 * short)
+
+    def test_breakdown_dict_totals(self):
+        breakdown = self.model.peft_baseline(2, 256, 1_000_000)
+        d = breakdown.as_dict()
+        assert d["total_gb"] == pytest.approx(breakdown.total_gb())
+
+
+class TestPlatformModel:
+    def test_platform_registry(self):
+        assert set(PLATFORMS) == {"A100", "A6000"}
+        assert PLATFORMS["A100"].memory_bandwidth_gbps == 1555
+
+    def test_sparsity_reduces_flops(self):
+        config = get_config("opt-1.3b")
+        dense = training_step_flops(config, 4, 1024)
+        sparse = training_step_flops(config, 4, 1024, attention_density=0.4, mlp_density=0.5)
+        assert sparse < dense
+
+    def test_roofline_speedup_from_sparsity(self):
+        config = get_config("opt-1.3b")
+        platform = PLATFORMS["A100"]
+        dense = roofline_step_time(config, platform, 4, 1024)
+        sparse = roofline_step_time(config, platform, 4, 1024,
+                                    attention_density=0.4, mlp_density=0.5)
+        assert dense > sparse > 0
+
+    def test_longer_sequences_cost_more(self):
+        config = get_config("opt-1.3b")
+        platform = PLATFORMS["A100"]
+        assert (roofline_step_time(config, platform, 4, 1024)
+                > roofline_step_time(config, platform, 4, 512))
+
+
+class TestDistributedSimulator:
+    def test_scaling_is_roughly_linear_for_peft(self):
+        model = build_model("opt-tiny", seed=0)
+        adapted, result = get_peft_method("lora")(model)
+        tuner = FineTuner(adapted)
+        data = np.random.default_rng(0).integers(0, 512, size=(4, 32))
+        simulator = DataParallelSimulator(
+            step_fn=lambda shard: tuner.step(shard),
+            gradient_bytes=result.trainable_parameters * 4)
+        results = simulator.run(data, worker_counts=[1, 2, 4])
+        assert [r.num_workers for r in results] == [1, 2, 4]
+        assert results[-1].step_time_s < results[0].step_time_s
+        assert results[-1].speedup_vs_single > 1.5
+        assert all(r.communication_time_s < 0.01 for r in results)
+
+    def test_indivisible_batch_rejected(self):
+        simulator = DataParallelSimulator(step_fn=lambda s: None, gradient_bytes=0)
+        with pytest.raises(ValueError):
+            simulator.run(np.zeros((3, 8)), worker_counts=[2])
+
+    def test_communication_model_zero_for_single_worker(self):
+        comm = CommunicationModel()
+        assert comm.allreduce_time(1e9, 1) == 0.0
+        assert comm.allreduce_time(1e9, 4) > comm.allreduce_time(1e6, 4)
