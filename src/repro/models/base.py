@@ -144,9 +144,13 @@ class CausalLMModel(Module):
         return self.final_norm(hidden)
 
     def logits(self, hidden: Tensor) -> Tensor:
-        """Project hidden states onto the vocabulary with the tied embedding."""
-        weight = self.token_embedding.weight
-        return hidden.matmul(weight.transpose(1, 0))
+        """Project hidden states onto the vocabulary with the tied embedding.
+
+        Uses the fused linear kernel: ``hidden @ W.T`` is one tape node, with
+        no explicit transpose node (and no transposed-weight temporary) in
+        the graph.
+        """
+        return F.linear(hidden, self.token_embedding.weight)
 
     def loss(self, input_ids: np.ndarray, labels: Optional[np.ndarray] = None,
              attn_mask: Optional[np.ndarray] = None) -> Tuple[Tensor, int]:
@@ -159,9 +163,10 @@ class CausalLMModel(Module):
             labels = labels[None, :]
         hidden = self.forward(input_ids, attn_mask=attn_mask)
         logits = self.logits(hidden)
-        shifted_logits = logits[:, :-1, :]
-        shifted_labels = labels[:, 1:]
-        return F.cross_entropy(shifted_logits, shifted_labels)
+        # shift=True scores logit t against label t+1 inside the fused op,
+        # saving the logits[:, :-1] slice node's forward copy and tape entry
+        # (the backward still allocates one full-size gradient for the op).
+        return F.cross_entropy(logits, labels, shift=True)
 
     # -- evaluation helpers ---------------------------------------------------------
     def sequence_log_likelihood(self, input_ids: np.ndarray,

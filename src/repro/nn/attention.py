@@ -15,22 +15,44 @@ it as ground truth.
 
 from __future__ import annotations
 
+import functools
 from typing import Optional
 
 import numpy as np
 
 from repro.nn.layers import Dropout, Linear
 from repro.nn.module import Module
-from repro.tensor import Tensor, functional as F
+from repro.tensor import Tensor, fused, functional as F
+
+
+@functools.lru_cache(maxsize=128)
+def _cached_causal_mask(seq_len: int) -> np.ndarray:
+    mask = np.tril(np.ones((seq_len, seq_len), dtype=bool))
+    # The cached array is shared across every forward pass; freeze it so an
+    # accidental in-place edit cannot poison later steps (callers that need
+    # to modify it, e.g. prefix tuning, copy first).
+    mask.setflags(write=False)
+    return mask
 
 
 def causal_mask(seq_len: int) -> np.ndarray:
-    """Lower-triangular boolean mask of shape ``(seq_len, seq_len)``."""
-    return np.tril(np.ones((seq_len, seq_len), dtype=bool))
+    """Lower-triangular boolean mask of shape ``(seq_len, seq_len)``.
+
+    Cached per sequence length: every attention forward at the same length
+    reuses one read-only array instead of allocating a fresh ``(seq, seq)``
+    buffer per layer per step.
+    """
+    return _cached_causal_mask(int(seq_len))
 
 
 class DenseAttentionBackend:
-    """Standard dense scaled-dot-product attention (the baseline kernel)."""
+    """Standard dense scaled-dot-product attention (the baseline kernel).
+
+    Runs the fused single-node attention core
+    (:func:`repro.tensor.fused.scaled_dot_product_attention`) by default;
+    when the fused kernels are globally disabled it falls back to the taped
+    matmul / scale / masked-softmax / matmul composition.
+    """
 
     def __init__(self, capture_scores: bool = False):
         self.capture_scores = capture_scores
@@ -41,11 +63,22 @@ class DenseAttentionBackend:
         # q, k, v: (batch, heads, seq, head_dim); x is the pre-projection layer
         # input, unused by the dense kernel but consumed by sparse backends.
         scale = 1.0 / np.sqrt(module.head_dim)
-        scores = q.matmul(k.swapaxes(-1, -2)) * scale
-        probs = F.masked_softmax(scores, attn_mask, axis=-1)
+        if fused.fused_kernels_enabled():
+            if self.capture_scores:
+                context, probs = fused.scaled_dot_product_attention(
+                    q, k, v, attn_mask, scale=scale, return_probs=True)
+                self.last_scores = probs
+                return context
+            return fused.scaled_dot_product_attention(q, k, v, attn_mask, scale=scale)
         if self.capture_scores:
+            # The taped composition is spelled out only where the intermediate
+            # probabilities must be captured; the plain path delegates to the
+            # shared reference implementation via the functional dispatcher.
+            scores = q.matmul(k.swapaxes(-1, -2)) * scale
+            probs = F.masked_softmax(scores, attn_mask, axis=-1)
             self.last_scores = probs.data.copy()
-        return probs.matmul(v)
+            return probs.matmul(v)
+        return F.scaled_dot_product_attention(q, k, v, attn_mask, scale=scale)
 
 
 class MultiHeadAttention(Module):

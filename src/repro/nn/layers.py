@@ -5,6 +5,13 @@ with small std for projections, ones/zeros for LayerNorm).  ``Linear`` stores
 its weight in the ``(out_features, in_features)`` layout used by PyTorch
 checkpoints so that model configs and parameter counts line up with the
 paper's Table II.
+
+``Linear`` and ``LayerNorm`` execute through ``repro.tensor.functional``,
+which dispatches to the fused single-node kernels in
+:mod:`repro.tensor.fused` by default — each forward contributes exactly one
+tape node with a hand-derived backward, rather than a chain of primitive
+ops.  ``Linear.forward`` accepts an optional ``activation`` so callers (the
+MLP block) can fold the nonlinearity into the same node.
 """
 
 from __future__ import annotations
@@ -39,8 +46,8 @@ class Linear(Module):
         else:
             self.bias = None
 
-    def forward(self, x: Tensor) -> Tensor:
-        return F.linear(x, self.weight, self.bias)
+    def forward(self, x: Tensor, activation: Optional[str] = None) -> Tensor:
+        return F.linear(x, self.weight, self.bias, activation=activation)
 
     def extra_repr(self) -> str:
         return f"in={self.in_features}, out={self.out_features}, bias={self.bias is not None}"

@@ -20,21 +20,37 @@ import numpy as np
 from repro.nn.activations import get_activation
 from repro.nn.layers import Dropout, Linear
 from repro.nn.module import Module
-from repro.tensor import Tensor
+from repro.tensor import Tensor, fused, functional as F
 
 
 class DenseMLPBackend:
-    """Baseline dense execution of the MLP block."""
+    """Baseline dense execution of the MLP block.
+
+    On the fused path ``fc1`` and the activation collapse into a single tape
+    node (``F.linear(..., activation=...)``), so a block contributes two
+    nodes instead of three and never materialises the pre-activation as a
+    separate graph Tensor.  The fusion only applies when both layers are
+    plain :class:`~repro.nn.layers.Linear` modules — PEFT wrappers such as
+    LoRA replace them with composite modules that must run their own
+    forward — and is skipped while capturing activations, because the
+    predictor data-collection pass needs the post-activation Tensor.
+    """
 
     def __init__(self, capture_activations: bool = False):
         self.capture_activations = capture_activations
         self.last_activations: Optional[np.ndarray] = None
 
     def __call__(self, module: "MLPBlock", x: Tensor) -> Tensor:
-        hidden = module.activation(module.fc1(x))
+        fc1, fc2 = module.fc1, module.fc2
+        if (fused.fused_kernels_enabled() and not self.capture_activations
+                and type(fc1) is Linear and type(fc2) is Linear):
+            hidden = F.linear(x, fc1.weight, fc1.bias,
+                              activation=module.activation_name)
+            return F.linear(hidden, fc2.weight, fc2.bias)
+        hidden = module.activation(fc1(x))
         if self.capture_activations:
             self.last_activations = hidden.data.copy()
-        return module.fc2(hidden)
+        return fc2(hidden)
 
 
 class MLPBlock(Module):

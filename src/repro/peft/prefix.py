@@ -117,7 +117,7 @@ class PrefixedModel(Module):
             labels = labels[None, :]
         hidden = self.forward(input_ids, attn_mask=attn_mask)
         logits = self.logits(hidden)
-        return F.cross_entropy(logits[:, :-1, :], labels[:, 1:])
+        return F.cross_entropy(logits, labels, shift=True)
 
     # Delegate attribute access so the trainer / sparsity engine can treat a
     # prefixed model like the underlying CausalLMModel (blocks, config, ...).

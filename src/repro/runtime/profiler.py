@@ -17,11 +17,19 @@ class PhaseProfiler:
         with profiler.phase("forward"):
             ...
         profiler.totals()["forward"]   # seconds
+
+    For per-call hot loops, the explicit :meth:`start` / :meth:`stop` pair
+    avoids the generator-based context manager's allocation per entry::
+
+        profiler.start("step")
+        ...
+        profiler.stop("step")
     """
 
     def __init__(self) -> None:
         self._totals: Dict[str, float] = defaultdict(float)
         self._counts: Dict[str, int] = defaultdict(int)
+        self._open: Dict[str, float] = {}
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -32,6 +40,31 @@ class PhaseProfiler:
             elapsed = time.perf_counter() - start
             self._totals[name] += elapsed
             self._counts[name] += 1
+
+    def start(self, name: str) -> None:
+        """Open a phase without a context manager (hot-loop friendly)."""
+        self._open[name] = time.perf_counter()
+
+    def stop(self, name: str) -> float:
+        """Close a phase opened with :meth:`start`; returns elapsed seconds."""
+        begin = self._open.pop(name, None)
+        if begin is None:
+            raise RuntimeError(f"stop({name!r}) without a matching start()")
+        elapsed = time.perf_counter() - begin
+        self._totals[name] += elapsed
+        self._counts[name] += 1
+        return elapsed
+
+    def summary_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-friendly {phase: {total_s, calls, mean_s}} (benchmark output)."""
+        return {
+            name: {
+                "total_s": seconds,
+                "calls": self._counts[name],
+                "mean_s": seconds / self._counts[name] if self._counts[name] else 0.0,
+            }
+            for name, seconds in self._totals.items()
+        }
 
     def add(self, name: str, seconds: float) -> None:
         """Record externally-measured time (e.g. the engine's predictor overhead)."""

@@ -33,18 +33,19 @@ the breakdowns of Figures 9, 10 and 12.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.models.base import CausalLMModel
-from repro.nn.attention import DenseAttentionBackend, MultiHeadAttention
+from repro.nn.attention import DenseAttentionBackend, MultiHeadAttention, causal_mask
 from repro.nn.mlp import DenseMLPBackend, MLPBlock
 from repro.peft.lora import LoRALinear
 from repro.sparsity.config import LongExposureConfig
 from repro.sparsity.exposer import AttentionExposer, MLPExposer
 from repro.sparsity.ops.block_sparse import block_sparse_attention
+from repro.sparsity.ops.geometry_cache import LayoutGeometryCache
 from repro.sparsity.ops.layout import LayoutPool, MultiHeadLayout, layout_from_block_masks
 from repro.sparsity.ops.neuron_sparse import (
     NeuronSparseWeights,
@@ -74,26 +75,46 @@ def _unwrap(module):
 
 @dataclass
 class EngineStats:
-    """Running statistics collected while the sparse backends execute."""
+    """Running statistics collected while the sparse backends execute.
+
+    Sparsity observations are folded into a running mean + sample count at
+    record time (O(1) memory) instead of appended to per-call lists — a long
+    fine-tuning run makes millions of backend calls, and the seed's
+    unbounded lists grew linearly with step count.
+    """
 
     prediction_seconds: float = 0.0
     attention_calls: int = 0
     mlp_calls: int = 0
-    attention_block_sparsity: List[float] = field(default_factory=list)
-    mlp_block_sparsity: List[float] = field(default_factory=list)
+    attention_sparsity_mean: float = 0.0
+    attention_sparsity_samples: int = 0
+    mlp_sparsity_mean: float = 0.0
+    mlp_sparsity_samples: int = 0
 
     def reset(self) -> None:
         self.prediction_seconds = 0.0
         self.attention_calls = 0
         self.mlp_calls = 0
-        self.attention_block_sparsity.clear()
-        self.mlp_block_sparsity.clear()
+        self.attention_sparsity_mean = 0.0
+        self.attention_sparsity_samples = 0
+        self.mlp_sparsity_mean = 0.0
+        self.mlp_sparsity_samples = 0
+
+    def record_attention_sparsity(self, value: float) -> None:
+        self.attention_sparsity_samples += 1
+        self.attention_sparsity_mean += (
+            (float(value) - self.attention_sparsity_mean) / self.attention_sparsity_samples)
+
+    def record_mlp_sparsity(self, value: float) -> None:
+        self.mlp_sparsity_samples += 1
+        self.mlp_sparsity_mean += (
+            (float(value) - self.mlp_sparsity_mean) / self.mlp_sparsity_samples)
 
     def mean_attention_sparsity(self) -> float:
-        return float(np.mean(self.attention_block_sparsity)) if self.attention_block_sparsity else 0.0
+        return self.attention_sparsity_mean if self.attention_sparsity_samples else 0.0
 
     def mean_mlp_sparsity(self) -> float:
-        return float(np.mean(self.mlp_block_sparsity)) if self.mlp_block_sparsity else 0.0
+        return self.mlp_sparsity_mean if self.mlp_sparsity_samples else 0.0
 
 
 class SparseAttentionBackend:
@@ -116,9 +137,9 @@ class SparseAttentionBackend:
             layout = engine.layout_pool.combine(patterns, seq_len)
         engine.stats.prediction_seconds += time.perf_counter() - start
         engine.stats.attention_calls += 1
-        engine.stats.attention_block_sparsity.append(layout.sparsity())
+        engine.stats.record_attention_sparsity(layout.sparsity())
         self.last_layout = layout
-        return block_sparse_attention(q, k, v, layout)
+        return block_sparse_attention(q, k, v, layout, cache=engine.geometry_cache)
 
 
 class SparseMLPBackend:
@@ -162,7 +183,7 @@ class SparseMLPBackend:
         engine.stats.mlp_calls += 1
 
         n_blocks = -(-mlp.hidden_dim // engine.config.block_size)
-        engine.stats.mlp_block_sparsity.append(1.0 - active_blocks.size / n_blocks)
+        engine.stats.record_mlp_sparsity(1.0 - active_blocks.size / n_blocks)
         self.last_active_blocks = active_blocks
 
         active_neurons = expand_block_indices(active_blocks, engine.config.block_size,
@@ -181,6 +202,9 @@ class LongExposure:
         self.config = config or LongExposureConfig()
         self.pattern_pool = pattern_pool or build_default_pool()
         self.layout_pool = LayoutPool(self.pattern_pool, self.config.block_size)
+        # Derived-geometry memo shared by every sparse attention backend this
+        # engine installs; set to None to force per-call recomputation.
+        self.geometry_cache: Optional[LayoutGeometryCache] = LayoutGeometryCache()
         self.attention_exposer = AttentionExposer(
             self.pattern_pool, self.config.block_size,
             coverage=self.config.attention_coverage,
@@ -255,7 +279,7 @@ class LongExposure:
         """Exact-mask layout computed from the current Q/K (ablation mode)."""
         scale = 1.0 / np.sqrt(module.head_dim)
         scores = np.matmul(q.data, np.swapaxes(k.data, -1, -2)) * scale
-        causal = np.tril(np.ones((seq_len, seq_len), dtype=bool))
+        causal = causal_mask(seq_len)
         scores = np.where(causal, scores, -1e9)
         scores = scores - scores.max(axis=-1, keepdims=True)
         probs = np.exp(scores) * causal

@@ -12,12 +12,24 @@ Two families of kernels:
   active, with an optional transposed ("coalesced") weight layout mirroring
   the paper's memory-coalescing optimisation.
 
+The index geometry the block-sparse kernels derive from a layout (softmax
+segment boundaries, per-block element masks, the column-sorted backward
+permutation) is memoized by
+:class:`repro.sparsity.ops.geometry_cache.LayoutGeometryCache`, keyed by
+layout content — repeated predicted patterns across fine-tuning steps pay
+the index-construction cost once.
+
 All operators register fused custom backwards, so skipping a block in the
 forward pass also skips its gradient work — the property derived in the
 paper's Section II-D.
 """
 
 from repro.sparsity.ops.layout import LayoutPool, MultiHeadLayout
+from repro.sparsity.ops.geometry_cache import (
+    BlockGeometry,
+    LayoutGeometryCache,
+    compute_block_geometry,
+)
 from repro.sparsity.ops.block_sparse import (
     BlockSparseMatrix,
     block_sparse_attention,
@@ -34,6 +46,9 @@ from repro.sparsity.ops.neuron_sparse import (
 __all__ = [
     "LayoutPool",
     "MultiHeadLayout",
+    "BlockGeometry",
+    "LayoutGeometryCache",
+    "compute_block_geometry",
     "BlockSparseMatrix",
     "block_sparse_attention",
     "block_sparse_sdd",

@@ -30,11 +30,22 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.sparsity.ops.geometry_cache import (
+    LayoutGeometryCache,
+    block_element_mask,
+    compute_block_geometry,
+    segment_geometry,
+)
 from repro.sparsity.ops.layout import MultiHeadLayout
 from repro.tensor import Tensor
 from repro.tensor.tensor import custom_op
 
 _NEG_INF = np.float32(-1e9)
+
+# Backwards-compatible aliases: the geometry helpers moved to
+# repro.sparsity.ops.geometry_cache so they can be memoized per layout.
+_segment_geometry = segment_geometry
+_block_element_mask = block_element_mask
 
 
 # ---------------------------------------------------------------------------
@@ -57,30 +68,6 @@ def _blockify(x: np.ndarray, block_size: int) -> np.ndarray:
     batch, heads, seq, dim = x.shape
     n_blocks = seq // block_size
     return x.reshape(batch, heads, n_blocks, block_size, dim)
-
-
-def _segment_geometry(layout: MultiHeadLayout) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Return (segment ids per block, segment heads, segment rows)."""
-    starts = layout.row_segment_starts
-    nnz = layout.nnz
-    seg_lengths = np.diff(np.append(starts, nnz))
-    seg_ids = np.repeat(np.arange(starts.shape[0]), seg_lengths)
-    return seg_ids, layout.heads[starts], layout.rows[starts]
-
-
-def _block_element_mask(layout: MultiHeadLayout, seq_len: int) -> np.ndarray:
-    """Element-level validity mask of each active block ``(nnz, bs, bs)``.
-
-    Enforces causality inside diagonal blocks and masks key positions beyond
-    the (possibly padded) sequence length.
-    """
-    bs = layout.block_size
-    offs = np.arange(bs)
-    q_pos = layout.rows[:, None] * bs + offs[None, :]          # (nnz, bs)
-    k_pos = layout.cols[:, None] * bs + offs[None, :]          # (nnz, bs)
-    allowed = q_pos[:, :, None] >= k_pos[:, None, :]
-    allowed &= k_pos[:, None, :] < seq_len
-    return allowed
 
 
 # ---------------------------------------------------------------------------
@@ -166,7 +153,8 @@ def dense_attention_reference(q: np.ndarray, k: np.ndarray, v: np.ndarray,
 # ---------------------------------------------------------------------------
 
 def block_sparse_attention(q: Tensor, k: Tensor, v: Tensor, layout: MultiHeadLayout,
-                           scale: Optional[float] = None) -> Tensor:
+                           scale: Optional[float] = None,
+                           cache: Optional[LayoutGeometryCache] = None) -> Tensor:
     """Fused block-sparse ``softmax(QK^T) V`` with a block-sparse backward.
 
     Parameters
@@ -178,6 +166,12 @@ def block_sparse_attention(q: Tensor, k: Tensor, v: Tensor, layout: MultiHeadLay
         patterns) or from exposer masks (oracle mode).
     scale:
         Score scaling; defaults to ``1/sqrt(head_dim)``.
+    cache:
+        Optional :class:`~repro.sparsity.ops.geometry_cache.LayoutGeometryCache`.
+        When given, the derived index geometry (softmax segments, element
+        masks, the column-sorted backward permutation) is looked up instead
+        of recomputed — repeated layouts across fine-tuning steps then pay
+        zero index-construction cost.  Results are identical either way.
 
     The softmax normalises over the *union of active blocks in each query
     row*, with causal masking inside diagonal blocks.  The backward pass
@@ -198,14 +192,16 @@ def block_sparse_attention(q: Tensor, k: Tensor, v: Tensor, layout: MultiHeadLay
 
     heads, rows, cols = layout.heads, layout.rows, layout.cols
     starts = layout.row_segment_starts
-    seg_ids, seg_heads, seg_rows = _segment_geometry(layout)
+    geom = (cache.lookup(layout, seq_len) if cache is not None
+            else compute_block_geometry(layout, seq_len))
+    seg_ids, seg_heads, seg_rows = geom.seg_ids, geom.seg_heads, geom.seg_rows
 
     q_blk = q_pad[:, heads, rows]                                # (batch, nnz, bs, dim)
     k_blk = k_pad[:, heads, cols]
     v_blk = v_pad[:, heads, cols]
 
     scores = np.matmul(q_blk, np.swapaxes(k_blk, -1, -2)) * scale
-    allowed = _block_element_mask(layout, seq_len)               # (nnz, bs, bs)
+    allowed = geom.element_mask                                  # (nnz, bs, bs)
     scores = np.where(allowed[None], scores, _NEG_INF)
 
     # Row-wise softmax across all blocks sharing a (head, query-row) segment.
@@ -226,7 +222,8 @@ def block_sparse_attention(q: Tensor, k: Tensor, v: Tensor, layout: MultiHeadLay
     out = out.reshape(batch, n_heads, padded_len, head_dim)[:, :, :seq_len]
 
     n_blocks = layout.n_blocks
-    col_order, col_starts, col_seg_heads, col_seg_cols = layout.col_geometry()
+    col_order, col_starts = geom.col_order, geom.col_starts
+    col_seg_heads, col_seg_cols = geom.col_seg_heads, geom.col_seg_cols
 
     def _scatter_to_cols(contrib: np.ndarray) -> np.ndarray:
         """Accumulate per-block contributions onto their (head, col) blocks."""

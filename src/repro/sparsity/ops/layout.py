@@ -22,6 +22,7 @@ to scatter gradients back.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -61,11 +62,30 @@ class MultiHeadLayout:
     # Lazily-computed column-sorted view used by the backward pass to turn the
     # (head, key-column) gradient scatter into a contiguous segmented reduce.
     _col_geometry: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = None
+    # Lazily-computed content signature (see signature()).
+    _signature: Optional[Tuple] = None
 
     @property
     def nnz(self) -> int:
         """Number of active blocks across all heads."""
         return int(self.heads.shape[0])
+
+    def signature(self) -> Tuple:
+        """Hashable content signature identifying this layout's active blocks.
+
+        Two layouts with the same geometry and active-block set produce the
+        same signature even when they are distinct objects (e.g. built by
+        ``layout_from_block_masks`` on different steps), which is what lets
+        :class:`~repro.sparsity.ops.geometry_cache.LayoutGeometryCache` share
+        derived geometry across them.  Computed once and memoized; the index
+        arrays are treated as immutable after construction.
+        """
+        if self._signature is None:
+            object.__setattr__(self, "_signature", (
+                self.n_heads, self.n_blocks, self.block_size,
+                self.heads.tobytes(), self.rows.tobytes(), self.cols.tobytes(),
+            ))
+        return self._signature
 
     def col_geometry(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """(permutation, segment starts, segment heads, segment cols).
@@ -167,14 +187,27 @@ def layout_from_block_masks(block_masks: np.ndarray, block_size: int,
 
 
 class LayoutPool:
-    """Offline-constructed pool of per-pattern layouts with online combination."""
+    """Offline-constructed pool of per-pattern layouts with online combination.
 
-    def __init__(self, pattern_pool: PatternPool, block_size: int):
+    ``combined_cache_size`` bounds the LRU of combined multi-head layouts:
+    repeated predicted pattern combinations (the common fine-tuning case —
+    the predictor draws from a small atomic pool) are pure cache hits, while
+    a pathological stream of never-repeating combinations cannot grow memory
+    without limit.
+    """
+
+    def __init__(self, pattern_pool: PatternPool, block_size: int,
+                 combined_cache_size: int = 256):
+        if combined_cache_size <= 0:
+            raise ValueError("combined_cache_size must be positive")
         self.pattern_pool = pattern_pool
         self.block_size = block_size
+        self.combined_cache_size = combined_cache_size
         # (pattern name, n_blocks) -> sorted (rows, cols) with row segments
         self._tables: Dict[Tuple[str, int], Tuple[np.ndarray, np.ndarray]] = {}
-        self._combined_cache: Dict[Tuple[int, Tuple[str, ...]], MultiHeadLayout] = {}
+        self._combined_cache: "OrderedDict[Tuple[int, Tuple[str, ...]], MultiHeadLayout]" = OrderedDict()
+        self.combine_hits = 0
+        self.combine_misses = 0
 
     # -- offline ------------------------------------------------------------------
     def construct(self, seq_lens: Sequence[int]) -> None:
@@ -210,7 +243,10 @@ class LayoutPool:
         cache_key = (n_blocks, names)
         cached = self._combined_cache.get(cache_key)
         if cached is not None:
+            self.combine_hits += 1
+            self._combined_cache.move_to_end(cache_key)
             return cached
+        self.combine_misses += 1
 
         heads_list: List[np.ndarray] = []
         rows_list: List[np.ndarray] = []
@@ -233,6 +269,8 @@ class LayoutPool:
             pattern_names=names,
         )
         self._combined_cache[cache_key] = layout
+        if len(self._combined_cache) > self.combined_cache_size:
+            self._combined_cache.popitem(last=False)
         return layout
 
     def dense_layout(self, n_heads: int, seq_len: int) -> MultiHeadLayout:

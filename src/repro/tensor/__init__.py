@@ -20,9 +20,17 @@ Design notes
   closures (see :mod:`repro.sparsity.ops`), which is how the paper's claim
   that "inactive parameters are excluded from the gradient computation"
   (Section II-D) is realised here.
+* The training hot path runs on the fused single-node kernels in
+  :mod:`repro.tensor.fused` (softmax, layer norm, linear+activation, cross
+  entropy, the dense attention core); :mod:`repro.tensor.reference` holds
+  the equivalent primitive compositions used for gradchecking and as the
+  perf-regression baseline, selectable at runtime via
+  :func:`repro.tensor.fused.set_fused_kernels`.
 """
 
 from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor import fused
 from repro.tensor import functional
+from repro.tensor import reference
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional"]
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional", "fused", "reference"]

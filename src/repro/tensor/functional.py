@@ -2,10 +2,20 @@
 
 These mirror the subset of ``torch.nn.functional`` that transformer
 fine-tuning needs: softmax, layer normalisation, dropout, masked attention
-softmax and the token-level cross entropy loss.  Each function registers a
-fused backward closure rather than composing many elementary ops, which keeps
-the tape short and the Python overhead per training step low — important
-because the benchmarks time real wall-clock of these kernels.
+softmax, fused linear(+activation) and the token-level cross entropy loss.
+
+Since the fused-kernel pass, this module is a thin *dispatch layer*: every
+hot-path function routes to its single-node hand-backward implementation in
+:mod:`repro.tensor.fused` (the default) or to the primitive-composition tape
+in :mod:`repro.tensor.reference` when the fused kernels are globally
+disabled via :func:`repro.tensor.fused.set_fused_kernels`.  Callers —
+``repro.nn``, the models, the PEFT wrappers — never need to know which form
+is active, which is what lets the perf-regression benchmark time both on an
+unmodified model.
+
+The auxiliary losses (``binary_cross_entropy_with_logits`` for predictor
+training, ``mse_loss``) are already single fused nodes and live here
+directly.
 """
 
 from __future__ import annotations
@@ -14,33 +24,23 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.tensor import fused as _fused
+from repro.tensor import reference as _reference
 from repro.tensor.tensor import Tensor, custom_op
+
+
+def _impl():
+    return _fused if _fused.fused_kernels_enabled() else _reference
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis`` with a fused backward."""
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    exp = np.exp(shifted)
-    probs = exp / exp.sum(axis=axis, keepdims=True)
-
-    def backward(grad):
-        dot = (grad * probs).sum(axis=axis, keepdims=True)
-        return ((grad - dot) * probs,)
-
-    return custom_op(probs, (x,), backward)
+    return _impl().softmax(x, axis=axis)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Log-softmax with fused backward (used by the LM loss)."""
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    out = shifted - logsumexp
-    probs = np.exp(out)
-
-    def backward(grad):
-        return (grad - probs * grad.sum(axis=axis, keepdims=True),)
-
-    return custom_op(out, (x,), backward)
+    """Log-softmax with fused backward (used by the LM loss and scoring)."""
+    return _impl().log_softmax(x, axis=axis)
 
 
 def masked_softmax(scores: Tensor, mask: Optional[np.ndarray], axis: int = -1,
@@ -48,53 +48,62 @@ def masked_softmax(scores: Tensor, mask: Optional[np.ndarray], axis: int = -1,
     """Softmax over attention scores with an additive boolean mask.
 
     ``mask`` follows the convention "True = keep, False = drop"; dropped
-    positions receive probability (numerically) zero.  Rows that are fully
-    masked produce a uniform distribution over the row instead of NaNs, which
-    can happen for padded sequences or extremely sparse attention patterns.
+    positions receive probability exactly zero and fully-masked rows produce
+    an all-zero row (padded sequences, extremely sparse attention patterns).
     """
-    data = scores.data
-    if mask is not None:
-        mask = np.asarray(mask, dtype=bool)
-        data = np.where(mask, data, neg_fill)
-    shifted = data - data.max(axis=axis, keepdims=True)
-    exp = np.exp(shifted)
-    if mask is not None:
-        exp = exp * mask
-    denom = exp.sum(axis=axis, keepdims=True)
-    safe_denom = np.where(denom == 0, 1.0, denom)
-    probs = exp / safe_denom
-
-    def backward(grad):
-        if mask is not None:
-            grad = grad * mask
-        dot = (grad * probs).sum(axis=axis, keepdims=True)
-        return ((grad - dot) * probs,)
-
-    return custom_op(probs, (scores,), backward)
+    return _impl().masked_softmax(scores, mask, axis=axis, neg_fill=neg_fill)
 
 
 def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
     """Layer normalisation over the last dimension with affine parameters."""
-    mean = x.data.mean(axis=-1, keepdims=True)
-    centered = x.data - mean
-    var = (centered ** 2).mean(axis=-1, keepdims=True)
-    inv_std = 1.0 / np.sqrt(var + eps)
-    normalized = centered * inv_std
-    out = normalized * weight.data + bias.data
-    dim = x.data.shape[-1]
+    return _impl().layer_norm(x, weight, bias, eps=eps)
 
-    def backward(grad):
-        grad_weight = (grad * normalized).reshape(-1, dim).sum(axis=0)
-        grad_bias = grad.reshape(-1, dim).sum(axis=0)
-        grad_norm = grad * weight.data
-        grad_x = inv_std * (
-            grad_norm
-            - grad_norm.mean(axis=-1, keepdims=True)
-            - normalized * (grad_norm * normalized).mean(axis=-1, keepdims=True)
-        )
-        return grad_x, grad_weight, grad_bias
 
-    return custom_op(out, (x, weight, bias), backward)
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           activation: Optional[str] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with an optionally fused activation.
+
+    ``weight`` has shape ``(out_features, in_features)`` following the
+    PyTorch convention so that checkpoint-style configs translate directly.
+    With ``activation`` set (``"relu"``, ``"gelu"``, ...), the nonlinearity
+    is folded into the same tape node on the fused path.
+    """
+    return _impl().linear(x, weight, bias, activation=activation)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  ignore_index: int = -100, shift: bool = False) -> Tuple[Tensor, int]:
+    """Token-level cross entropy for language modelling.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(batch, seq, vocab)`` (or ``(N, vocab)``).
+    targets:
+        Integer array of shape ``(batch, seq)`` (or ``(N,)``); positions equal
+        to ``ignore_index`` do not contribute to the loss.
+    shift:
+        When True, compute the next-token loss directly (logit ``t`` scored
+        against target ``t+1``) without the caller slicing ``logits[:, :-1]``
+        — on the fused path this avoids a full-size logits copy forward and a
+        full-size zero-fill node backward.
+
+    Returns
+    -------
+    (loss, n_valid):
+        The mean negative log-likelihood over valid positions and the number
+        of valid positions (useful for aggregating across batches).
+    """
+    return _impl().cross_entropy_logits(logits, targets,
+                                        ignore_index=ignore_index, shift=shift)
+
+
+def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor,
+                                 attn_mask: Optional[np.ndarray] = None,
+                                 scale: Optional[float] = None) -> Tensor:
+    """Dense attention core ``softmax(QK^T * scale) V`` (fused by default)."""
+    return _impl().scaled_dot_product_attention(q, k, v, attn_mask=attn_mask,
+                                                scale=scale)
 
 
 def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
@@ -109,80 +118,6 @@ def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generat
         return (grad * keep,)
 
     return custom_op(data, (x,), backward)
-
-
-def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
-    """Affine map ``x @ weight.T + bias`` with a fused backward.
-
-    ``weight`` has shape ``(out_features, in_features)`` following the
-    PyTorch convention so that checkpoint-style configs translate directly.
-    """
-    x_data = x.data
-    out = np.matmul(x_data, weight.data.T)
-    if bias is not None:
-        out = out + bias.data
-    in_features = weight.data.shape[1]
-    out_features = weight.data.shape[0]
-    parents = (x, weight) if bias is None else (x, weight, bias)
-
-    def backward(grad):
-        grad2d = grad.reshape(-1, out_features)
-        x2d = x_data.reshape(-1, in_features)
-        grad_x = np.matmul(grad, weight.data).reshape(x_data.shape)
-        grad_w = np.matmul(grad2d.T, x2d)
-        if bias is None:
-            return grad_x, grad_w
-        grad_b = grad2d.sum(axis=0)
-        return grad_x, grad_w, grad_b
-
-    return custom_op(out, parents, backward)
-
-
-def cross_entropy(logits: Tensor, targets: np.ndarray,
-                  ignore_index: int = -100) -> Tuple[Tensor, int]:
-    """Token-level cross entropy for language modelling.
-
-    Parameters
-    ----------
-    logits:
-        Tensor of shape ``(batch, seq, vocab)`` (or ``(N, vocab)``).
-    targets:
-        Integer array of shape ``(batch, seq)`` (or ``(N,)``); positions equal
-        to ``ignore_index`` do not contribute to the loss.
-
-    Returns
-    -------
-    (loss, n_valid):
-        The mean negative log-likelihood over valid positions and the number
-        of valid positions (useful for aggregating across batches).
-    """
-    targets = np.asarray(targets)
-    vocab = logits.data.shape[-1]
-    flat_logits = logits.data.reshape(-1, vocab)
-    flat_targets = targets.reshape(-1)
-    valid = flat_targets != ignore_index
-    n_valid = int(valid.sum())
-    safe_targets = np.where(valid, flat_targets, 0)
-
-    shifted = flat_logits - flat_logits.max(axis=-1, keepdims=True)
-    logsumexp = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
-    log_probs = shifted - logsumexp
-    picked = log_probs[np.arange(flat_targets.shape[0]), safe_targets]
-    losses = -picked * valid
-    denom = max(n_valid, 1)
-    loss_value = losses.sum() / denom
-
-    probs = np.exp(log_probs)
-
-    def backward(grad):
-        grad = np.asarray(grad).reshape(())
-        grad_flat = probs.copy()
-        grad_flat[np.arange(flat_targets.shape[0]), safe_targets] -= 1.0
-        grad_flat *= (valid[:, None] / denom) * grad
-        return (grad_flat.reshape(logits.data.shape),)
-
-    loss = custom_op(np.asarray(loss_value, dtype=np.float32), (logits,), backward)
-    return loss, n_valid
 
 
 def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray,

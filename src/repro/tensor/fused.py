@@ -1,0 +1,395 @@
+"""Fused autograd kernels for the training hot path.
+
+Every function in this module is a *single* tape node created through
+:func:`repro.tensor.tensor.custom_op`: the forward is a handful of NumPy
+calls that reuse buffers in place where aliasing allows it, and the backward
+is a hand-derived vector-Jacobian product that touches only the arrays the
+derivation actually needs.  This collapses what would otherwise be chains of
+~10 primitive ``Tensor`` operations (each with its own closure, its own
+full-size temporary and its own entry in the topological sort) into one node
+per mathematical operation — the same idea as xformers' fused
+``scaled_dot_product_attention`` core, realised on the NumPy substrate.
+
+The module pairs with :mod:`repro.tensor.reference`, which implements the
+same functions as compositions of primitive ``Tensor`` ops.  The reference
+forms serve three purposes:
+
+* they are the ground truth for the numerical ``gradcheck`` tests;
+* they are the *baseline* of ``benchmarks/bench_perf_regression.py`` (the
+  deep-tape cost model the paper's fused-operator argument is made against);
+* flipping :func:`set_fused_kernels` (or entering
+  :func:`reference_kernels`) makes the whole stack — ``repro.tensor.
+  functional``, ``repro.nn`` and the model loss path — run through them, so
+  fused vs. taped execution can be compared end to end on an unmodified
+  model.
+
+Derivations (notation: ``g`` is the incoming output gradient):
+
+``softmax``          ``dx = (g - sum(g * p)) * p`` row-wise.
+``layer_norm``       ``dx = inv_std * (gw - mean(gw) - n * mean(gw * n))``
+                     with ``gw = g * weight`` and ``n`` the normalised input.
+``cross_entropy``    ``dlogits = (softmax(logits) - onehot) * valid / n``.
+``linear``           ``dx = g W``, ``dW = g^T x``, ``db = sum(g)``; when an
+                     activation is fused, ``g`` is first multiplied by the
+                     activation's local derivative.
+``attention``        softmax backward threaded between the two matmul
+                     backwards, all restricted to a single probability
+                     buffer.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, custom_op
+
+__all__ = [
+    "fused_kernels_enabled",
+    "set_fused_kernels",
+    "reference_kernels",
+    "softmax",
+    "log_softmax",
+    "masked_softmax",
+    "layer_norm",
+    "linear",
+    "cross_entropy_logits",
+    "scaled_dot_product_attention",
+]
+
+_NEG_FILL = np.float32(-1e9)
+_GELU_C = np.float32(np.sqrt(2.0 / np.pi))
+_GELU_A = np.float32(0.044715)
+
+# ---------------------------------------------------------------------------
+# global switch: fused kernels (default) vs. taped primitive compositions
+# ---------------------------------------------------------------------------
+
+_FUSED_ENABLED = True
+
+
+def fused_kernels_enabled() -> bool:
+    """Whether the stack currently routes through the fused kernels."""
+    return _FUSED_ENABLED
+
+
+def set_fused_kernels(enabled: bool) -> None:
+    """Globally enable/disable the fused kernels (reference tape otherwise)."""
+    global _FUSED_ENABLED
+    _FUSED_ENABLED = bool(enabled)
+
+
+@contextlib.contextmanager
+def reference_kernels():
+    """Context manager running the stack on the primitive-composition tape."""
+    global _FUSED_ENABLED
+    previous = _FUSED_ENABLED
+    _FUSED_ENABLED = False
+    try:
+        yield
+    finally:
+        _FUSED_ENABLED = previous
+
+
+# ---------------------------------------------------------------------------
+# softmax family
+# ---------------------------------------------------------------------------
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis`` as one fused node."""
+    probs = x.data - x.data.max(axis=axis, keepdims=True)
+    np.exp(probs, out=probs)
+    probs /= probs.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        dot = (grad * probs).sum(axis=axis, keepdims=True)
+        return ((grad - dot) * probs,)
+
+    return custom_op(probs, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax with a fused backward (used by the LM scoring path)."""
+    out = x.data - x.data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(out).sum(axis=axis, keepdims=True))
+    out -= logsumexp
+
+    def backward(grad):
+        return (grad - np.exp(out) * grad.sum(axis=axis, keepdims=True),)
+
+    return custom_op(out, (x,), backward)
+
+
+def masked_softmax(scores: Tensor, mask: Optional[np.ndarray], axis: int = -1,
+                   neg_fill: float = float(_NEG_FILL)) -> Tensor:
+    """Softmax over attention scores with a boolean keep-mask, one node.
+
+    ``mask`` follows the convention "True = keep, False = drop"; dropped
+    positions receive exactly zero probability and fully-masked rows produce
+    an all-zero row (padded sequences, extremely sparse patterns).
+    """
+    if mask is None:
+        return softmax(scores, axis=axis)
+    mask = np.asarray(mask, dtype=bool)
+    probs = np.where(mask, scores.data, np.asarray(neg_fill, dtype=scores.data.dtype))
+    probs -= probs.max(axis=axis, keepdims=True)
+    np.exp(probs, out=probs)
+    np.multiply(probs, mask, out=probs)
+    denom = probs.sum(axis=axis, keepdims=True)
+    np.divide(probs, np.where(denom == 0, 1.0, denom), out=probs)
+
+    def backward(grad):
+        grad = grad * mask
+        dot = (grad * probs).sum(axis=axis, keepdims=True)
+        grad -= dot
+        grad *= probs
+        return (grad,)
+
+    return custom_op(probs, (scores,), backward)
+
+
+# ---------------------------------------------------------------------------
+# layer normalisation
+# ---------------------------------------------------------------------------
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last dimension with affine parameters."""
+    mean = x.data.mean(axis=-1, keepdims=True)
+    normalized = x.data - mean
+    var = np.square(normalized).mean(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps, out=var)
+    normalized *= inv_std
+    out = normalized * weight.data
+    out += bias.data
+    dim = x.data.shape[-1]
+
+    def backward(grad):
+        grad_weight = (grad * normalized).reshape(-1, dim).sum(axis=0)
+        grad_bias = grad.reshape(-1, dim).sum(axis=0)
+        grad_norm = grad * weight.data
+        grad_x = grad_norm - grad_norm.mean(axis=-1, keepdims=True)
+        grad_x -= normalized * (grad_norm * normalized).mean(axis=-1, keepdims=True)
+        grad_x *= inv_std
+        return grad_x, grad_weight, grad_bias
+
+    return custom_op(out, (x, weight, bias), backward)
+
+
+# ---------------------------------------------------------------------------
+# fused linear (+ bias, + optional activation)
+# ---------------------------------------------------------------------------
+
+def _gelu_value_and_tanh(pre: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """GELU (tanh approximation) computed with multiplications, not ``**``.
+
+    ``x ** 3`` on float32 goes through NumPy's generic pow loop and is an
+    order of magnitude slower than two multiplies; profiling the seed train
+    step showed GeLU alone at ~35 % of wall-clock for exactly this reason.
+    """
+    inner = pre * pre
+    inner *= _GELU_A
+    inner += 1.0
+    inner *= pre
+    inner *= _GELU_C
+    tanh_inner = np.tanh(inner, out=inner)
+    out = tanh_inner + 1.0
+    out *= pre
+    out *= 0.5
+    return out, tanh_inner
+
+
+def _gelu_local_grad(pre: np.ndarray, tanh_inner: np.ndarray) -> np.ndarray:
+    """d gelu(x) / dx given the pre-activation and its cached tanh term."""
+    sech2 = 1.0 - tanh_inner * tanh_inner
+    d_inner = pre * pre
+    d_inner *= 3.0 * _GELU_A
+    d_inner += 1.0
+    d_inner *= _GELU_C
+    local = sech2 * d_inner
+    local *= pre
+    local += 1.0 + tanh_inner
+    local *= 0.5
+    return local
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           activation: Optional[str] = None) -> Tensor:
+    """Fused affine map ``act(x @ weight.T + bias)`` as a single tape node.
+
+    ``weight`` has shape ``(out_features, in_features)`` (PyTorch layout).
+    ``activation`` may be ``None``, ``"relu"``, ``"gelu"``, ``"tanh"`` or
+    ``"sigmoid"``; fusing it here means the MLP's first half contributes one
+    node (and one saved buffer) to the tape instead of two ops plus an
+    intermediate Tensor.
+    """
+    x_data = x.data
+    in_features = weight.data.shape[1]
+    out_features = weight.data.shape[0]
+    # Collapse leading dims into one 2D GEMM: NumPy's matmul runs a Python-
+    # level batch loop for (batch, m, k) @ (k, n), while the reshape of a
+    # C-contiguous activation is free.
+    x2d = x_data.reshape(-1, in_features)
+    out = np.matmul(x2d, weight.data.T)
+    if bias is not None:
+        out += bias.data
+
+    # Per-activation saved state for the backward (all 2D views).
+    relu_mask = gelu_pre = gelu_tanh = act_out = None
+    if activation is None or activation == "none":
+        pass
+    elif activation == "relu":
+        relu_mask = out > 0
+        np.multiply(out, relu_mask, out=out)
+    elif activation == "gelu":
+        gelu_pre = out
+        out, gelu_tanh = _gelu_value_and_tanh(gelu_pre)
+    elif activation == "tanh":
+        out = np.tanh(out, out=out)
+        act_out = out
+    elif activation == "sigmoid":
+        np.negative(out, out=out)
+        np.exp(out, out=out)
+        out += 1.0
+        np.reciprocal(out, out=out)
+        act_out = out
+    else:
+        raise ValueError(f"unsupported fused activation {activation!r}")
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad):
+        grad2d = grad.reshape(-1, out_features)
+        if relu_mask is not None:
+            grad2d = grad2d * relu_mask
+        elif gelu_pre is not None:
+            grad2d = grad2d * _gelu_local_grad(gelu_pre, gelu_tanh)
+        elif act_out is not None:
+            if activation == "tanh":
+                grad2d = grad2d * (1.0 - act_out * act_out)
+            else:  # sigmoid
+                grad2d = grad2d * (act_out * (1.0 - act_out))
+        grad_x = np.matmul(grad2d, weight.data).reshape(x_data.shape)
+        grad_w = np.matmul(grad2d.T, x2d)
+        if bias is None:
+            return grad_x, grad_w
+        grad_b = grad2d.sum(axis=0)
+        return grad_x, grad_w, grad_b
+
+    return custom_op(out.reshape(*x_data.shape[:-1], out_features),
+                     parents, backward)
+
+
+# ---------------------------------------------------------------------------
+# cross entropy on logits
+# ---------------------------------------------------------------------------
+
+def cross_entropy_logits(logits: Tensor, targets: np.ndarray,
+                         ignore_index: int = -100,
+                         shift: bool = False) -> Tuple[Tensor, int]:
+    """Token-level cross entropy as one fused node over the logits.
+
+    With ``shift=True`` the op computes the next-token loss directly —
+    position ``t`` of the logits is scored against target ``t + 1`` — so the
+    caller passes the *unshifted* ``(batch, seq, vocab)`` logits and no
+    ``logits[:, :-1]`` slice node ever enters the tape.  That saves the slice
+    node's forward copy and closure; the backward of this op still allocates
+    one full-size gradient buffer for the logits input.
+
+    Returns ``(mean NLL over valid positions, number of valid positions)``.
+    """
+    targets = np.asarray(targets)
+    data = logits.data
+    if shift:
+        if data.ndim < 2:
+            raise ValueError("shift=True requires (batch, seq, vocab) logits")
+        scored = data[..., :-1, :]
+        targets = targets[..., 1:]
+    else:
+        scored = data
+    vocab = scored.shape[-1]
+    flat_logits = scored.reshape(-1, vocab)
+    flat_targets = targets.reshape(-1)
+    valid = flat_targets != ignore_index
+    n_valid = int(valid.sum())
+    safe_targets = np.where(valid, flat_targets, 0)
+    rows = np.arange(flat_targets.shape[0])
+
+    shifted = flat_logits - flat_logits.max(axis=-1, keepdims=True)
+    probs = np.exp(shifted)
+    denom_rows = probs.sum(axis=-1, keepdims=True)
+    # log-prob of the target token only — the full log-prob matrix is never
+    # materialised; ``probs`` doubles as the saved state for the backward.
+    picked = shifted[rows, safe_targets] - np.log(denom_rows[:, 0])
+    np.divide(probs, denom_rows, out=probs)
+    denom = max(n_valid, 1)
+    loss_value = -(picked * valid).sum() / denom
+
+    def backward(grad):
+        grad = np.asarray(grad).reshape(())
+        grad_flat = probs.copy()
+        grad_flat[rows, safe_targets] -= 1.0
+        grad_flat *= (valid[:, None] / denom) * grad
+        if not shift:
+            return (grad_flat.reshape(data.shape),)
+        full = np.zeros(data.shape, dtype=data.dtype)
+        full[..., :-1, :] = grad_flat.reshape(scored.shape)
+        return (full,)
+
+    loss = custom_op(np.asarray(loss_value, dtype=np.float32), (logits,), backward)
+    return loss, n_valid
+
+
+# ---------------------------------------------------------------------------
+# fused dense attention core
+# ---------------------------------------------------------------------------
+
+def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor,
+                                 attn_mask: Optional[np.ndarray] = None,
+                                 scale: Optional[float] = None,
+                                 return_probs: bool = False
+                                 ) -> Union[Tensor, Tuple[Tensor, np.ndarray]]:
+    """Fused ``softmax(Q K^T * scale) V`` with a hand-written backward.
+
+    ``q``/``k``/``v`` are ``(batch, heads, seq, head_dim)``; ``attn_mask`` is
+    an optional boolean keep-mask broadcastable to the score shape.  The
+    whole core is one tape node that keeps a single ``(batch, heads, seq,
+    seq)`` probability buffer alive for the backward — the taped composition
+    keeps four (scores, masked scores, exp, probs) plus per-op closures.
+
+    With ``return_probs=True`` also returns a copy of the attention
+    probabilities (predictor data collection reads them as ground truth).
+    """
+    scale = scale if scale is not None else 1.0 / np.sqrt(q.shape[-1])
+    if attn_mask is not None:
+        attn_mask = np.asarray(attn_mask, dtype=bool)
+
+    probs = np.matmul(q.data, np.swapaxes(k.data, -1, -2))
+    probs *= scale
+    if attn_mask is not None:
+        np.copyto(probs, _NEG_FILL, where=~attn_mask)
+    probs -= probs.max(axis=-1, keepdims=True)
+    np.exp(probs, out=probs)
+    if attn_mask is not None:
+        np.multiply(probs, attn_mask, out=probs)
+    denom = probs.sum(axis=-1, keepdims=True)
+    np.divide(probs, np.where(denom == 0, 1.0, denom), out=probs)
+    out = np.matmul(probs, v.data)
+
+    def backward(grad_out):
+        grad_v = np.matmul(np.swapaxes(probs, -1, -2), grad_out)
+        # dP, then softmax backward in the same buffer.
+        dS = np.matmul(grad_out, np.swapaxes(v.data, -1, -2))
+        dot = (dS * probs).sum(axis=-1, keepdims=True)
+        dS -= dot
+        dS *= probs
+        dS *= scale
+        grad_q = np.matmul(dS, k.data)
+        grad_k = np.matmul(np.swapaxes(dS, -1, -2), q.data)
+        return grad_q, grad_k, grad_v
+
+    result = custom_op(out, (q, k, v), backward)
+    if return_probs:
+        return result, probs.copy()
+    return result

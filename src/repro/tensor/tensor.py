@@ -70,6 +70,15 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def _graph_freed_sentinel(grad):  # pragma: no cover - never invoked
+    raise RuntimeError("freed graph sentinel should never be called")
+
+
+# Marks interior nodes whose closure was dropped by a completed backward pass
+# (distinguishable from the ``None`` of genuine leaf tensors).
+_GRAPH_FREED = _graph_freed_sentinel
+
+
 def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
         value = value.data
@@ -169,18 +178,43 @@ class Tensor:
             self.grad += grad
 
     # -- backward pass --------------------------------------------------------
-    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+    def backward(self, grad: Optional[ArrayLike] = None,
+                 retain_graph: bool = False) -> None:
         """Back-propagate from this tensor through the recorded graph.
 
         ``grad`` defaults to ones for scalar outputs (the typical loss case).
+
+        Every tensor in the graph receives exactly one accumulation via a
+        single path: contributions are merged into a pending-gradient map as
+        children are processed, and a node's total is either propagated
+        through its ``_backward`` closure (interior node) or added to
+        ``.grad`` (leaf) when the node itself is reached in reverse
+        topological order.  Pending gradients are accumulated in place
+        (``np.add(..., out=...)``) once this pass owns the buffer, and each
+        consumed node's closure and parent references are dropped as soon as
+        its contribution has been propagated — the closures hold the
+        full-size forward temporaries, so this releases the bulk of the
+        graph's memory mid-backward.  Pass ``retain_graph=True`` to keep the
+        graph alive for a second backward over the same tape.
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
+        if self._backward is _GRAPH_FREED:
+            raise RuntimeError(
+                "backward() through a graph that has already been freed; pass "
+                "retain_graph=True to the first backward() to keep it alive")
         if grad is None:
             if self.data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar outputs")
-            grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=self.data.dtype)
+            seed = np.ones_like(self.data)
+            seed_owned = True
+        else:
+            if isinstance(grad, Tensor):
+                grad = grad.data
+            seed = np.asarray(grad, dtype=self.data.dtype)
+            # ``asarray`` copies on dtype conversion; only then is the buffer
+            # exclusively ours to mutate.
+            seed_owned = seed is not grad
 
         # Topological order via iterative DFS (avoids recursion limits for
         # deep transformer graphs).
@@ -200,34 +234,61 @@ class Tensor:
                 if id(parent) not in visited:
                     stack.append((parent, False))
 
-        grads = {id(self): grad}
+        # Pending gradient per tensor id, plus the set of ids whose pending
+        # buffer was allocated by this pass (and is therefore safe to mutate
+        # in place — closure outputs may alias each other or the incoming
+        # gradient, e.g. ``__add__`` returns the same array for both parents).
+        grads = {id(self): seed}
+        owned = {id(self)} if seed_owned else set()
         for node in reversed(topo):
             node_grad = grads.pop(id(node), None)
             if node_grad is None:
                 continue
-            if node.requires_grad and node._backward is None:
+            backward_fn = node._backward
+            if backward_fn is _GRAPH_FREED:
+                raise RuntimeError(
+                    "backward() reached a node whose graph was freed by an "
+                    "earlier backward(); pass retain_graph=True to that call")
+            if backward_fn is None:
                 # Leaf tensor (parameter or input with requires_grad).
-                node._accumulate(node_grad)
+                if node.requires_grad:
+                    if node.grad is None:
+                        node.grad = node_grad if id(node) in owned else node_grad.copy()
+                    else:
+                        np.add(node.grad, node_grad, out=node.grad)
                 continue
-            if node._backward is None:
-                continue
-            parent_grads = node._backward(node_grad)
+            parents = node._parents
+            parent_grads = backward_fn(node_grad)
+            if not retain_graph:
+                # Drop the closure (and the forward temporaries it captured)
+                # as soon as its contribution has been propagated; the sentinel
+                # makes a second backward over this graph fail loudly instead
+                # of silently producing no parameter gradients.
+                node._backward = _GRAPH_FREED
+                node._parents = ()
             if parent_grads is None:
                 continue
             if not isinstance(parent_grads, tuple):
                 parent_grads = (parent_grads,)
-            for parent, pgrad in zip(node._parents, parent_grads):
+            for parent, pgrad in zip(parents, parent_grads):
                 if pgrad is None or not parent.requires_grad:
                     continue
-                pgrad = _unbroadcast(np.asarray(pgrad, dtype=parent.data.dtype), parent.data.shape)
-                if parent._backward is None and parent._parents == ():
-                    parent._accumulate(pgrad)
+                raw = pgrad
+                pgrad = _unbroadcast(np.asarray(pgrad, dtype=parent.data.dtype),
+                                     parent.data.shape)
+                pid = id(parent)
+                existing = grads.get(pid)
+                if existing is None:
+                    grads[pid] = pgrad
+                    if pgrad is not raw:
+                        # Cast or reduction produced a fresh buffer this pass
+                        # controls; later contributions may add in place.
+                        owned.add(pid)
+                elif pid in owned:
+                    np.add(existing, pgrad, out=existing)
                 else:
-                    existing = grads.get(id(parent))
-                    grads[id(parent)] = pgrad if existing is None else existing + pgrad
-                    # keep a reference so intermediate gradients survive until use
-                    if parent.requires_grad and parent._backward is None:
-                        parent._accumulate(pgrad)
+                    grads[pid] = existing + pgrad
+                    owned.add(pid)
 
     # -- arithmetic -----------------------------------------------------------
     def __add__(self, other: ArrayLike) -> "Tensor":
@@ -371,18 +432,36 @@ class Tensor:
         return Tensor._make(data, (self,), backward)
 
     def gelu(self) -> "Tensor":
-        """Gaussian error linear unit (tanh approximation, as used by GPT-2)."""
+        """Gaussian error linear unit (tanh approximation, as used by GPT-2).
+
+        Powers are expanded into multiplications: ``x ** 3`` on float32 goes
+        through NumPy's generic pow loop, which is an order of magnitude
+        slower than two vectorised multiplies and dominated the seed's
+        forward-pass profile.
+        """
         x = self.data
-        c = np.sqrt(2.0 / np.pi).astype(np.float32)
-        inner = c * (x + 0.044715 * x ** 3)
-        tanh_inner = np.tanh(inner)
-        data = 0.5 * x * (1.0 + tanh_inner)
+        c = np.float32(np.sqrt(2.0 / np.pi))
+        x2 = x * x
+        inner = x2 * np.float32(0.044715)
+        inner += 1.0
+        inner *= x
+        inner *= c
+        tanh_inner = np.tanh(inner, out=inner)
+        data = tanh_inner + 1.0
+        data *= x
+        data *= 0.5
 
         def backward(grad):
-            sech2 = 1.0 - tanh_inner ** 2
-            d_inner = c * (1.0 + 3 * 0.044715 * x ** 2)
-            local = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
-            return (grad * local,)
+            sech2 = 1.0 - tanh_inner * tanh_inner
+            d_inner = x2 * np.float32(3 * 0.044715)
+            d_inner += 1.0
+            d_inner *= c
+            local = sech2 * d_inner
+            local *= x
+            local += 1.0 + tanh_inner
+            local *= 0.5
+            local *= grad
+            return (local,)
 
         return Tensor._make(data, (self,), backward)
 

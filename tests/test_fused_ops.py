@@ -1,0 +1,405 @@
+"""Correctness tests for the fused kernels, the tightened backward engine and
+the sparse geometry cache.
+
+Three layers of defence:
+
+* **gradcheck** — every fused op's hand-derived backward is compared against
+  central finite differences of its own forward (max relative error, taken
+  against the gradient's infinity norm, must be <= 1e-3);
+* **fused vs. reference** — the fused backward must agree with the autograd
+  gradient of the primitive-composition form in
+  :mod:`repro.tensor.reference` to much tighter tolerance;
+* **cache identity** — block-sparse attention must produce *bitwise*
+  identical outputs and gradients with and without the geometry cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import causal_mask
+from repro.sparsity.engine import EngineStats
+from repro.sparsity.ops import LayoutGeometryCache, block_sparse_attention
+from repro.sparsity.ops.layout import LayoutPool, layout_from_block_masks
+from repro.sparsity.patterns import build_default_pool
+from repro.tensor import Tensor, fused, reference
+from repro.tensor.tensor import concatenate
+
+RNG = np.random.default_rng(42)
+
+
+# ---------------------------------------------------------------------------
+# gradcheck machinery
+# ---------------------------------------------------------------------------
+
+def _loss_fn(op, arrays, projection):
+    """Scalar loss sum(op(*arrays) * projection) evaluated in float64."""
+    out = op(*[Tensor(a) for a in arrays])
+    out = out[0] if isinstance(out, tuple) else out
+    return float(np.sum(out.data.astype(np.float64) * projection))
+
+
+def _analytic_grads(op, arrays, projection):
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    out = op(*tensors)
+    out = out[0] if isinstance(out, tuple) else out
+    loss = (out * Tensor(projection.astype(np.float32))).sum()
+    loss.backward()
+    return [t.grad for t in tensors]
+
+
+def _fd_grad(op, arrays, index, projection, h=1e-2):
+    """Central finite differences w.r.t. ``arrays[index]``."""
+    base = arrays[index]
+    grad = np.zeros_like(base, dtype=np.float64)
+    flat = base.reshape(-1)
+    for i in range(flat.shape[0]):
+        original = flat[i]
+        flat[i] = original + h
+        plus = _loss_fn(op, arrays, projection)
+        flat[i] = original - h
+        minus = _loss_fn(op, arrays, projection)
+        flat[i] = original
+        grad.reshape(-1)[i] = (plus - minus) / (2 * h)
+    return grad
+
+
+def _max_rel_err(analytic, fd):
+    scale = np.max(np.abs(fd)) + 1e-12
+    return float(np.max(np.abs(analytic.astype(np.float64) - fd)) / scale)
+
+
+def _gradcheck(fused_op, reference_op, arrays, tol_fd=1e-3, tol_ref=5e-5,
+               scalar_output=False):
+    """Assert fused backward ~ finite differences and ~ reference autograd."""
+    if scalar_output:
+        projection = np.ones(1, dtype=np.float64)
+    else:
+        probe = fused_op(*[Tensor(a) for a in arrays])
+        probe = probe[0] if isinstance(probe, tuple) else probe
+        projection = RNG.normal(size=probe.shape).astype(np.float32).astype(np.float64)
+
+    fused_grads = _analytic_grads(fused_op, arrays, projection)
+    ref_grads = _analytic_grads(reference_op, arrays, projection)
+    for index, (fg, rg) in enumerate(zip(fused_grads, ref_grads)):
+        assert fg is not None and rg is not None
+        assert _max_rel_err(fg, rg.astype(np.float64)) <= tol_ref, \
+            f"fused vs reference mismatch for input {index}"
+        fd = _fd_grad(fused_op, arrays, index, projection)
+        assert _max_rel_err(fg, fd) <= tol_fd, \
+            f"fused vs finite differences mismatch for input {index}"
+
+
+class TestFusedGradchecks:
+    def test_softmax(self):
+        x = RNG.normal(size=(3, 5)).astype(np.float32)
+        _gradcheck(lambda t: fused.softmax(t), lambda t: reference.softmax(t), [x])
+
+    def test_log_softmax(self):
+        x = RNG.normal(size=(3, 5)).astype(np.float32)
+        _gradcheck(lambda t: fused.log_softmax(t),
+                   lambda t: reference.log_softmax(t), [x])
+
+    def test_masked_softmax(self):
+        x = RNG.normal(size=(2, 6, 6)).astype(np.float32)
+        mask = causal_mask(6)
+        _gradcheck(lambda t: fused.masked_softmax(t, mask),
+                   lambda t: reference.masked_softmax(t, mask), [x])
+
+    def test_layer_norm(self):
+        x = RNG.normal(size=(2, 3, 8)).astype(np.float32)
+        w = (1.0 + 0.1 * RNG.normal(size=8)).astype(np.float32)
+        b = (0.1 * RNG.normal(size=8)).astype(np.float32)
+        _gradcheck(lambda xx, ww, bb: fused.layer_norm(xx, ww, bb),
+                   lambda xx, ww, bb: reference.layer_norm(xx, ww, bb),
+                   [x, w, b], tol_ref=2e-4)
+
+    @pytest.mark.parametrize("activation", [None, "relu", "gelu", "tanh", "sigmoid"])
+    def test_linear(self, activation):
+        # Seed chosen so every pre-activation is >= 0.16 away from zero —
+        # central differences straddle the ReLU kink otherwise.
+        rng = np.random.default_rng(38)
+        x = rng.normal(size=(2, 3, 4)).astype(np.float32)
+        w = rng.normal(0, 0.5, size=(5, 4)).astype(np.float32)
+        b = (0.1 * rng.normal(size=5)).astype(np.float32)
+        _gradcheck(lambda xx, ww, bb: fused.linear(xx, ww, bb, activation=activation),
+                   lambda xx, ww, bb: reference.linear(xx, ww, bb, activation=activation),
+                   [x, w, b], tol_ref=1e-4)
+
+    def test_cross_entropy(self):
+        logits = RNG.normal(size=(2, 4, 7)).astype(np.float32)
+        targets = RNG.integers(0, 7, size=(2, 4))
+        targets[0, 1] = -100  # exercise ignore_index
+        _gradcheck(lambda t: fused.cross_entropy_logits(t, targets)[0],
+                   lambda t: reference.cross_entropy_logits(t, targets)[0],
+                   [logits], scalar_output=True)
+
+    def test_cross_entropy_shifted(self):
+        logits = RNG.normal(size=(2, 5, 6)).astype(np.float32)
+        targets = RNG.integers(0, 6, size=(2, 5))
+        _gradcheck(lambda t: fused.cross_entropy_logits(t, targets, shift=True)[0],
+                   lambda t: reference.cross_entropy_logits(t, targets, shift=True)[0],
+                   [logits], scalar_output=True)
+
+    def test_scaled_dot_product_attention(self):
+        q = RNG.normal(size=(2, 2, 4, 3)).astype(np.float32)
+        k = RNG.normal(size=(2, 2, 4, 3)).astype(np.float32)
+        v = RNG.normal(size=(2, 2, 4, 3)).astype(np.float32)
+        mask = causal_mask(4)
+        _gradcheck(lambda a, bq, c: fused.scaled_dot_product_attention(a, bq, c, mask),
+                   lambda a, bq, c: reference.scaled_dot_product_attention(a, bq, c, mask),
+                   [q, k, v], tol_ref=2e-4)
+
+    def test_sdpa_return_probs_rows_sum_to_one(self):
+        q = Tensor(RNG.normal(size=(1, 2, 5, 4)).astype(np.float32))
+        k = Tensor(RNG.normal(size=(1, 2, 5, 4)).astype(np.float32))
+        v = Tensor(RNG.normal(size=(1, 2, 5, 4)).astype(np.float32))
+        out, probs = fused.scaled_dot_product_attention(
+            q, k, v, causal_mask(5), return_probs=True)
+        assert out.shape == (1, 2, 5, 4)
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=1e-5)
+        assert np.all(probs[..., ~causal_mask(5)] == 0.0)
+
+
+class TestKernelSwitch:
+    def test_reference_kernels_context_restores(self):
+        assert fused.fused_kernels_enabled()
+        with fused.reference_kernels():
+            assert not fused.fused_kernels_enabled()
+        assert fused.fused_kernels_enabled()
+
+    def test_model_loss_matches_between_modes(self):
+        from repro.models import build_model
+        ids = np.random.default_rng(3).integers(0, 512, size=(2, 32))
+        model = build_model("gpt2-tiny", seed=0)
+        loss_fused, n_fused = model.loss(ids)
+        with fused.reference_kernels():
+            loss_ref, n_ref = model.loss(ids)
+        assert n_fused == n_ref
+        np.testing.assert_allclose(loss_fused.data, loss_ref.data, rtol=2e-4)
+
+
+# ---------------------------------------------------------------------------
+# backward engine: single accumulation path
+# ---------------------------------------------------------------------------
+
+class TestBackwardAccumulation:
+    def test_diamond_graph_shared_leaf(self):
+        # y = (2x + 3x) * 2x = 10 x**2  ->  dy/dx = 20 x, with x feeding the
+        # product through two interior paths plus a reused intermediate.
+        x = Tensor(np.array([1.5, -2.0, 3.0], dtype=np.float32), requires_grad=True)
+        a = x * 2.0
+        y = (a + x * 3.0) * a
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, 20.0 * x.data, rtol=1e-6)
+
+    def test_leaf_used_twice_in_one_op(self):
+        x = Tensor(np.array([1.0, 2.0], dtype=np.float32), requires_grad=True)
+        (x * x).sum().backward()
+        np.testing.assert_allclose(x.grad, 2.0 * x.data)
+
+    def test_add_aliased_gradient_not_corrupted(self):
+        # __add__ hands the *same* gradient array to both parents; the
+        # accumulation path must not mutate one parent's copy in place while
+        # the other still references it.
+        x = Tensor(np.array([1.0, -1.0], dtype=np.float32), requires_grad=True)
+        y = Tensor(np.array([2.0, 0.5], dtype=np.float32), requires_grad=True)
+        s = x + y
+        (s * s).sum().backward()
+        np.testing.assert_allclose(x.grad, 2.0 * (x.data + y.data))
+        np.testing.assert_allclose(y.grad, 2.0 * (x.data + y.data))
+
+    def test_concatenate_diamond(self):
+        x = Tensor(np.arange(4, dtype=np.float32), requires_grad=True)
+        c = concatenate([x * 2.0, x * 3.0], axis=0)
+        c.sum().backward()
+        np.testing.assert_allclose(x.grad, np.full(4, 5.0))
+
+    def test_grad_accumulates_across_fresh_graphs(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        (x * 2.0).sum().backward()
+        (x * 4.0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full(3, 6.0))
+
+    def test_retain_graph_allows_second_backward(self):
+        x = Tensor(np.array([2.0], dtype=np.float32), requires_grad=True)
+        y = (x * x).sum()
+        y.backward(retain_graph=True)
+        y.backward(retain_graph=True)
+        np.testing.assert_allclose(x.grad, np.array([8.0]))
+
+    def test_graph_is_freed_after_backward(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        y = x * 2.0
+        z = y.sum()
+        z.backward()
+        assert z._parents == () and y._parents == ()
+        assert z._backward is not None  # freed sentinel, not a leaf marker
+
+    def test_second_backward_on_freed_graph_raises(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        z = (x * 2.0).sum()
+        z.backward()
+        with pytest.raises(RuntimeError, match="retain_graph"):
+            z.backward()
+        np.testing.assert_allclose(x.grad, np.full(3, 2.0))  # untouched
+
+    def test_backward_accepts_tensor_seed(self):
+        x = Tensor(np.array([1.0, 2.0], dtype=np.float32), requires_grad=True)
+        y = x * 3.0
+        y.backward(Tensor(np.array([1.0, 0.5], dtype=np.float32)))
+        np.testing.assert_allclose(x.grad, np.array([3.0, 1.5]))
+
+    def test_deep_chain_matches_closed_form(self):
+        x = Tensor(np.array([0.5], dtype=np.float32), requires_grad=True)
+        out = x
+        for _ in range(50):
+            out = out * 1.1
+        out.backward(np.ones(1, dtype=np.float32))
+        np.testing.assert_allclose(x.grad, np.array([1.1 ** 50]), rtol=1e-5)
+
+
+# ---------------------------------------------------------------------------
+# cached causal mask
+# ---------------------------------------------------------------------------
+
+class TestCausalMaskCache:
+    def test_same_object_returned(self):
+        assert causal_mask(16) is causal_mask(16)
+
+    def test_read_only(self):
+        mask = causal_mask(16)
+        assert not mask.flags.writeable
+        with pytest.raises(ValueError):
+            mask[0, 0] = False
+
+    def test_values(self):
+        np.testing.assert_array_equal(causal_mask(4),
+                                      np.tril(np.ones((4, 4), dtype=bool)))
+
+
+# ---------------------------------------------------------------------------
+# sparse geometry cache
+# ---------------------------------------------------------------------------
+
+def _random_layout(seed=0, heads=3, n_blocks=4, block_size=8):
+    rng = np.random.default_rng(seed)
+    masks = rng.random((heads, n_blocks, n_blocks)) < 0.5
+    return layout_from_block_masks(masks, block_size)
+
+
+class TestLayoutGeometryCache:
+    def test_outputs_bitwise_identical_with_and_without_cache(self):
+        layout = _random_layout()
+        seq_len = 30  # deliberately not a block multiple
+        rng = np.random.default_rng(1)
+        shape = (2, layout.n_heads, seq_len, 5)
+        q = rng.normal(size=shape).astype(np.float32)
+        k = rng.normal(size=shape).astype(np.float32)
+        v = rng.normal(size=shape).astype(np.float32)
+
+        def run(cache):
+            qt = Tensor(q, requires_grad=True)
+            kt = Tensor(k, requires_grad=True)
+            vt = Tensor(v, requires_grad=True)
+            out = block_sparse_attention(qt, kt, vt, layout, cache=cache)
+            out.sum().backward()
+            return out.data, qt.grad, kt.grad, vt.grad
+
+        cache = LayoutGeometryCache()
+        plain = run(None)
+        cached_cold = run(cache)
+        cached_warm = run(cache)
+        assert cache.hits >= 1 and cache.misses == 1
+        for a, b, c in zip(plain, cached_cold, cached_warm):
+            assert np.array_equal(a, b)
+            assert np.array_equal(a, c)
+
+    def test_content_keying_shares_across_layout_objects(self):
+        cache = LayoutGeometryCache()
+        a = _random_layout(seed=7)
+        b = _random_layout(seed=7)   # distinct object, identical contents
+        assert a is not b
+        assert a.signature() == b.signature()
+        cache.lookup(a, 32)
+        entry = cache.lookup(b, 32)
+        assert cache.misses == 1 and cache.hits == 1
+        assert entry is cache.lookup(a, 32)
+
+    def test_seq_len_is_part_of_the_key(self):
+        cache = LayoutGeometryCache()
+        layout = _random_layout(seed=3)
+        g1 = cache.lookup(layout, 30)
+        g2 = cache.lookup(layout, 32)
+        assert cache.misses == 2
+        assert g1.element_mask.sum() != g2.element_mask.sum()
+
+    def test_lru_bound(self):
+        cache = LayoutGeometryCache(maxsize=2)
+        for seed in range(5):
+            cache.lookup(_random_layout(seed=seed), 32)
+        assert len(cache) == 2
+
+    def test_engine_backend_threads_cache(self, tiny_batches):
+        from repro.models import build_model
+        from repro.sparsity import LongExposure, LongExposureConfig
+        model = build_model("opt-tiny", seed=0)
+        config = LongExposureConfig(block_size=16, oracle_mode=True, seed=0)
+        engine = LongExposure(config)
+        engine.prepare(model, tiny_batches)
+        engine.install(model)
+        try:
+            ids = tiny_batches[0]
+            model.loss(ids)
+            model.loss(ids)
+        finally:
+            engine.uninstall(model)
+        assert engine.geometry_cache.hits > 0
+
+
+class TestLayoutPoolLRU:
+    def test_combine_cache_bounded_and_hit_counted(self):
+        pool = LayoutPool(build_default_pool(), block_size=16,
+                          combined_cache_size=2)
+        pool.combine(["dense", "local2"], 64)
+        pool.combine(["dense", "local2"], 64)
+        assert pool.combine_hits == 1
+        pool.combine(["local2", "dense"], 64)
+        pool.combine(["local4", "dense"], 64)
+        assert len(pool._combined_cache) == 2
+        # Evicted entry is rebuilt, not corrupted.
+        layout = pool.combine(["dense", "local2"], 64)
+        assert layout.pattern_names == ("dense", "local2")
+
+
+# ---------------------------------------------------------------------------
+# bounded engine stats
+# ---------------------------------------------------------------------------
+
+class TestEngineStats:
+    def test_running_mean_matches_numpy(self):
+        stats = EngineStats()
+        values = np.random.default_rng(0).random(1000)
+        for value in values:
+            stats.record_attention_sparsity(value)
+            stats.record_mlp_sparsity(value / 2)
+        assert stats.attention_sparsity_samples == 1000
+        np.testing.assert_allclose(stats.mean_attention_sparsity(),
+                                   values.mean(), rtol=1e-9)
+        np.testing.assert_allclose(stats.mean_mlp_sparsity(),
+                                   values.mean() / 2, rtol=1e-9)
+
+    def test_constant_memory(self):
+        stats = EngineStats()
+        for _ in range(10):
+            stats.record_attention_sparsity(0.5)
+        # No per-call containers: every field is a scalar.
+        assert all(isinstance(v, (int, float)) for v in vars(stats).values())
+
+    def test_reset(self):
+        stats = EngineStats()
+        stats.record_attention_sparsity(0.7)
+        stats.reset()
+        assert stats.mean_attention_sparsity() == 0.0
+        assert stats.attention_sparsity_samples == 0
