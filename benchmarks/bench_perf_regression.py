@@ -11,17 +11,34 @@ model, in two execution modes each:
   the cost model the paper's fused-operator argument is made against.
 
 Also micro-benchmarks the individual fused ops against their taped
-compositions.  Run as a script::
+compositions, plus (since the sparse-chain pass):
+
+* **sparse_chain** — the in-place fused block-sparse SDD → masked-softmax →
+  DSD chain against the pre-fusion chain (the PR-1 implementation with its
+  ``np.where`` / exp / divide temporaries, kept verbatim below as the
+  baseline), both at the operator level and inside the end-to-end sparse
+  step; the acceptance bar is ``sparse_chain.speedup >= 1.3``;
+* **crossover** — dense fused attention vs. the sparse chain at seq 512
+  under a realistic predicted-pattern layout (the regime where block
+  sparsity must beat the fused dense kernel);
+* **optimizer_step** — flattened single-buffer Adam vs. the per-parameter
+  Python loop;
+* **embedding_scatter** — the sort/``np.add.reduceat`` embedding-backward
+  scatter vs. ``np.add.at`` at GPT-2 vocabulary scale.
+
+Run as a script::
 
     PYTHONPATH=src python benchmarks/bench_perf_regression.py --json BENCH_perf.json
 
 The emitted JSON records all raw timings plus the speedup ratios; the
-acceptance bar for the perf pass is ``dense_step.speedup >= 1.5``.
+acceptance bars for the perf passes are ``dense_step.speedup >= 1.5`` and
+``sparse_chain.speedup >= 1.3``.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import platform
 import time
@@ -33,13 +50,26 @@ from repro.models import build_model
 from repro.optim import Adam
 from repro.runtime.profiler import PhaseProfiler
 from repro.sparsity import LongExposure, LongExposureConfig
+from repro.sparsity.ops import LayoutGeometryCache, block_sparse_attention
+from repro.sparsity.ops.block_sparse import (
+    _blockify,
+    _pad_to_blocks,
+    compute_block_geometry,
+)
+from repro.sparsity.ops.layout import LayoutPool
+from repro.sparsity.patterns import build_default_pool
 from repro.tensor import Tensor, fused, reference
+from repro.tensor.tensor import custom_op, scatter_add_rows
 
 DENSE_MODEL = "gpt2-small-repro"     # GPT-2-small-style executable config
 SPARSE_MODEL = "opt-small"
 BATCH = 4
 SEQ = 128
 BLOCK_SIZE = 32
+CHAIN_HEADS = 8
+CHAIN_DIM = 64
+CHAIN_PATTERNS = ["local2", "dense", "local4", "local4+global2",
+                  "local2", "dense", "local8+global2", "strided2+local2"]
 
 
 def _best_of(fn: Callable[[], None], repeats: int) -> float:
@@ -84,13 +114,84 @@ def bench_dense_step(repeats: int = 5, batch: int = BATCH, seq: int = SEQ,
     return result
 
 
+def _pre_pr_oracle_attention_layout(engine, module, q, k, seq_len):
+    """The PR-1 oracle softmax (out-of-place temporaries), for the baseline."""
+    from repro.nn.attention import causal_mask
+
+    scale = 1.0 / np.sqrt(module.head_dim)
+    scores = np.matmul(q.data, np.swapaxes(k.data, -1, -2)) * scale
+    causal = causal_mask(seq_len)
+    scores = np.where(causal, scores, -1e9)
+    scores = scores - scores.max(axis=-1, keepdims=True)
+    probs = np.exp(scores) * causal
+    probs = probs / np.maximum(probs.sum(axis=-1, keepdims=True), 1e-12)
+    masks, names = engine.attention_exposer.head_block_masks(probs)
+    return engine.layout_pool.combine(list(names), seq_len)
+
+
+def _pre_pr_oracle_mlp_blocks(engine, mlp, x):
+    """The PR-1 oracle MLP activation probe (out-of-place), for the baseline."""
+    pre = x.data.reshape(-1, mlp.dim) @ mlp.fc1.weight.data.T + mlp.fc1.bias.data
+    act = np.maximum(pre, 0.0).reshape(*x.data.shape[:-1], mlp.hidden_dim)
+    return engine.mlp_exposer.active_blocks(act)
+
+
+def _pre_pr_scatter_add_rows(out, indices, updates):
+    """The PR-1 embedding-backward scatter (``np.add.at``), for the baseline."""
+    indices = np.asarray(indices).reshape(-1)
+    np.add.at(out, indices, np.asarray(updates).reshape(indices.shape[0],
+                                                        *out.shape[1:]))
+
+
+@contextlib.contextmanager
+def _pre_pr_sparse_path(engine, full: bool):
+    """Swap this PR's sparse-step optimisations back to their PR-1 forms.
+
+    ``full=False`` rolls back only the fused attention chain (isolating the
+    chain fusion); ``full=True`` additionally restores the out-of-place
+    oracle attention softmax and MLP probe and the ``np.add.at`` embedding
+    scatter — the complete PR-1 sparse step.  (The optimizer needs no
+    rollback here: full fine-tuning routes Adam onto the same per-parameter
+    loop PR 1 ran.)
+    """
+    import types
+
+    import repro.sparsity.engine as engine_module
+    import repro.tensor.tensor as tensor_module
+
+    saved_op = engine_module.block_sparse_attention
+    saved_oracle = engine.oracle_attention_layout
+    saved_mlp_oracle = engine.oracle_mlp_blocks
+    saved_scatter = tensor_module.scatter_add_rows
+    engine_module.block_sparse_attention = pre_pr_block_sparse_attention
+    if full:
+        engine.oracle_attention_layout = types.MethodType(
+            _pre_pr_oracle_attention_layout, engine)
+        engine.oracle_mlp_blocks = types.MethodType(
+            _pre_pr_oracle_mlp_blocks, engine)
+        tensor_module.scatter_add_rows = _pre_pr_scatter_add_rows
+    try:
+        yield
+    finally:
+        engine_module.block_sparse_attention = saved_op
+        engine.oracle_attention_layout = saved_oracle
+        engine.oracle_mlp_blocks = saved_mlp_oracle
+        tensor_module.scatter_add_rows = saved_scatter
+
+
 def bench_sparse_step(repeats: int = 5, batch: int = BATCH, seq: int = SEQ,
                       model_name: str = SPARSE_MODEL) -> Dict[str, float]:
-    """Geometry-cache-on vs. cache-off wall clock of a sparse fine-tune step.
+    """Sparse fine-tune step: geometry cache, chain fusion, full PR deltas.
 
-    Both runs use the fused tensor kernels; the only difference is whether
-    the block-sparse index geometry (segments, element masks, the backward
-    column permutation) is memoized or rebuilt on every attention call.
+    All runs use the fused dense tensor kernels.  Four interleaved modes:
+
+    * ``cached`` — this PR's full sparse step (the default path);
+    * ``uncached`` — geometry memo disabled (index reconstruction per call);
+    * ``pre_pr_chain`` — only the attention chain rolled back to the PR-1
+      temporaries form (``chain_speedup`` isolates the chain fusion);
+    * ``pre_pr_full`` — chain, oracle softmax and embedding scatter all
+      rolled back (``pre_pr_speedup`` is the end-to-end sparse-step win of
+      this PR; the acceptance bar is >= 1.3).
     """
     result: Dict[str, float] = {}
     model = build_model(model_name, seed=0)
@@ -104,21 +205,30 @@ def bench_sparse_step(repeats: int = 5, batch: int = BATCH, seq: int = SEQ,
         optimizer = Adam(model.trainable_parameters(), lr=1e-4)
         step = _train_step_fn(model, ids, optimizer)
         saved_cache = engine.geometry_cache
-        best = {"cached": float("inf"), "uncached": float("inf")}
+        modes = ("cached", "uncached", "pre_pr_chain", "pre_pr_full")
+        best = {mode: float("inf") for mode in modes}
         step()  # warm-up
-        # Interleave the two modes so machine-load drift hits both equally.
+        # Interleave the modes so machine-load drift hits all equally.
         for _ in range(max(1, repeats)):
-            for mode, cache in (("cached", saved_cache), ("uncached", None)):
-                engine.geometry_cache = cache
-                start = time.perf_counter()
-                step()
-                best[mode] = min(best[mode], time.perf_counter() - start)
+            for mode in modes:
+                engine.geometry_cache = None if mode == "uncached" else saved_cache
+                if mode.startswith("pre_pr"):
+                    rollback = _pre_pr_sparse_path(engine,
+                                                   full=mode == "pre_pr_full")
+                else:
+                    rollback = contextlib.nullcontext()
+                with rollback:
+                    start = time.perf_counter()
+                    step()
+                    best[mode] = min(best[mode], time.perf_counter() - start)
         engine.geometry_cache = saved_cache
-        result["cached_s"] = best["cached"]
-        result["uncached_s"] = best["uncached"]
+        for mode in modes:
+            result[f"{mode}_s"] = best[mode]
     finally:
         engine.uninstall(model)
     result["speedup"] = result["uncached_s"] / result["cached_s"]
+    result["chain_speedup"] = result["pre_pr_chain_s"] / result["cached_s"]
+    result["pre_pr_speedup"] = result["pre_pr_full_s"] / result["cached_s"]
     return result
 
 
@@ -151,6 +261,253 @@ def bench_geometry(repeats: int = 50, seq: int = 512,
         "compute_s": compute_s,
         "lookup_s": lookup_s,
         "speedup": compute_s / max(lookup_s, 1e-12),
+    }
+
+
+def pre_pr_block_sparse_attention(q: Tensor, k: Tensor, v: Tensor, layout,
+                                  scale: Optional[float] = None,
+                                  cache: Optional[LayoutGeometryCache] = None
+                                  ) -> Tensor:
+    """The PR-1 block-sparse chain, kept verbatim as the fusion baseline.
+
+    Identical math and identical geometry handling to the current fused op,
+    but every softmax stage materialises its own temporary (``np.where``
+    masked fill, exp, mask multiply, divide) and the backward rebuilds dS
+    out of fresh buffers — exactly what the in-place fusion pass removed.
+    ``sparse_chain.speedup`` in the report is measured against this.
+    """
+    bs = layout.block_size
+    batch, n_heads, seq_len, head_dim = q.shape
+    scale = scale if scale is not None else 1.0 / np.sqrt(head_dim)
+    neg_inf = np.float32(-1e9)
+
+    q_pad = _blockify(_pad_to_blocks(q.data, bs, axis=2), bs)
+    k_pad = _blockify(_pad_to_blocks(k.data, bs, axis=2), bs)
+    v_pad = _blockify(_pad_to_blocks(v.data, bs, axis=2), bs)
+    padded_len = layout.n_blocks * bs
+
+    heads, rows, cols = layout.heads, layout.rows, layout.cols
+    starts = layout.row_segment_starts
+    geom = (cache.lookup(layout, seq_len) if cache is not None
+            else compute_block_geometry(layout, seq_len))
+    seg_ids, seg_heads, seg_rows = geom.seg_ids, geom.seg_heads, geom.seg_rows
+
+    q_blk = q_pad[:, heads, rows]
+    k_blk = k_pad[:, heads, cols]
+    v_blk = v_pad[:, heads, cols]
+
+    scores = np.matmul(q_blk, np.swapaxes(k_blk, -1, -2)) * scale
+    allowed = geom.element_mask
+    scores = np.where(allowed[None], scores, neg_inf)
+
+    block_max = scores.max(axis=-1)
+    seg_max = np.maximum.reduceat(block_max, starts, axis=1)
+    row_max = seg_max[:, seg_ids]
+    exp = np.exp(scores - row_max[..., None]) * allowed[None]
+    block_sum = exp.sum(axis=-1)
+    seg_sum = np.add.reduceat(block_sum, starts, axis=1)
+    row_sum = seg_sum[:, seg_ids]
+    row_sum = np.where(row_sum == 0.0, 1.0, row_sum)
+    probs = exp / row_sum[..., None]
+
+    ctx_blk = np.matmul(probs, v_blk)
+    ctx_seg = np.add.reduceat(ctx_blk, starts, axis=1)
+    out = np.zeros((batch, n_heads, layout.n_blocks, bs, head_dim), dtype=q.data.dtype)
+    out[:, seg_heads, seg_rows] = ctx_seg
+    out = out.reshape(batch, n_heads, padded_len, head_dim)[:, :, :seq_len]
+
+    n_blocks = layout.n_blocks
+    col_order, col_starts = geom.col_order, geom.col_starts
+    col_seg_heads, col_seg_cols = geom.col_seg_heads, geom.col_seg_cols
+
+    def _scatter_to_cols(contrib: np.ndarray) -> np.ndarray:
+        contrib_sorted = contrib[:, col_order]
+        seg = np.add.reduceat(contrib_sorted, col_starts, axis=1)
+        out_blocks = np.zeros((batch, n_heads, n_blocks, bs, head_dim), dtype=np.float32)
+        out_blocks[:, col_seg_heads, col_seg_cols] = seg
+        return out_blocks.reshape(batch, n_heads, padded_len, head_dim)
+
+    def backward(grad_out: np.ndarray):
+        grad_out_pad = _blockify(_pad_to_blocks(grad_out, bs, axis=2), bs)
+        dout_blk = grad_out_pad[:, heads, rows]
+        dv = _scatter_to_cols(np.matmul(np.swapaxes(probs, -1, -2), dout_blk))
+        dP = np.matmul(dout_blk, np.swapaxes(v_blk, -1, -2))
+        inner_blk = (dP * probs).sum(axis=-1)
+        inner_seg = np.add.reduceat(inner_blk, starts, axis=1)
+        inner_row = inner_seg[:, seg_ids]
+        dS = probs * (dP - inner_row[..., None])
+        dS *= scale
+        dq_contrib = np.matmul(dS, k_blk)
+        dq_seg = np.add.reduceat(dq_contrib, starts, axis=1)
+        dq = np.zeros((batch, n_heads, n_blocks, bs, head_dim), dtype=np.float32)
+        dq[:, seg_heads, seg_rows] = dq_seg
+        dq = dq.reshape(batch, n_heads, padded_len, head_dim)
+        dk = _scatter_to_cols(np.matmul(np.swapaxes(dS, -1, -2), q_blk))
+        return (dq[:, :, :seq_len], dk[:, :, :seq_len], dv[:, :, :seq_len])
+
+    return custom_op(out, (q, k, v), backward)
+
+
+def _chain_layout(seq: int, block_size: int = BLOCK_SIZE, patterns=None,
+                  heads: Optional[int] = None):
+    """Mixed predicted-pattern layout used by the chain/crossover benches.
+
+    ``heads`` cycles/truncates the pattern list to the requested head count
+    (the smoke tests run miniature configurations).
+    """
+    patterns = list(patterns or CHAIN_PATTERNS)
+    if heads is not None:
+        patterns = [patterns[i % len(patterns)] for i in range(heads)]
+    pool = LayoutPool(build_default_pool(), block_size)
+    return pool.combine(patterns, seq)
+
+
+def bench_sparse_chain(repeats: int = 20, batch: int = BATCH, seq: int = SEQ,
+                       heads: int = CHAIN_HEADS, dim: int = CHAIN_DIM,
+                       block_size: int = BLOCK_SIZE) -> Dict[str, float]:
+    """Fused in-place sparse chain vs. the pre-PR chain, forward + backward.
+
+    Both run with warm cached geometry, so the measured gap is purely the
+    buffer-reuse fusion of the SDD → masked-softmax → DSD chain.  The
+    acceptance bar is ``speedup >= 1.3``.
+    """
+    layout = _chain_layout(seq, block_size, heads=heads)
+    rng = np.random.default_rng(0)
+    q, k, v = [rng.normal(size=(batch, heads, seq, dim)).astype(np.float32)
+               for _ in range(3)]
+    cache = LayoutGeometryCache()
+    cache.lookup(layout, seq)
+
+    def run(op) -> Callable[[], None]:
+        def once() -> None:
+            qt, kt, vt = [Tensor(a, requires_grad=True) for a in (q, k, v)]
+            out = op(qt, kt, vt, layout, cache=cache)
+            out.backward(np.ones_like(out.data))
+        once()  # warm-up
+        return once
+
+    fused_s = _best_of(run(block_sparse_attention), repeats)
+    pre_pr_s = _best_of(run(pre_pr_block_sparse_attention), repeats)
+    return {
+        "layout_nnz": float(layout.nnz),
+        "fused_s": fused_s,
+        "pre_pr_s": pre_pr_s,
+        "speedup": pre_pr_s / fused_s,
+    }
+
+
+CROSSOVER_PATTERNS = ["local2", "local2+global1", "local4", "local2",
+                      "local4+global1", "local2", "local2+global1", "local4"]
+
+
+def bench_crossover(repeats: int = 10, batch: int = 1, seq: int = 512,
+                    heads: int = CHAIN_HEADS, dim: int = CHAIN_DIM,
+                    block_size: int = BLOCK_SIZE) -> Dict[str, float]:
+    """Sparse-vs-dense attention crossover at long sequence length.
+
+    Compares the fused dense core (causal mask) against the fused sparse
+    chain, forward + backward, at seq 512 under a local-window-heavy layout
+    — the pattern mix long sequences actually predict (bounded local
+    windows plus attention-sink globals; the block count per query row stays
+    constant as the sequence grows, unlike the ``dense``-head mix the
+    short-sequence chain bench uses).  ``sparse_vs_dense > 1`` means block
+    sparsity beats the fused dense kernel — the crossover the paper's
+    headline mechanism depends on, re-established after PR 1 halved the
+    dense step.
+    """
+    from repro.nn.attention import causal_mask
+
+    layout = _chain_layout(seq, block_size, CROSSOVER_PATTERNS, heads=heads)
+    rng = np.random.default_rng(0)
+    q, k, v = [rng.normal(size=(batch, heads, seq, dim)).astype(np.float32)
+               for _ in range(3)]
+    cache = LayoutGeometryCache()
+    cache.lookup(layout, seq)
+    mask = causal_mask(seq)
+
+    def sparse_once() -> None:
+        qt, kt, vt = [Tensor(a, requires_grad=True) for a in (q, k, v)]
+        out = block_sparse_attention(qt, kt, vt, layout, cache=cache)
+        out.backward(np.ones_like(out.data))
+
+    def dense_once() -> None:
+        qt, kt, vt = [Tensor(a, requires_grad=True) for a in (q, k, v)]
+        out = fused.scaled_dot_product_attention(qt, kt, vt, mask)
+        out.backward(np.ones_like(out.data))
+
+    sparse_once(); dense_once()  # warm-up
+    sparse_s = _best_of(sparse_once, repeats)
+    dense_s = _best_of(dense_once, repeats)
+    return {
+        "seq": float(seq),
+        "layout_sparsity": float(layout.sparsity()),
+        "dense_s": dense_s,
+        "sparse_s": sparse_s,
+        "sparse_vs_dense": dense_s / sparse_s,
+    }
+
+
+def bench_optimizer_step(repeats: int = 20, n_params: int = 200,
+                         param_shape=(768,)) -> Dict[str, float]:
+    """Flattened single-buffer Adam vs. the per-parameter Python loop.
+
+    The population mirrors the PEFT regime the optimizer routing targets —
+    many small trainable tensors (BitFit biases / prompt rows at GPT-2-small
+    width) — where the per-parameter NumPy call overhead dominates the loop.
+    """
+    from repro.nn.module import Parameter
+
+    rng = np.random.default_rng(0)
+
+    def make_params():
+        return [Parameter(rng.normal(size=param_shape).astype(np.float32))
+                for _ in range(n_params)]
+
+    def loop_step(optimizer) -> None:
+        """Force the per-parameter fallback path (the pre-flattening cost)."""
+        optimizer.step_count += 1
+        t = optimizer.step_count
+        bias1 = 1.0 - optimizer.beta1 ** t
+        bias2 = 1.0 - optimizer.beta2 ** t
+        for index, param in enumerate(optimizer.params):
+            optimizer._step_param(index, param, bias1, bias2)
+
+    results: Dict[str, float] = {}
+    for mode in ("flat", "loop"):
+        params = make_params()
+        optimizer = Adam(params, lr=1e-4, weight_decay=0.01)
+        for p in params:
+            p.grad = rng.normal(size=param_shape).astype(np.float32)
+        step = (optimizer.step if mode == "flat"
+                else lambda: loop_step(optimizer))
+        step()  # warm-up
+        results[f"{mode}_s"] = _best_of(step, repeats)
+    results["n_elements"] = float(n_params * int(np.prod(param_shape)))
+    results["speedup"] = results["loop_s"] / results["flat_s"]
+    return results
+
+
+def bench_embedding_scatter(repeats: int = 20, vocab: int = 50257,
+                            dim: int = 64, n_tokens: int = 8192
+                            ) -> Dict[str, float]:
+    """Sort/``np.add.reduceat`` embedding-backward scatter vs. ``np.add.at``.
+
+    Uses a Zipf-distributed token stream (the duplicate structure of real
+    text) at GPT-2 vocabulary scale.
+    """
+    rng = np.random.default_rng(0)
+    idx = np.minimum(rng.zipf(1.3, size=n_tokens) - 1, vocab - 1).astype(np.int64)
+    upd = rng.normal(size=(n_tokens, dim)).astype(np.float32)
+    buf = np.zeros((vocab, dim), np.float32)
+
+    add_at_s = _best_of(lambda: np.add.at(buf, idx, upd), repeats)
+    scatter_s = _best_of(lambda: scatter_add_rows(buf, idx, upd), repeats)
+    return {
+        "vocab": float(vocab),
+        "n_tokens": float(n_tokens),
+        "add_at_s": add_at_s,
+        "scatter_s": scatter_s,
+        "speedup": add_at_s / scatter_s,
     }
 
 
@@ -235,6 +592,10 @@ def run_benchmark(repeats: int = 5, op_repeats: int = 20,
         "dense_step": bench_dense_step(repeats, batch=batch, seq=seq),
         "sparse_step": bench_sparse_step(repeats, batch=batch, seq=seq),
         "geometry": bench_geometry(),
+        "sparse_chain": bench_sparse_chain(op_repeats, batch=batch, seq=seq),
+        "crossover": bench_crossover(),
+        "optimizer_step": bench_optimizer_step(op_repeats),
+        "embedding_scatter": bench_embedding_scatter(op_repeats),
         "ops": bench_fused_ops(op_repeats),
     }
     return report
@@ -249,14 +610,39 @@ def _print_report(report: Dict) -> None:
     print(f"  reference {dense['reference_s'] * 1000:8.1f} ms")
     print(f"  speedup   {dense['speedup']:8.2f}x")
     print(f"sparse fine-tune step ({report['meta']['sparse_model']}, oracle):")
-    print(f"  cached    {sparse['cached_s'] * 1000:8.1f} ms")
-    print(f"  uncached  {sparse['uncached_s'] * 1000:8.1f} ms")
-    print(f"  speedup   {sparse['speedup']:8.2f}x")
+    print(f"  cached       {sparse['cached_s'] * 1000:8.1f} ms")
+    print(f"  uncached     {sparse['uncached_s'] * 1000:8.1f} ms")
+    print(f"  pre-PR chain {sparse['pre_pr_chain_s'] * 1000:8.1f} ms")
+    print(f"  pre-PR full  {sparse['pre_pr_full_s'] * 1000:8.1f} ms")
+    print(f"  cache {sparse['speedup']:.2f}x   chain {sparse['chain_speedup']:.2f}x"
+          f"   vs PR-1 step {sparse['pre_pr_speedup']:.2f}x")
     geom = report["geometry"]
     print(f"sparse geometry per call (seq 512, block 16, nnz {int(geom['layout_nnz'])}):")
     print(f"  compute   {geom['compute_s'] * 1e3:8.3f} ms")
     print(f"  lookup    {geom['lookup_s'] * 1e3:8.3f} ms")
     print(f"  speedup   {geom['speedup']:8.1f}x")
+    chain = report["sparse_chain"]
+    print(f"fused sparse chain (fwd+bwd, nnz {int(chain['layout_nnz'])}):")
+    print(f"  fused     {chain['fused_s'] * 1e3:8.2f} ms")
+    print(f"  pre-PR    {chain['pre_pr_s'] * 1e3:8.2f} ms")
+    print(f"  speedup   {chain['speedup']:8.2f}x")
+    cross = report["crossover"]
+    print(f"crossover at seq {int(cross['seq'])} "
+          f"(layout sparsity {cross['layout_sparsity']:.2f}):")
+    print(f"  dense     {cross['dense_s'] * 1e3:8.2f} ms")
+    print(f"  sparse    {cross['sparse_s'] * 1e3:8.2f} ms")
+    print(f"  sparse wins by {cross['sparse_vs_dense']:5.2f}x")
+    opt = report["optimizer_step"]
+    print(f"optimizer step ({int(opt['n_elements'])} elements):")
+    print(f"  flat      {opt['flat_s'] * 1e3:8.2f} ms")
+    print(f"  loop      {opt['loop_s'] * 1e3:8.2f} ms")
+    print(f"  speedup   {opt['speedup']:8.2f}x")
+    scatter = report["embedding_scatter"]
+    print(f"embedding scatter (vocab {int(scatter['vocab'])}, "
+          f"{int(scatter['n_tokens'])} tokens):")
+    print(f"  add.at    {scatter['add_at_s'] * 1e3:8.2f} ms")
+    print(f"  scatter   {scatter['scatter_s'] * 1e3:8.2f} ms")
+    print(f"  speedup   {scatter['speedup']:8.2f}x")
     print("fused ops (forward + backward, best-of-N):")
     for name, row in report["ops"].items():
         print(f"  {name:<16} {row['fused_s'] * 1e3:7.2f} ms vs "

@@ -276,21 +276,35 @@ class LongExposure:
     # -- oracle (exposer-driven) paths ------------------------------------------------
     def oracle_attention_layout(self, module: MultiHeadAttention, q, k,
                                 seq_len: int) -> MultiHeadLayout:
-        """Exact-mask layout computed from the current Q/K (ablation mode)."""
+        """Exact-mask layout computed from the current Q/K (ablation mode).
+
+        The dense softmax runs every layer of every oracle step (it is what
+        the exposer reads), so it reuses the score buffer in place the same
+        way the fused kernels do — the masked fill / max-subtract / exp /
+        normalise chain allocates no ``(batch, heads, seq, seq)``
+        temporaries beyond the matmul output.  Values are identical to the
+        previous out-of-place form.
+        """
         scale = 1.0 / np.sqrt(module.head_dim)
-        scores = np.matmul(q.data, np.swapaxes(k.data, -1, -2)) * scale
+        scores = np.matmul(q.data, np.swapaxes(k.data, -1, -2))
+        scores *= scale
         causal = causal_mask(seq_len)
-        scores = np.where(causal, scores, -1e9)
-        scores = scores - scores.max(axis=-1, keepdims=True)
-        probs = np.exp(scores) * causal
-        probs = probs / np.maximum(probs.sum(axis=-1, keepdims=True), 1e-12)
-        masks, names = self.attention_exposer.head_block_masks(probs)
+        np.copyto(scores, np.float32(-1e9), where=~causal)
+        scores -= scores.max(axis=-1, keepdims=True)
+        np.exp(scores, out=scores)
+        np.multiply(scores, causal, out=scores)
+        denom = scores.sum(axis=-1, keepdims=True)
+        np.maximum(denom, 1e-12, out=denom)
+        scores /= denom
+        masks, names = self.attention_exposer.head_block_masks(scores)
         return self.layout_pool.combine(list(names), seq_len)
 
     def oracle_mlp_blocks(self, mlp: MLPBlock, x) -> np.ndarray:
         """Exact active neuron blocks computed from the current input (ablation mode)."""
-        pre = x.data.reshape(-1, mlp.dim) @ mlp.fc1.weight.data.T + mlp.fc1.bias.data
-        act = np.maximum(pre, 0.0).reshape(*x.data.shape[:-1], mlp.hidden_dim)
+        pre = x.data.reshape(-1, mlp.dim) @ mlp.fc1.weight.data.T
+        pre += mlp.fc1.bias.data
+        np.maximum(pre, 0.0, out=pre)
+        act = pre.reshape(*x.data.shape[:-1], mlp.hidden_dim)
         return self.mlp_exposer.active_blocks(act)
 
     # -- backend installation --------------------------------------------------------

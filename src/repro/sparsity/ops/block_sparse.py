@@ -38,6 +38,8 @@ from repro.sparsity.ops.geometry_cache import (
 )
 from repro.sparsity.ops.layout import MultiHeadLayout
 from repro.tensor import Tensor
+from repro.tensor import fused as _fused
+from repro.tensor import reference as _reference
 from repro.tensor.tensor import custom_op
 
 _NEG_INF = np.float32(-1e9)
@@ -178,11 +180,27 @@ def block_sparse_attention(q: Tensor, k: Tensor, v: Tensor, layout: MultiHeadLay
     computes gradients for Q, K and V only through the active blocks, so both
     compute and gradient work scale with ``layout.nnz`` rather than with the
     full ``seq²`` score matrix.
+
+    The whole SDD → masked-softmax → DSD chain is one tape node.  Forward and
+    backward reuse their big ``(batch, nnz, block, block)`` buffers in place
+    (masked fill / exp / normalise all mutate the score buffer; the softmax
+    backward mutates the dP buffer), so beyond the block gathers each pass
+    owns exactly one score-sized array — the same treatment
+    :func:`repro.tensor.fused.scaled_dot_product_attention` gives the dense
+    core.  With :func:`repro.tensor.fused.set_fused_kernels` disabled the
+    call routes to the primitive-composition twin
+    :func:`repro.tensor.reference.block_sparse_attention` instead, so the
+    sparse path participates in the same fused/taped A-B switch as the dense
+    kernels.
     """
     bs = layout.block_size
     batch, n_heads, seq_len, head_dim = q.shape
     if n_heads != layout.n_heads:
         raise ValueError(f"layout has {layout.n_heads} heads, tensors have {n_heads}")
+
+    if not _fused.fused_kernels_enabled():
+        return _reference.block_sparse_attention(q, k, v, layout, scale=scale)
+
     scale = scale if scale is not None else 1.0 / np.sqrt(head_dim)
 
     q_pad = _blockify(_pad_to_blocks(q.data, bs, axis=2), bs)
@@ -200,20 +218,27 @@ def block_sparse_attention(q: Tensor, k: Tensor, v: Tensor, layout: MultiHeadLay
     k_blk = k_pad[:, heads, cols]
     v_blk = v_pad[:, heads, cols]
 
-    scores = np.matmul(q_blk, np.swapaxes(k_blk, -1, -2)) * scale
-    allowed = geom.element_mask                                  # (nnz, bs, bs)
-    scores = np.where(allowed[None], scores, _NEG_INF)
+    # Scores buffer: scaled, masked, exponentiated and normalised in place —
+    # it leaves this block as the probability stack, with no `np.where(...)` /
+    # exp / divide temporaries ever materialised.
+    scores = np.matmul(q_blk, np.swapaxes(k_blk, -1, -2))
+    scores *= scale
+    allowed_f32 = geom.element_mask_f32                          # (nnz, bs, bs)
+    np.copyto(scores, _NEG_INF, where=geom.neg_element_mask[None])
 
     # Row-wise softmax across all blocks sharing a (head, query-row) segment.
     block_max = scores.max(axis=-1)                              # (batch, nnz, bs)
     seg_max = np.maximum.reduceat(block_max, starts, axis=1)     # (batch, nseg, bs)
     row_max = seg_max[:, seg_ids]                                # (batch, nnz, bs)
-    exp = np.exp(scores - row_max[..., None]) * allowed[None]
-    block_sum = exp.sum(axis=-1)                                 # (batch, nnz, bs)
+    scores -= row_max[..., None]
+    np.exp(scores, out=scores)
+    np.multiply(scores, allowed_f32[None], out=scores)
+    block_sum = scores.sum(axis=-1)                              # (batch, nnz, bs)
     seg_sum = np.add.reduceat(block_sum, starts, axis=1)
-    row_sum = seg_sum[:, seg_ids]
-    row_sum = np.where(row_sum == 0.0, 1.0, row_sum)
-    probs = exp / row_sum[..., None]                             # (batch, nnz, bs, bs)
+    row_sum = seg_sum[:, seg_ids]                                # fresh gather: safe to fix up in place
+    np.copyto(row_sum, 1.0, where=row_sum == 0.0)
+    scores /= row_sum[..., None]
+    probs = scores                                               # (batch, nnz, bs, bs)
 
     ctx_blk = np.matmul(probs, v_blk)                            # (batch, nnz, bs, dim)
     ctx_seg = np.add.reduceat(ctx_blk, starts, axis=1)
@@ -240,12 +265,14 @@ def block_sparse_attention(q: Tensor, k: Tensor, v: Tensor, layout: MultiHeadLay
         # dV: P^T @ dOut accumulated onto (head, col) blocks.
         dv = _scatter_to_cols(np.matmul(np.swapaxes(probs, -1, -2), dout_blk))
 
-        # dP and softmax backward restricted to active blocks.
-        dP = np.matmul(dout_blk, np.swapaxes(v_blk, -1, -2))     # (batch, nnz, bs, bs)
-        inner_blk = (dP * probs).sum(axis=-1)                    # (batch, nnz, bs)
+        # dP, then the softmax backward carried out in the same buffer
+        # (dS = probs * (dP - inner_row) * scale, written into dP).
+        dS = np.matmul(dout_blk, np.swapaxes(v_blk, -1, -2))     # (batch, nnz, bs, bs)
+        inner_blk = np.einsum("...ij,...ij->...i", dS, probs)    # (batch, nnz, bs)
         inner_seg = np.add.reduceat(inner_blk, starts, axis=1)
         inner_row = inner_seg[:, seg_ids]
-        dS = probs * (dP - inner_row[..., None])
+        dS -= inner_row[..., None]
+        dS *= probs
         dS *= scale
 
         # dQ: contributions land on (head, row) blocks — contiguous segments.

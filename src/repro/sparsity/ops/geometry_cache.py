@@ -82,17 +82,24 @@ class BlockGeometry:
     col_starts: np.ndarray
     col_seg_heads: np.ndarray
     col_seg_cols: np.ndarray
+    # Derived forms of element_mask kept so the fused in-place chain never
+    # negates or bool->float casts the mask on the hot path.
+    neg_element_mask: np.ndarray = None    # ~element_mask, for masked fill
+    element_mask_f32: np.ndarray = None    # element_mask as float32 multiplier
 
 
 def compute_block_geometry(layout: MultiHeadLayout, seq_len: int) -> BlockGeometry:
     """Derive the full geometry bundle from scratch (the uncached path)."""
     seg_ids, seg_heads, seg_rows = segment_geometry(layout)
     col_order, col_starts, col_seg_heads, col_seg_cols = layout.col_geometry()
+    element_mask = block_element_mask(layout, seq_len)
     return BlockGeometry(
         seg_ids=seg_ids, seg_heads=seg_heads, seg_rows=seg_rows,
-        element_mask=block_element_mask(layout, seq_len),
+        element_mask=element_mask,
         col_order=col_order, col_starts=col_starts,
         col_seg_heads=col_seg_heads, col_seg_cols=col_seg_cols,
+        neg_element_mask=~element_mask,
+        element_mask_f32=element_mask.astype(np.float32),
     )
 
 

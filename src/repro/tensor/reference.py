@@ -36,6 +36,7 @@ __all__ = [
     "linear",
     "cross_entropy_logits",
     "scaled_dot_product_attention",
+    "block_sparse_attention",
 ]
 
 
@@ -131,3 +132,22 @@ def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor,
     scores = q.matmul(k.swapaxes(-1, -2)) * scale
     probs = masked_softmax(scores, attn_mask, axis=-1)
     return probs.matmul(v)
+
+
+def block_sparse_attention(q: Tensor, k: Tensor, v: Tensor, layout,
+                           scale: Optional[float] = None) -> Tensor:
+    """Primitive-composition twin of the fused block-sparse attention chain.
+
+    The fused kernel in :mod:`repro.sparsity.ops.block_sparse` normalises the
+    softmax over the union of active blocks in each query row, with causality
+    enforced at the element level — which is exactly dense attention under
+    the layout's expanded element mask.  This twin therefore materialises
+    ``layout.to_dense_mask(seq_len)`` and runs the taped dense chain, letting
+    autograd derive the backward.  ``layout`` is duck-typed (anything with
+    ``to_dense_mask``) so this module keeps zero imports from the sparsity
+    package.  Dense-sized compute is the point: this is the gradcheck oracle
+    and deep-tape baseline, never the hot path.
+    """
+    seq_len = q.shape[2]
+    mask = layout.to_dense_mask(seq_len)[None]       # (1, heads, seq, seq)
+    return scaled_dot_product_attention(q, k, v, attn_mask=mask, scale=scale)

@@ -1,0 +1,307 @@
+"""Reusable fused-vs-reference parity harness.
+
+Every fused kernel in the stack has three independent correctness anchors:
+
+* the **primitive-composition twin** in :mod:`repro.tensor.reference`, whose
+  backward is derived by autograd from elementary ops;
+* **central finite differences** of the dispatched forward itself;
+* the **runtime toggle** (:func:`repro.tensor.fused.set_fused_kernels`),
+  which must route the same call sites through either implementation.
+
+This module turns those anchors into data: :func:`build_cases` returns one
+:class:`ParityCase` per (op, shape/dtype/sequence-length configuration), and
+:func:`run_case` executes the full check for a case under either toggle
+state.  Ops are always invoked through their *dispatch* entry point (the
+``repro.tensor.functional`` layer for the dense kernels,
+``repro.sparsity.ops.block_sparse_attention`` for the sparse chain), so a
+case run with ``fused_enabled=False`` gradchecks the reference twin and the
+toggle plumbing at the same time.
+
+Adding a new fused op = appending cases in :func:`build_cases`; the test
+files stay untouched.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.sparsity.ops import block_sparse_attention
+from repro.sparsity.ops.layout import LayoutPool, layout_from_block_masks
+from repro.sparsity.patterns import build_default_pool
+from repro.tensor import Tensor, functional as F, fused, reference
+
+
+@dataclass
+class ParityCase:
+    """One op under one input configuration, ready for gradchecking."""
+
+    op: str                       # op family ("softmax", "sparse_chain", ...)
+    case_id: str                  # unique pytest id, e.g. "softmax-2d-f32"
+    dispatch: Callable            # toggle-routed entry point, takes Tensors
+    reference: Callable           # primitive-composition twin, takes Tensors
+    arrays: List[np.ndarray]      # differentiable inputs (gradchecked each)
+    tol_fd: float = 1e-3          # max rel err vs central finite differences
+    tol_ref: float = 5e-5         # max rel err fused vs reference autograd
+    scalar_output: bool = False   # op returns a scalar loss (e.g. (loss, n))
+
+    def __str__(self) -> str:  # pragma: no cover - pytest id helper
+        return self.case_id
+
+
+@contextlib.contextmanager
+def kernels_enabled(enabled: bool):
+    """Force the fused-kernel toggle to ``enabled`` for the duration."""
+    previous = fused.fused_kernels_enabled()
+    fused.set_fused_kernels(enabled)
+    try:
+        yield
+    finally:
+        fused.set_fused_kernels(previous)
+
+
+# ---------------------------------------------------------------------------
+# gradcheck machinery
+# ---------------------------------------------------------------------------
+
+def _unwrap(out):
+    """Ops like cross entropy return ``(loss, n_valid)``; keep the Tensor."""
+    return out[0] if isinstance(out, tuple) else out
+
+
+def loss_fn(op: Callable, arrays: Sequence[np.ndarray],
+            projection: np.ndarray) -> float:
+    """Scalar probe ``sum(op(*arrays) * projection)`` evaluated in float64."""
+    out = _unwrap(op(*[Tensor(a) for a in arrays]))
+    return float(np.sum(out.data.astype(np.float64) * projection))
+
+
+def analytic_grads(op: Callable, arrays: Sequence[np.ndarray],
+                   projection: np.ndarray) -> List[np.ndarray]:
+    """Gradients of the probe loss w.r.t. every input, via the tape."""
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    out = _unwrap(op(*tensors))
+    loss = (out * Tensor(projection.astype(np.float32))).sum()
+    loss.backward()
+    return [t.grad for t in tensors]
+
+
+def fd_grad(op: Callable, arrays: Sequence[np.ndarray], index: int,
+            projection: np.ndarray, h: float = 1e-2) -> np.ndarray:
+    """Central finite differences of the probe loss w.r.t. ``arrays[index]``."""
+    base = arrays[index]
+    grad = np.zeros_like(base, dtype=np.float64)
+    flat = base.reshape(-1)
+    for i in range(flat.shape[0]):
+        original = flat[i]
+        flat[i] = original + h
+        plus = loss_fn(op, arrays, projection)
+        flat[i] = original - h
+        minus = loss_fn(op, arrays, projection)
+        flat[i] = original
+        grad.reshape(-1)[i] = (plus - minus) / (2 * h)
+    return grad
+
+
+def max_rel_err(analytic: np.ndarray, fd: np.ndarray) -> float:
+    """Max absolute error scaled by the gradient's infinity norm."""
+    scale = np.max(np.abs(fd)) + 1e-12
+    return float(np.max(np.abs(analytic.astype(np.float64) - fd)) / scale)
+
+
+def run_case(case: ParityCase, fused_enabled: bool = True) -> None:
+    """Gradcheck ``case``'s dispatch entry under the given toggle state.
+
+    Asserts, for every differentiable input: dispatch-vs-reference autograd
+    agreement (``tol_ref``) and dispatch-vs-central-finite-differences
+    agreement (``tol_fd``).  With ``fused_enabled=False`` the dispatch layer
+    resolves to the reference twin, so the same run validates the reference
+    implementations and the toggle routing.
+    """
+    arrays = [a.copy() for a in case.arrays]
+    with kernels_enabled(fused_enabled):
+        if case.scalar_output:
+            projection = np.ones(1, dtype=np.float64)
+        else:
+            probe = _unwrap(case.dispatch(*[Tensor(a) for a in arrays]))
+            rng = np.random.default_rng(99)
+            projection = rng.normal(size=probe.shape).astype(np.float32)
+            projection = projection.astype(np.float64)
+        dispatch_grads = analytic_grads(case.dispatch, arrays, projection)
+        fd_grads = [fd_grad(case.dispatch, arrays, i, projection)
+                    for i in range(len(arrays))]
+    reference_grads = analytic_grads(case.reference, arrays, projection)
+    for index, (dg, rg, fd) in enumerate(zip(dispatch_grads, reference_grads,
+                                             fd_grads)):
+        assert dg is not None and rg is not None, f"missing grad for input {index}"
+        ref_err = max_rel_err(dg, rg.astype(np.float64))
+        assert ref_err <= case.tol_ref, \
+            f"{case.case_id}: dispatch vs reference mismatch for input " \
+            f"{index} (max rel err {ref_err:.2e} > {case.tol_ref:.0e})"
+        fd_err = max_rel_err(dg, fd)
+        assert fd_err <= case.tol_fd, \
+            f"{case.case_id}: dispatch vs finite differences mismatch for " \
+            f"input {index} (max rel err {fd_err:.2e} > {case.tol_fd:.0e})"
+
+
+# ---------------------------------------------------------------------------
+# case registry
+# ---------------------------------------------------------------------------
+
+def _normals(rng, *shapes, dtype=np.float32):
+    return [rng.normal(size=s).astype(dtype) for s in shapes]
+
+
+def _causal(n: int) -> np.ndarray:
+    return np.tril(np.ones((n, n), dtype=bool))
+
+
+def _random_layout(seed: int, heads: int, n_blocks: int, block_size: int):
+    rng = np.random.default_rng(seed)
+    masks = rng.random((heads, n_blocks, n_blocks)) < 0.5
+    return layout_from_block_masks(masks, block_size)
+
+
+def build_cases() -> List[ParityCase]:
+    """The parity grid: every fused op x shapes / dtypes / odd seq lengths.
+
+    Note on the ``f64-input`` tags: the Tensor substrate deliberately
+    downcasts float64 inputs to float32 (``_as_array`` — FP32 is the stack's
+    compute precision), so these cases cover the *float64 input acceptance /
+    downcast* path, not float64 compute.  If a second compute precision is
+    ever added, these are the cases to split.
+    """
+    cases: List[ParityCase] = []
+    add = cases.append
+
+    # -- softmax family ----------------------------------------------------
+    for seed, (tag, shape, dtype) in enumerate([("2d-f32", (3, 5), np.float32),
+                                                ("3d-odd-f32", (2, 4, 7), np.float32),
+                                                ("2d-f64-input", (3, 6), np.float64)]):
+        x, = _normals(np.random.default_rng(100 + seed), shape, dtype=dtype)
+        add(ParityCase("softmax", f"softmax-{tag}",
+                       lambda t: F.softmax(t), lambda t: reference.softmax(t), [x]))
+    for seed, (tag, shape, dtype) in enumerate([("2d-f32", (4, 9), np.float32),
+                                                ("2d-f64-input", (3, 5), np.float64)]):
+        x, = _normals(np.random.default_rng(110 + seed), shape, dtype=dtype)
+        add(ParityCase("log_softmax", f"log_softmax-{tag}",
+                       lambda t: F.log_softmax(t),
+                       lambda t: reference.log_softmax(t), [x]))
+
+    # -- masked softmax: causal, ragged keep-mask with a fully-masked row --
+    x, = _normals(np.random.default_rng(2), (2, 6, 6))
+    causal6 = _causal(6)
+    add(ParityCase("masked_softmax", "masked_softmax-causal6",
+                   lambda t: F.masked_softmax(t, causal6),
+                   lambda t: reference.masked_softmax(t, causal6), [x]))
+    rng = np.random.default_rng(3)
+    ragged = rng.random((5, 9)) < 0.6
+    ragged[2] = False                      # fully-masked row -> all-zero output
+    xr, = _normals(rng, (2, 5, 9))
+    add(ParityCase("masked_softmax", "masked_softmax-ragged-zero-row",
+                   lambda t: F.masked_softmax(t, ragged),
+                   lambda t: reference.masked_softmax(t, ragged), [xr]))
+
+    # -- layer norm --------------------------------------------------------
+    for seed, (tag, shape, dtype) in enumerate([("3d-f32", (2, 3, 8), np.float32),
+                                                ("2d-odd-f32", (4, 7), np.float32),
+                                                ("3d-f64-input", (2, 3, 8), np.float64)]):
+        rng = np.random.default_rng(120 + seed)
+        x, = _normals(rng, shape, dtype=dtype)
+        w = (1.0 + 0.1 * rng.normal(size=shape[-1])).astype(dtype)
+        b = (0.1 * rng.normal(size=shape[-1])).astype(dtype)
+        add(ParityCase("layer_norm", f"layer_norm-{tag}",
+                       lambda xx, ww, bb: F.layer_norm(xx, ww, bb),
+                       lambda xx, ww, bb: reference.layer_norm(xx, ww, bb),
+                       [x, w, b], tol_ref=2e-4))
+
+    # -- fused linear (+bias, +activation) ---------------------------------
+    # Seed chosen so every pre-activation is >= 0.16 away from zero —
+    # central differences would straddle the ReLU kink otherwise.
+    for activation in (None, "relu", "gelu", "tanh", "sigmoid"):
+        rng = np.random.default_rng(38)
+        x = rng.normal(size=(2, 3, 4)).astype(np.float32)
+        w = rng.normal(0, 0.5, size=(5, 4)).astype(np.float32)
+        b = (0.1 * rng.normal(size=5)).astype(np.float32)
+        add(ParityCase("linear", f"linear-{activation or 'none'}",
+                       lambda xx, ww, bb, a=activation: F.linear(xx, ww, bb, activation=a),
+                       lambda xx, ww, bb, a=activation: reference.linear(xx, ww, bb, activation=a),
+                       [x, w, b], tol_ref=1e-4))
+    rng = np.random.default_rng(39)
+    x, w = _normals(rng, (7, 3), (2, 3), dtype=np.float64)
+    add(ParityCase("linear", "linear-nobias-f64-input",
+                   lambda xx, ww: F.linear(xx, ww),
+                   lambda xx, ww: reference.linear(xx, ww), [x, w], tol_ref=1e-4))
+
+    # -- cross entropy on logits -------------------------------------------
+    rng = np.random.default_rng(5)
+    logits = rng.normal(size=(2, 4, 7)).astype(np.float32)
+    targets = rng.integers(0, 7, size=(2, 4))
+    targets[0, 1] = -100                   # exercise ignore_index
+    add(ParityCase("cross_entropy", "cross_entropy-ignore-index",
+                   lambda t: F.cross_entropy(t, targets),
+                   lambda t: reference.cross_entropy_logits(t, targets),
+                   [logits], scalar_output=True))
+    logits_s = rng.normal(size=(2, 5, 6)).astype(np.float32)
+    targets_s = rng.integers(0, 6, size=(2, 5))
+    add(ParityCase("cross_entropy", "cross_entropy-shifted",
+                   lambda t: F.cross_entropy(t, targets_s, shift=True),
+                   lambda t: reference.cross_entropy_logits(t, targets_s, shift=True),
+                   [logits_s], scalar_output=True))
+    logits_2d = rng.normal(size=(9, 5)).astype(np.float64)
+    targets_2d = rng.integers(0, 5, size=9)
+    targets_2d[3] = -100
+    add(ParityCase("cross_entropy", "cross_entropy-2d-f64-input",
+                   lambda t: F.cross_entropy(t, targets_2d),
+                   lambda t: reference.cross_entropy_logits(t, targets_2d),
+                   [logits_2d], scalar_output=True))
+
+    # -- dense attention core ----------------------------------------------
+    rng = np.random.default_rng(6)
+    q, k, v = _normals(rng, (2, 2, 4, 3), (2, 2, 4, 3), (2, 2, 4, 3))
+    causal4 = _causal(4)
+    add(ParityCase("attention", "attention-causal4",
+                   lambda a, bq, c: F.scaled_dot_product_attention(a, bq, c, causal4),
+                   lambda a, bq, c: reference.scaled_dot_product_attention(a, bq, c, causal4),
+                   [q, k, v], tol_ref=2e-4))
+    q5, k5, v5 = _normals(rng, (1, 2, 5, 3), (1, 2, 5, 3), (1, 2, 5, 3))
+    add(ParityCase("attention", "attention-odd-seq-nomask",
+                   lambda a, bq, c: F.scaled_dot_product_attention(a, bq, c),
+                   lambda a, bq, c: reference.scaled_dot_product_attention(a, bq, c),
+                   [q5, k5, v5], tol_ref=2e-4))
+    q7, k7, v7 = _normals(rng, (1, 1, 7, 2), (1, 1, 7, 2), (1, 1, 7, 2),
+                          dtype=np.float64)
+    causal7 = _causal(7)
+    add(ParityCase("attention", "attention-seq7-f64-input",
+                   lambda a, bq, c: F.scaled_dot_product_attention(a, bq, c, causal7),
+                   lambda a, bq, c: reference.scaled_dot_product_attention(a, bq, c, causal7),
+                   [q7, k7, v7], tol_ref=2e-4))
+
+    # -- fused block-sparse attention chain --------------------------------
+    # The reference twin runs dense attention under the layout's expanded
+    # element mask; the fused kernel sums in block-segment order, so the
+    # fused-vs-reference tolerance is the float32 rounding of the two
+    # summation orders rather than the ~1e-5 of the shared-algorithm ops.
+    def sparse_case(tag, layout, seq, dim, seed, dtype=np.float32):
+        rng = np.random.default_rng(seed)
+        shape = (1, layout.n_heads, seq, dim)
+        qs, ks, vs = _normals(rng, shape, shape, shape, dtype=dtype)
+        add(ParityCase("sparse_chain", f"sparse_chain-{tag}",
+                       lambda a, bq, c: block_sparse_attention(a, bq, c, layout),
+                       lambda a, bq, c: reference.block_sparse_attention(a, bq, c, layout),
+                       [qs, ks, vs], tol_ref=5e-4))
+
+    dense_pool = LayoutPool(build_default_pool(), 4)
+    sparse_case("dense-seq12", dense_pool.dense_layout(2, 12), 12, 3, seed=7)
+    sparse_case("random-ragged-seq21", _random_layout(11, heads=2, n_blocks=3,
+                                                      block_size=8), 21, 3, seed=8)
+    sparse_case("random-seq16-f64-input", _random_layout(13, heads=3, n_blocks=2,
+                                                   block_size=8), 16, 2, seed=9,
+                dtype=np.float64)
+    return cases
+
+
+ALL_CASES = build_cases()

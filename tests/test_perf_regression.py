@@ -79,8 +79,72 @@ def test_bench_dense_step_structure():
 def test_bench_sparse_step_structure():
     result = bench.bench_sparse_step(repeats=1, batch=1, seq=64,
                                      model_name="opt-tiny")
-    assert result["cached_s"] > 0 and result["uncached_s"] > 0
-    assert "speedup" in result
+    for key in ("cached_s", "uncached_s", "pre_pr_chain_s", "pre_pr_full_s"):
+        assert result[key] > 0
+    for key in ("speedup", "chain_speedup", "pre_pr_speedup"):
+        assert key in result
+    # The baseline swaps must have been undone afterwards.
+    import repro.sparsity.engine as engine_module
+    import repro.tensor.tensor as tensor_module
+    from repro.sparsity.ops import block_sparse_attention
+    assert engine_module.block_sparse_attention is block_sparse_attention
+    assert tensor_module.scatter_add_rows is not bench._pre_pr_scatter_add_rows
+
+
+def test_pre_pr_chain_matches_fused_chain_numerically():
+    """The benchmark's embedded PR-1 baseline must compute the same op."""
+    from repro.sparsity.ops import LayoutGeometryCache, block_sparse_attention
+    from repro.tensor import Tensor
+
+    layout = bench._chain_layout(64, block_size=16,
+                                 patterns=["local2", "dense", "local4"])
+    rng = np.random.default_rng(0)
+    q, k, v = [rng.normal(size=(2, 3, 64, 8)).astype(np.float32)
+               for _ in range(3)]
+    cache = LayoutGeometryCache()
+
+    def run(op):
+        qt, kt, vt = [Tensor(a, requires_grad=True) for a in (q, k, v)]
+        out = op(qt, kt, vt, layout, cache=cache)
+        out.sum().backward()
+        return out.data, qt.grad, kt.grad, vt.grad
+
+    for new, old in zip(run(block_sparse_attention),
+                        run(bench.pre_pr_block_sparse_attention)):
+        np.testing.assert_allclose(new, old, rtol=1e-4, atol=1e-5)
+
+
+def test_bench_sparse_chain_structure():
+    result = bench.bench_sparse_chain(repeats=1, batch=1, seq=32, heads=2,
+                                      dim=8, block_size=16)
+    assert result["fused_s"] > 0 and result["pre_pr_s"] > 0
+    assert result["layout_nnz"] > 0
+    assert result["speedup"] == pytest.approx(
+        result["pre_pr_s"] / result["fused_s"])
+
+
+def test_bench_crossover_structure():
+    result = bench.bench_crossover(repeats=1, batch=1, seq=64, heads=2,
+                                   dim=8, block_size=16)
+    assert result["dense_s"] > 0 and result["sparse_s"] > 0
+    assert 0.0 < result["layout_sparsity"] < 1.0
+    assert result["sparse_vs_dense"] == pytest.approx(
+        result["dense_s"] / result["sparse_s"])
+
+
+def test_bench_optimizer_step_structure():
+    result = bench.bench_optimizer_step(repeats=2, n_params=8, param_shape=(32,))
+    assert result["flat_s"] > 0 and result["loop_s"] > 0
+    assert result["n_elements"] == 8 * 32
+    assert result["speedup"] == pytest.approx(result["loop_s"] / result["flat_s"])
+
+
+def test_bench_embedding_scatter_structure():
+    result = bench.bench_embedding_scatter(repeats=2, vocab=512, dim=8,
+                                           n_tokens=256)
+    assert result["add_at_s"] > 0 and result["scatter_s"] > 0
+    assert result["speedup"] == pytest.approx(
+        result["add_at_s"] / result["scatter_s"])
 
 
 def test_bench_geometry_lookup_beats_compute():
@@ -97,7 +161,8 @@ def test_bench_json_flag(tmp_path):
                          "--op-repeats", "1", "--batch", "1", "--seq", "32"])
     assert json_path.exists()
     on_disk = json.loads(json_path.read_text())
-    for key in ("meta", "dense_step", "sparse_step", "geometry", "ops"):
+    for key in ("meta", "dense_step", "sparse_step", "geometry", "sparse_chain",
+                "crossover", "optimizer_step", "embedding_scatter", "ops"):
         assert key in on_disk and key in report
     assert on_disk["dense_step"]["fused_s"] > 0
     assert set(on_disk["ops"]) == {"masked_softmax", "attention_core",

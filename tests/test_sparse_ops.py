@@ -100,6 +100,16 @@ class TestBlockSparseKernels:
         with pytest.raises(ValueError):
             block_sparse_attention(Tensor(q), Tensor(k), Tensor(v), layout)
 
+    def test_head_count_mismatch_raises_with_reference_kernels(self):
+        # The validation must run before the toggle dispatch; the dense-mask
+        # twin would otherwise broadcast a wrong-head layout silently.
+        from repro.tensor import fused
+        q, k, v = make_qkv(heads=2, seq=32, dim=4)
+        layout = dense_layout(3, 32, 16)
+        with fused.reference_kernels():
+            with pytest.raises(ValueError):
+                block_sparse_attention(Tensor(q), Tensor(k), Tensor(v), layout)
+
     def test_gradients_zero_for_masked_key_blocks(self):
         """Keys attended by no query block receive zero gradient — the paper's
         Section II-D claim that inactive units drop out of the backward pass."""
