@@ -30,6 +30,7 @@ class PhaseProfiler:
         self._totals: Dict[str, float] = defaultdict(float)
         self._counts: Dict[str, int] = defaultdict(int)
         self._open: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -55,9 +56,25 @@ class PhaseProfiler:
         self._counts[name] += 1
         return elapsed
 
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record a point-in-time metric (latest value wins, not accumulated).
+
+        Used for derived ratios the phases cannot express — e.g. the sparse
+        engine's prediction fraction or layout-reuse rate — so they travel
+        with the phase timings in :meth:`summary_dict`.
+        """
+        self._gauges[name] = float(value)
+
+    def gauges(self) -> Dict[str, float]:
+        return dict(self._gauges)
+
     def summary_dict(self) -> Dict[str, Dict[str, float]]:
-        """JSON-friendly {phase: {total_s, calls, mean_s}} (benchmark output)."""
-        return {
+        """JSON-friendly {phase: {total_s, calls, mean_s}} (benchmark output).
+
+        When gauges were recorded, an extra ``"gauges"`` entry maps each
+        gauge name to its latest value.
+        """
+        out: Dict[str, Dict[str, float]] = {
             name: {
                 "total_s": seconds,
                 "calls": self._counts[name],
@@ -65,6 +82,9 @@ class PhaseProfiler:
             }
             for name, seconds in self._totals.items()
         }
+        if self._gauges:
+            out["gauges"] = dict(self._gauges)
+        return out
 
     def add(self, name: str, seconds: float) -> None:
         """Record externally-measured time (e.g. the engine's predictor overhead)."""
@@ -84,6 +104,7 @@ class PhaseProfiler:
     def reset(self) -> None:
         self._totals.clear()
         self._counts.clear()
+        self._gauges.clear()
 
     def report(self) -> str:
         """Human-readable table of phase totals and shares."""

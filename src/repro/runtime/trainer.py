@@ -127,6 +127,11 @@ class FineTuner:
     def step(self, input_ids: np.ndarray,
              labels: Optional[np.ndarray] = None) -> (float, PhaseTimings):
         """One fine-tuning step; returns (loss value, phase timings)."""
+        if self.engine is not None:
+            # Drive the prediction scheduler: with predict_interval=K the
+            # sparse backends re-derive their masks every K-th step and reuse
+            # them in between.
+            self.engine.advance_step()
         engine_pred_before = self.engine.stats.prediction_seconds if self.engine else 0.0
 
         start = time.perf_counter()
@@ -158,6 +163,14 @@ class FineTuner:
         self.profiler.add("optimizer", optimizer_s)
         if self.engine is not None:
             self.profiler.add("prediction", prediction_s)
+            # Derived scheduler health metrics ride along with the phase
+            # timings (see PhaseProfiler.summary_dict).
+            stats = self.engine.stats
+            self.profiler.set_gauge("prediction_fraction", stats.prediction_fraction())
+            self.profiler.set_gauge("attention_reuse_rate", stats.attention_reuse_rate())
+            self.profiler.set_gauge("mlp_reuse_rate", stats.mlp_reuse_rate())
+            self.profiler.set_gauge("attention_mask_drift", stats.mean_attention_drift())
+            self.profiler.set_gauge("mlp_block_drift", stats.mean_mlp_drift())
 
         timing = PhaseTimings(forward=forward_s, backward=backward_s,
                               optimizer=optimizer_s, prediction=prediction_s)

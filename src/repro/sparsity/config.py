@@ -44,6 +44,16 @@ class LongExposureConfig:
         If True, the engine uses the exposer's exact (ground-truth) masks at
         runtime instead of predictor outputs.  Used for ablations and tests;
         the paper's "shadowy" baselines correspond to uniform oracle masks.
+    predict_interval:
+        Refresh the predicted (or oracle) sparsity patterns every this many
+        fine-tuning steps; between refreshes the sparse backends reuse the
+        last layout / active-block set.  ``1`` (the default) re-derives the
+        masks on every step, exactly as before the scheduler existed; values
+        > 1 amortise the mask-derivation cost over adjacent steps, whose
+        masks barely change between consecutive fine-tuning steps.  The step
+        counter is advanced by :meth:`LongExposure.advance_step` (the trainer
+        calls it once per step); the engine records per-layer mask drift and
+        reuse rates so the accuracy cost of a given interval is observable.
     mlp_offload_inactive:
         Whether the memory model assumes inactive neuron blocks stay on the
         host ("LongExposure (optimal)" curve in Figure 8).
@@ -65,6 +75,7 @@ class LongExposureConfig:
     optimize_attention: bool = True
     optimize_mlp: bool = True
     oracle_mode: bool = False
+    predict_interval: int = 1
     mlp_offload_inactive: bool = False
     min_active_mlp_blocks: int = 1
     seed: int = 0
@@ -78,3 +89,5 @@ class LongExposureConfig:
             raise ValueError("mlp_threshold must be in [0, 1)")
         if self.predictor_rank <= 0:
             raise ValueError("predictor_rank must be positive")
+        if self.predict_interval < 1:
+            raise ValueError("predict_interval must be >= 1")

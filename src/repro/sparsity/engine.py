@@ -28,12 +28,37 @@ Component switches:
 The engine records per-step statistics (prediction overhead, achieved block
 sparsity) in :attr:`LongExposure.stats` so the benchmark harness can report
 the breakdowns of Figures 9, 10 and 12.
+
+Choosing ``predict_interval``
+-----------------------------
+
+Mask derivation — the predictor probes (or, in oracle mode, the exposer's
+dense softmax) plus layout combination — runs per layer per step and is the
+dominant sparse-step cost once the sparse kernels themselves are fast.
+Because adjacent fine-tuning steps barely move the activations, their masks
+barely move either, so ``LongExposureConfig.predict_interval = K`` lets every
+sparse backend reuse its last layout / active-block set for ``K - 1`` steps
+and re-derive on the ``K``-th.  The trainer advances the schedule by calling
+:meth:`LongExposure.advance_step` once per step.  Guidance:
+
+* ``K = 1`` (default) — masks re-derived every step; bitwise-identical to the
+  pre-scheduler engine.  Use for ablations and when inputs change abruptly
+  between steps (e.g. wildly varying sequence content).
+* ``K = 4``–``8`` — the sweet spot for ordinary fine-tuning: prediction cost
+  drops by ~``K`` while the recorded mask drift between refreshes
+  (:meth:`EngineStats.mean_attention_drift`) stays in the low percent range.
+* Watch ``stats.mean_attention_drift()`` / ``mean_mlp_drift()``: if drift
+  between refreshes grows past a few percent of the active blocks, lower
+  ``K`` — the reused mask is starving blocks the model now attends to.
+
+A sequence-length change always forces a refresh (the block grid itself
+changes), so bucketed-length loaders interact safely with any ``K``.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -74,6 +99,33 @@ def _unwrap(module):
 
 
 @dataclass
+class LayerScheduleStats:
+    """Per-layer prediction-scheduler staleness statistics.
+
+    ``drift`` is the symmetric-difference fraction between the masks of two
+    consecutive refreshes (``|old Δ new| / |old ∪ new|`` over active blocks):
+    0.0 means the refresh reproduced the reused mask exactly, 1.0 means the
+    two masks share nothing.  It is the observable accuracy cost of running
+    with ``predict_interval > 1``.
+    """
+
+    refreshes: int = 0
+    reuses: int = 0
+    drift_mean: float = 0.0
+    drift_samples: int = 0
+
+    def record_refresh(self, drift: Optional[float] = None) -> None:
+        self.refreshes += 1
+        if drift is not None:
+            self.drift_samples += 1
+            self.drift_mean += (float(drift) - self.drift_mean) / self.drift_samples
+
+    def reuse_rate(self) -> float:
+        total = self.reuses + self.refreshes
+        return self.reuses / total if total else 0.0
+
+
+@dataclass
 class EngineStats:
     """Running statistics collected while the sparse backends execute.
 
@@ -81,24 +133,38 @@ class EngineStats:
     record time (O(1) memory) instead of appended to per-call lists — a long
     fine-tuning run makes millions of backend calls, and the seed's
     unbounded lists grew linearly with step count.
+
+    ``prediction_seconds`` counts only mask derivation (probes / oracle
+    exposer / layout combination); ``backend_seconds`` counts the whole
+    sparse backend call including the kernels, so
+    :meth:`prediction_fraction` is the Figure-10 prediction-overhead share.
+    Per-layer scheduler staleness (refresh counts, reuse hit rates, mask
+    drift between refreshes) lives in :attr:`attention_layers` /
+    :attr:`mlp_layers`.
     """
 
     prediction_seconds: float = 0.0
+    backend_seconds: float = 0.0
     attention_calls: int = 0
     mlp_calls: int = 0
     attention_sparsity_mean: float = 0.0
     attention_sparsity_samples: int = 0
     mlp_sparsity_mean: float = 0.0
     mlp_sparsity_samples: int = 0
+    attention_layers: Dict[int, LayerScheduleStats] = field(default_factory=dict)
+    mlp_layers: Dict[int, LayerScheduleStats] = field(default_factory=dict)
 
     def reset(self) -> None:
         self.prediction_seconds = 0.0
+        self.backend_seconds = 0.0
         self.attention_calls = 0
         self.mlp_calls = 0
         self.attention_sparsity_mean = 0.0
         self.attention_sparsity_samples = 0
         self.mlp_sparsity_mean = 0.0
         self.mlp_sparsity_samples = 0
+        self.attention_layers = {}
+        self.mlp_layers = {}
 
     def record_attention_sparsity(self, value: float) -> None:
         self.attention_sparsity_samples += 1
@@ -116,40 +182,172 @@ class EngineStats:
     def mean_mlp_sparsity(self) -> float:
         return self.mlp_sparsity_mean if self.mlp_sparsity_samples else 0.0
 
+    # -- prediction scheduler ----------------------------------------------------
+    def attention_layer(self, index: int) -> LayerScheduleStats:
+        return self.attention_layers.setdefault(index, LayerScheduleStats())
+
+    def mlp_layer(self, index: int) -> LayerScheduleStats:
+        return self.mlp_layers.setdefault(index, LayerScheduleStats())
+
+    @staticmethod
+    def _aggregate_reuse_rate(layers: Dict[int, LayerScheduleStats]) -> float:
+        reuses = sum(s.reuses for s in layers.values())
+        total = reuses + sum(s.refreshes for s in layers.values())
+        return reuses / total if total else 0.0
+
+    @staticmethod
+    def _aggregate_drift(layers: Dict[int, LayerScheduleStats]) -> float:
+        samples = sum(s.drift_samples for s in layers.values())
+        if not samples:
+            return 0.0
+        return sum(s.drift_mean * s.drift_samples for s in layers.values()) / samples
+
+    def attention_reuse_rate(self) -> float:
+        """Fraction of attention backend calls served from the reused layout."""
+        return self._aggregate_reuse_rate(self.attention_layers)
+
+    def mlp_reuse_rate(self) -> float:
+        """Fraction of MLP backend calls served from the reused block set."""
+        return self._aggregate_reuse_rate(self.mlp_layers)
+
+    def mean_attention_drift(self) -> float:
+        """Mean mask drift between consecutive attention refreshes (all layers)."""
+        return self._aggregate_drift(self.attention_layers)
+
+    def mean_mlp_drift(self) -> float:
+        """Mean active-block drift between consecutive MLP refreshes (all layers)."""
+        return self._aggregate_drift(self.mlp_layers)
+
+    def layout_reuse_counts(self) -> Dict[str, int]:
+        """Aggregate reuse/refresh counters (JSON-friendly, for the profiler)."""
+        return {
+            "attention_reuses": sum(s.reuses for s in self.attention_layers.values()),
+            "attention_refreshes": sum(s.refreshes for s in self.attention_layers.values()),
+            "mlp_reuses": sum(s.reuses for s in self.mlp_layers.values()),
+            "mlp_refreshes": sum(s.refreshes for s in self.mlp_layers.values()),
+        }
+
+    def prediction_fraction(self) -> float:
+        """Prediction seconds over total sparse-backend seconds (Figure 10)."""
+        if self.backend_seconds <= 0.0:
+            return 0.0
+        return self.prediction_seconds / self.backend_seconds
+
+
+def _layout_block_keys(layout: MultiHeadLayout) -> np.ndarray:
+    """Unique sorted int64 key per active block of a layout."""
+    nb = np.int64(layout.n_blocks)
+    return (layout.heads * nb + layout.rows) * nb + layout.cols
+
+
+def _layout_drift(old: Optional[MultiHeadLayout],
+                  new: MultiHeadLayout) -> Optional[float]:
+    """Symmetric-difference fraction between two layouts' active-block sets.
+
+    Returns ``None`` when the layouts are not comparable (no predecessor, or
+    the block grid changed) — callers skip the drift sample in that case.
+    """
+    if old is None or old.n_blocks != new.n_blocks or old.n_heads != new.n_heads:
+        return None
+    if old is new or old.signature() == new.signature():
+        return 0.0
+    return _active_block_drift(_layout_block_keys(old), _layout_block_keys(new))
+
+
+def _active_block_drift(old: Optional[np.ndarray],
+                        new: np.ndarray) -> Optional[float]:
+    """Symmetric-difference fraction between two sorted active-block index sets."""
+    if old is None:
+        return None
+    if old.shape == new.shape and np.array_equal(old, new):
+        return 0.0
+    inter = np.intersect1d(old, new, assume_unique=True).size
+    union = old.size + new.size - inter
+    return float(old.size + new.size - 2 * inter) / max(union, 1)
+
 
 class SparseAttentionBackend:
-    """Block-sparse attention kernel driven by the layer's predictor."""
+    """Block-sparse attention kernel driven by the layer's predictor.
+
+    With ``predict_interval > 1`` the backend keeps the layout of its last
+    refresh and reuses it until the engine's step counter reaches the next
+    scheduled refresh (or the sequence length changes, which invalidates the
+    block grid).  Refresh/reuse counts and the mask drift observed at each
+    refresh are recorded per layer in :class:`EngineStats`.
+    """
 
     def __init__(self, engine: "LongExposure", layer_index: int):
         self.engine = engine
         self.layer_index = layer_index
         self.last_layout: Optional[MultiHeadLayout] = None
+        self._layout_seq_len: Optional[int] = None
+        self._last_refresh_step: int = 0
+
+    def reset_schedule(self) -> None:
+        """Forget the reused layout; the next call re-derives the masks."""
+        self.last_layout = None
+        self._layout_seq_len = None
+        self._last_refresh_step = 0
+
+    def _reusable(self, seq_len: int) -> bool:
+        # The deadline is computed from the *current* interval, so lowering
+        # (or raising) predict_interval mid-run takes effect immediately.
+        engine = self.engine
+        return (engine.config.predict_interval > 1
+                and self.last_layout is not None
+                and self._layout_seq_len == seq_len
+                and engine.step_index
+                < self._last_refresh_step + engine.config.predict_interval)
 
     def __call__(self, module: MultiHeadAttention, q, k, v, attn_mask, x=None):
         engine = self.engine
+        stats = engine.stats
+        call_start = time.perf_counter()
         seq_len = q.shape[2]
-        start = time.perf_counter()
-        if engine.config.oracle_mode or x is None:
-            layout = engine.oracle_attention_layout(module, q, k, seq_len)
+        if self._reusable(seq_len):
+            layout = self.last_layout
+            stats.attention_layer(self.layer_index).reuses += 1
         else:
-            predictor = engine.attention_predictors[self.layer_index]
-            patterns = predictor.predict_patterns(x.data)
-            layout = engine.layout_pool.combine(patterns, seq_len)
-        engine.stats.prediction_seconds += time.perf_counter() - start
-        engine.stats.attention_calls += 1
-        engine.stats.record_attention_sparsity(layout.sparsity())
-        self.last_layout = layout
-        return block_sparse_attention(q, k, v, layout, cache=engine.geometry_cache)
+            start = time.perf_counter()
+            if engine.config.oracle_mode or x is None:
+                layout = engine.oracle_attention_layout(module, q, k, seq_len)
+            else:
+                predictor = engine.attention_predictors[self.layer_index]
+                patterns = predictor.predict_patterns(x.data)
+                layout = engine.layout_pool.combine(patterns, seq_len)
+            stats.prediction_seconds += time.perf_counter() - start
+            stats.attention_layer(self.layer_index).record_refresh(
+                _layout_drift(self.last_layout, layout))
+            self.last_layout = layout
+            self._layout_seq_len = seq_len
+            self._last_refresh_step = engine.step_index
+        stats.attention_calls += 1
+        stats.record_attention_sparsity(layout.sparsity())
+        out = block_sparse_attention(q, k, v, layout, cache=engine.geometry_cache)
+        stats.backend_seconds += time.perf_counter() - call_start
+        return out
 
 
 class SparseMLPBackend:
-    """Neuron-block-sparse MLP kernel driven by the layer's predictor."""
+    """Neuron-block-sparse MLP kernel driven by the layer's predictor.
+
+    Scheduling mirrors :class:`SparseAttentionBackend`: with
+    ``predict_interval > 1`` the active-block set of the last refresh is
+    reused until the next scheduled step (the set depends only on the hidden
+    dimension, so no sequence-length invalidation applies).
+    """
 
     def __init__(self, engine: "LongExposure", layer_index: int):
         self.engine = engine
         self.layer_index = layer_index
         self.weight_cache: Optional[NeuronSparseWeights] = None
         self.last_active_blocks: Optional[np.ndarray] = None
+        self._last_refresh_step: int = 0
+
+    def reset_schedule(self) -> None:
+        """Forget the reused block set; the next call re-derives it."""
+        self.last_active_blocks = None
+        self._last_refresh_step = 0
 
     def _cache_for(self, mlp: MLPBlock) -> Optional[NeuronSparseWeights]:
         fc1, fc2 = mlp.fc1, mlp.fc2
@@ -173,25 +371,39 @@ class SparseMLPBackend:
             # the attention projections, so this path is rare).
             return DenseMLPBackend()(mlp, x)
 
-        start = time.perf_counter()
-        if engine.config.oracle_mode:
-            active_blocks = engine.oracle_mlp_blocks(mlp, x)
+        stats = engine.stats
+        call_start = time.perf_counter()
+        if (engine.config.predict_interval > 1
+                and self.last_active_blocks is not None
+                and engine.step_index
+                < self._last_refresh_step + engine.config.predict_interval):
+            active_blocks = self.last_active_blocks
+            stats.mlp_layer(self.layer_index).reuses += 1
         else:
-            predictor = engine.mlp_predictors[self.layer_index]
-            active_blocks = predictor.predict_active_blocks(x.data)
-        engine.stats.prediction_seconds += time.perf_counter() - start
-        engine.stats.mlp_calls += 1
+            start = time.perf_counter()
+            if engine.config.oracle_mode:
+                active_blocks = engine.oracle_mlp_blocks(mlp, x)
+            else:
+                predictor = engine.mlp_predictors[self.layer_index]
+                active_blocks = predictor.predict_active_blocks(x.data)
+            stats.prediction_seconds += time.perf_counter() - start
+            stats.mlp_layer(self.layer_index).record_refresh(
+                _active_block_drift(self.last_active_blocks, active_blocks))
+            self.last_active_blocks = active_blocks
+            self._last_refresh_step = engine.step_index
+        stats.mlp_calls += 1
 
         n_blocks = -(-mlp.hidden_dim // engine.config.block_size)
-        engine.stats.record_mlp_sparsity(1.0 - active_blocks.size / n_blocks)
-        self.last_active_blocks = active_blocks
+        stats.record_mlp_sparsity(1.0 - active_blocks.size / n_blocks)
 
         active_neurons = expand_block_indices(active_blocks, engine.config.block_size,
                                               mlp.hidden_dim)
         cache = self._cache_for(mlp)
-        return neuron_sparse_linear_pair(
+        out = neuron_sparse_linear_pair(
             x, mlp.fc1.weight, mlp.fc1.bias, mlp.fc2.weight, mlp.fc2.bias,
             active_neurons, activation=mlp.activation_name, cache=cache)
+        stats.backend_seconds += time.perf_counter() - call_start
+        return out
 
 
 class LongExposure:
@@ -218,7 +430,12 @@ class LongExposure:
             "attention": [], "mlp": []}
         self.stats = EngineStats()
         self._installed_blocks: List = []
+        self._sparse_backends: List = []
         self._prepared = False
+        # Prediction-scheduler step counter: advanced once per fine-tuning
+        # step by the trainer (advance_step); backends compare it against
+        # their next scheduled refresh.
+        self.step_index = 0
 
     # -- offline preparation -----------------------------------------------------
     def prepare(self, model: CausalLMModel, calibration_batches: Sequence[np.ndarray],
@@ -318,6 +535,7 @@ class LongExposure:
                 and len(self.attention_predictors) != len(model.blocks)):
             raise RuntimeError("predictors were prepared for a different model depth")
         self._installed_blocks = []
+        self._sparse_backends = []
         for layer_index, block in enumerate(model.blocks):
             attention = _unwrap(block.attention)
             mlp = _unwrap(block.mlp)
@@ -325,8 +543,10 @@ class LongExposure:
                      "attention_backend": attention.backend, "mlp_backend": mlp.backend}
             if config.optimize_attention:
                 attention.backend = SparseAttentionBackend(self, layer_index)
+                self._sparse_backends.append(attention.backend)
             if mlp_enabled:
                 mlp.backend = SparseMLPBackend(self, layer_index)
+                self._sparse_backends.append(mlp.backend)
             self._installed_blocks.append(entry)
 
     def uninstall(self, model: CausalLMModel) -> None:
@@ -335,6 +555,23 @@ class LongExposure:
             entry["attention"].backend = entry["attention_backend"]
             entry["mlp"].backend = entry["mlp_backend"]
         self._installed_blocks = []
+        self._sparse_backends = []
+
+    # -- prediction scheduling -----------------------------------------------------
+    def advance_step(self) -> None:
+        """Advance the scheduler by one fine-tuning step (trainer calls this)."""
+        self.step_index += 1
+
+    def reset_schedule(self) -> None:
+        """Zero the step counter and drop every backend's reused masks.
+
+        The next forward pass re-derives all masks regardless of
+        ``predict_interval`` — used when switching modes mid-run (benchmarks,
+        ablations) or when restarting fine-tuning on new data.
+        """
+        self.step_index = 0
+        for backend in self._sparse_backends:
+            backend.reset_schedule()
 
     # -- reporting -----------------------------------------------------------------
     def mean_predictor_recall(self) -> Dict[str, float]:
@@ -354,4 +591,11 @@ class LongExposure:
         lines.append(f"  mean attention block sparsity: {self.stats.mean_attention_sparsity():.3f}")
         lines.append(f"  mean MLP block sparsity: {self.stats.mean_mlp_sparsity():.3f}")
         lines.append(f"  prediction overhead: {self.stats.prediction_seconds * 1000:.2f} ms")
+        if self.config.predict_interval > 1:
+            lines.append(
+                f"  predict_interval={self.config.predict_interval}: "
+                f"attention reuse {self.stats.attention_reuse_rate():.2f} "
+                f"(drift {self.stats.mean_attention_drift():.4f}), "
+                f"mlp reuse {self.stats.mlp_reuse_rate():.2f} "
+                f"(drift {self.stats.mean_mlp_drift():.4f})")
         return "\n".join(lines)

@@ -57,6 +57,14 @@ class AttentionExposer:
         ``probs`` has shape ``(batch, heads, seq, seq)``; the result has shape
         ``(heads, n_blocks, n_blocks)`` — summed over the batch and over the
         elements of each block, then zeroed above the causal diagonal.
+
+        The reduction runs in two per-axis stages (``np.add.reduceat`` over
+        the contiguous key axis, then over the query axis) instead of one
+        strided 6-D reshape-sum: the first stage is a contiguous inner
+        reduction that shrinks the array by ``block_size`` before any strided
+        work happens, and ragged sequence lengths need no zero-padding copy
+        because ``reduceat`` segments simply end early.  This is the hot part
+        of every oracle-mode attention call.
         """
         probs = np.asarray(probs)
         if probs.ndim == 3:
@@ -64,11 +72,10 @@ class AttentionExposer:
         batch, heads, seq, _ = probs.shape
         bs = self.block_size
         n_blocks = block_count(seq, bs)
-        padded = n_blocks * bs
-        if padded != seq:
-            pad = padded - seq
-            probs = np.pad(probs, ((0, 0), (0, 0), (0, pad), (0, pad)))
-        reduced = probs.reshape(batch, heads, n_blocks, bs, n_blocks, bs).sum(axis=(0, 3, 5))
+        starts = np.arange(0, seq, bs)
+        key_reduced = np.add.reduceat(probs, starts, axis=3)     # (b, h, seq, nb)
+        reduced = np.add.reduceat(key_reduced, starts, axis=2)   # (b, h, nb, nb)
+        reduced = reduced.sum(axis=0)
         reduced *= causal_block_mask(n_blocks)[None]
         return reduced
 

@@ -16,6 +16,7 @@ never active) because the models are decoder-only.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -29,9 +30,24 @@ def block_count(seq_len: int, block_size: int) -> int:
     return -(-seq_len // block_size)
 
 
+@functools.lru_cache(maxsize=128)
+def _cached_causal_block_mask(n_blocks: int) -> np.ndarray:
+    mask = np.tril(np.ones((n_blocks, n_blocks), dtype=bool))
+    # Shared across every caller at this grid size; freeze it so an
+    # accidental in-place edit cannot poison later lookups (callers that
+    # combine it always allocate via ``&`` / ``*`` / ``astype``).
+    mask.setflags(write=False)
+    return mask
+
+
 def causal_block_mask(n_blocks: int) -> np.ndarray:
-    """Full causal block mask (every block on or below the diagonal)."""
-    return np.tril(np.ones((n_blocks, n_blocks), dtype=bool))
+    """Full causal block mask (every block on or below the diagonal).
+
+    Cached per grid size and returned read-only: the exposer, the predictors
+    and the layout builders all consult it on every mask derivation, and the
+    block grids in play at any time form a tiny set.
+    """
+    return _cached_causal_block_mask(int(n_blocks))
 
 
 @dataclass(frozen=True)
@@ -143,6 +159,9 @@ class PatternPool:
                                                     key=lambda p: p.density(16))
         self._layout_cache: Dict[Tuple[str, int], Tuple[np.ndarray, np.ndarray]] = {}
         self._mask_cache: Dict[Tuple[str, int], np.ndarray] = {}
+        # n_blocks -> (P, n_blocks²) float64 matrix of the ordered pattern
+        # masks, used by the vectorised match_many (one GEMM per call).
+        self._mask_matrix_cache: Dict[int, np.ndarray] = {}
 
     # -- offline construction ---------------------------------------------------
     def precompute(self, n_blocks: int) -> None:
@@ -200,6 +219,42 @@ class PatternPool:
                 break
         return best_name
 
+    def _mask_matrix(self, n_blocks: int) -> np.ndarray:
+        """Stacked ``(P, n_blocks²)`` float64 masks in :attr:`_ordered` order."""
+        cached = self._mask_matrix_cache.get(n_blocks)
+        if cached is None:
+            cached = np.stack([
+                self.mask(p.name, n_blocks).reshape(-1).astype(np.float64)
+                for p in self._ordered])
+            self._mask_matrix_cache[n_blocks] = cached
+        return cached
+
     def match_many(self, block_scores: np.ndarray, coverage: float = 0.95) -> List[str]:
-        """Vector version of :meth:`match` over the leading (head) dimension."""
-        return [self.match(block_scores[h], coverage) for h in range(block_scores.shape[0])]
+        """Vector version of :meth:`match` over the leading (head) dimension.
+
+        All heads are matched against all patterns with a single
+        ``(heads, n_blocks²) @ (n_blocks², P)`` product instead of the scalar
+        per-head, per-pattern masked sums — the matcher runs once per layer
+        per refresh inside the fine-tuning hot loop, and the Python
+        double-loop used to dominate its cost.  Selection semantics are those
+        of :meth:`match`: the first pattern in density order retaining
+        ``coverage`` of the head's mass wins.
+        """
+        block_scores = np.asarray(block_scores, dtype=np.float64)
+        if block_scores.ndim != 3 or block_scores.shape[-1] != block_scores.shape[-2]:
+            raise ValueError("block_scores must have shape (heads, n, n)")
+        n_heads, n_blocks, _ = block_scores.shape
+        flat = block_scores.reshape(n_heads, -1)
+        covered = flat @ self._mask_matrix(n_blocks).T          # (heads, P)
+        totals = flat.sum(axis=1)
+        qualifies = covered >= coverage * totals[:, None]
+        first = np.argmax(qualifies, axis=1)
+        names: List[str] = []
+        for head in range(n_heads):
+            if totals[head] <= 0:
+                names.append(self._ordered[0].name)
+            elif qualifies[head, first[head]]:
+                names.append(self._ordered[first[head]].name)
+            else:
+                names.append("dense")
+        return names

@@ -52,13 +52,32 @@ class AttentionPredictor(Module):
                              name="predictor.attn.w_q")
         self.w_k = Parameter(rng.normal(0.0, scale, size=(num_heads, dim, rank)).astype(np.float32),
                              name="predictor.attn.w_k")
+        # Inference-path memos: representative-token indices per seq_len and
+        # the per-head Q/K projections stacked into one (dim, 2·heads·rank)
+        # matrix so the probe is a single GEMM.  Invalidated whenever the
+        # training path runs (the only place the weights change).
+        self._downsample_cache: dict = {}
+        self._packed_qk: Optional[np.ndarray] = None
 
     # -- shared helpers ------------------------------------------------------------
     def downsample_indices(self, seq_len: int) -> np.ndarray:
-        """One representative position per attention block (centre token)."""
-        n_blocks = block_count(seq_len, self.block_size)
-        centers = np.arange(n_blocks) * self.block_size + self.block_size // 2
-        return np.minimum(centers, seq_len - 1)
+        """One representative position per attention block (centre token).
+
+        Memoized per sequence length (the hot loop sees one or two lengths);
+        the cached array is read-only.
+        """
+        cached = self._downsample_cache.get(seq_len)
+        if cached is None:
+            n_blocks = block_count(seq_len, self.block_size)
+            centers = np.arange(n_blocks) * self.block_size + self.block_size // 2
+            cached = np.minimum(centers, seq_len - 1)
+            cached.setflags(write=False)
+            self._downsample_cache[seq_len] = cached
+        return cached
+
+    def invalidate_cache(self) -> None:
+        """Drop the packed-weight memo (call after mutating w_q/w_k in place)."""
+        self._packed_qk = None
 
     # -- training path (autograd) ----------------------------------------------------
     def forward(self, x: Tensor) -> Tensor:
@@ -74,33 +93,61 @@ class AttentionPredictor(Module):
         q_hat = x_b.matmul(self.w_q)                            # (batch, heads, nb, r)
         k_hat = x_b.matmul(self.w_k)
         scores = q_hat.matmul(k_hat.swapaxes(-1, -2))           # (batch, heads, nb, nb)
+        # Training mutates the weights afterwards, so any packed inference
+        # memo built from the old values must be dropped.
+        self._packed_qk = None
         return scores * (1.0 / np.sqrt(self.rank))
 
     # -- inference path (pure NumPy, no graph) -----------------------------------------
+    def _packed_weights(self) -> np.ndarray:
+        """Per-head W_Q_hat / W_K_hat stacked into one ``(dim, 2·H·r)`` matrix."""
+        if self._packed_qk is None:
+            h, d, r = self.num_heads, self.dim, self.rank
+            packed = np.empty((d, 2 * h * r), dtype=np.float32)
+            packed[:, :h * r] = self.w_q.data.transpose(1, 0, 2).reshape(d, h * r)
+            packed[:, h * r:] = self.w_k.data.transpose(1, 0, 2).reshape(d, h * r)
+            self._packed_qk = packed
+        return self._packed_qk
+
     def approximate_scores(self, x: np.ndarray) -> np.ndarray:
-        """NumPy version of :meth:`forward` used in the fine-tuning hot loop."""
+        """NumPy version of :meth:`forward` used in the fine-tuning hot loop.
+
+        One stacked ``(batch·nb, dim) @ (dim, 2·heads·rank)`` GEMM produces
+        every head's Q̂ and K̂ at once (the seed ran two per-head einsum
+        pairs per call), followed by the small batched Q̂K̂ᵀ product.
+        """
         x = np.asarray(x)
         if x.ndim == 2:
             x = x[None]
         batch, seq, dim = x.shape
         idx = self.downsample_indices(seq)
         x_ds = x[:, idx, :]                                     # (batch, nb, dim)
-        q_hat = np.einsum("bnd,hdr->bhnr", x_ds, self.w_q.data, optimize=True)
-        k_hat = np.einsum("bnd,hdr->bhnr", x_ds, self.w_k.data, optimize=True)
+        nb = x_ds.shape[1]
+        h, r = self.num_heads, self.rank
+        proj = x_ds.reshape(batch * nb, dim) @ self._packed_weights()
+        proj = proj.reshape(batch, nb, 2, h, r)
+        q_hat = proj[:, :, 0].swapaxes(1, 2)                    # (batch, heads, nb, r)
+        k_hat = proj[:, :, 1].swapaxes(1, 2)
         scores = np.matmul(q_hat, np.swapaxes(k_hat, -1, -2))
-        return scores / np.sqrt(self.rank)
+        scores *= np.float32(1.0 / np.sqrt(self.rank))
+        return scores
 
     def block_masks(self, x: np.ndarray) -> np.ndarray:
         """Binary per-head block masks ``(heads, n_blocks, n_blocks)``.
 
-        The sigmoid scores are thresholded, reduced over the batch dimension
-        (a block is kept if any sample needs it — the recall-oriented
-        reduction of Figure 5), and restricted to the causal triangle.
+        The scores are thresholded directly in logit space (``σ(s) > p`` iff
+        ``s > log(p / (1-p))``, so no sigmoid is materialised), reduced over
+        the batch dimension (a block is kept if any sample needs it — the
+        recall-oriented reduction of Figure 5), and restricted to the causal
+        triangle.
         """
         scores = self.approximate_scores(x)                     # (batch, heads, nb, nb)
-        probs = 1.0 / (1.0 + np.exp(-scores))
-        keep = probs > (0.5 + self.threshold)
-        keep = keep.any(axis=0)                                 # reduce over batch
+        prob_threshold = 0.5 + self.threshold
+        if prob_threshold >= 1.0:
+            keep = np.zeros(scores.shape[1:], dtype=bool)
+        else:
+            logit_threshold = np.log(prob_threshold / (1.0 - prob_threshold))
+            keep = (scores > logit_threshold).any(axis=0)       # reduce over batch
         n_blocks = keep.shape[-1]
         keep &= causal_block_mask(n_blocks)[None]
         diag = np.eye(n_blocks, dtype=bool)
@@ -116,12 +163,21 @@ class AttentionPredictor(Module):
         that mass is selected.  Subtracting the 0.5 baseline suppresses the
         uniform background confidence of clearly-inactive blocks so the
         matcher sees the same concentrated mass picture the exposer sees.
+
+        The sigmoid / baseline-subtract / clip chain mutates the score buffer
+        in place — this runs per layer per refresh inside the hot loop, and
+        the only allocation left is the small per-head mass reduction.
         """
         scores = self.approximate_scores(x)                     # (batch, heads, nb, nb)
-        probs = 1.0 / (1.0 + np.exp(-scores))
-        mass = np.clip(probs - 0.5, 0.0, None).mean(axis=0)     # (heads, nb, nb)
+        np.negative(scores, out=scores)
+        np.exp(scores, out=scores)
+        scores += 1.0
+        np.reciprocal(scores, out=scores)                       # sigmoid
+        scores -= 0.5
+        np.clip(scores, 0.0, None, out=scores)
+        mass = scores.mean(axis=0)                              # (heads, nb, nb)
         n_blocks = mass.shape[-1]
-        mass = mass * causal_block_mask(n_blocks)[None]
+        mass *= causal_block_mask(n_blocks)[None]
         return self.pattern_pool.match_many(mass, coverage=self.coverage)
 
     def overhead_flops(self, seq_len: int, batch: int = 1) -> int:

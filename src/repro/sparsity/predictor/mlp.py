@@ -56,9 +56,16 @@ class MLPPredictor(Module):
         x = np.asarray(x)
         if x.ndim == 2:
             x = x[None]
-        logits = x.reshape(-1, self.dim) @ self.w_a.data + self.bias.data
-        probs = 1.0 / (1.0 + np.exp(-logits))
-        return probs.mean(axis=0)
+        logits = x.reshape(-1, self.dim) @ self.w_a.data
+        # The sigmoid chain mutates the logits buffer in place: this runs per
+        # layer per refresh inside the fine-tuning hot loop, and the GEMM
+        # output is the only allocation.
+        logits += self.bias.data
+        np.negative(logits, out=logits)
+        np.exp(logits, out=logits)
+        logits += 1.0
+        np.reciprocal(logits, out=logits)
+        return logits.mean(axis=0)
 
     def predict_active_blocks(self, x: np.ndarray) -> np.ndarray:
         """Indices of neuron blocks predicted active for the whole input."""

@@ -334,12 +334,25 @@ class TestEngineStats:
         stats = EngineStats()
         for _ in range(10):
             stats.record_attention_sparsity(0.5)
-        # No per-call containers: every field is a scalar.
-        assert all(isinstance(v, (int, float)) for v in vars(stats).values())
+            stats.attention_layer(0).record_refresh(0.25)
+            stats.attention_layer(0).reuses += 1
+        # No per-call containers: fields are scalars, or per-layer dicts
+        # whose size is bounded by the layer count (not the call count) and
+        # whose entries are scalar-only running aggregates.
+        assert all(isinstance(v, (int, float, dict)) for v in vars(stats).values())
+        assert len(stats.attention_layers) == 1
+        layer = stats.attention_layer(0)
+        assert all(isinstance(v, (int, float)) for v in vars(layer).values())
+        assert layer.refreshes == 10 and layer.reuses == 10
+        assert layer.drift_mean == pytest.approx(0.25)
 
     def test_reset(self):
         stats = EngineStats()
         stats.record_attention_sparsity(0.7)
+        stats.attention_layer(1).record_refresh(0.5)
+        stats.backend_seconds = 1.0
         stats.reset()
         assert stats.mean_attention_sparsity() == 0.0
         assert stats.attention_sparsity_samples == 0
+        assert stats.attention_layers == {}
+        assert stats.prediction_fraction() == 0.0

@@ -132,6 +132,50 @@ def test_bench_crossover_structure():
         result["dense_s"] / result["sparse_s"])
 
 
+def test_bench_predicted_step_structure():
+    result = bench.bench_predicted_step(repeats=1, batch=1, seq=64,
+                                        model_name="opt-tiny", interval=2,
+                                        predictor_epochs=1, drift_windows=1)
+    for key in ("oracle_s", "oracle_intervalK_s", "interval1_s", "intervalK_s"):
+        assert result[key] > 0
+    assert result["interval"] == 2.0
+    assert result["speedup_vs_oracle"] == pytest.approx(
+        result["oracle_s"] / result["interval1_s"])
+    assert result["interval_speedup"] == pytest.approx(
+        result["interval1_s"] / result["intervalK_s"])
+    assert result["oracle_interval_speedup"] == pytest.approx(
+        result["oracle_s"] / result["oracle_intervalK_s"])
+    # Reuse happened during the scheduled windows and drift was measured.
+    assert 0.0 < result["attention_reuse_rate"] < 1.0
+    assert result["attention_mask_drift"] >= 0.0
+    assert result["mlp_block_drift"] >= 0.0
+    assert 0.0 < result["prediction_fraction"] < 1.0
+    # Per-schedule prediction overhead is measured and the reduction field is
+    # consistent (the actual >1 reduction claim belongs to the benchmark run,
+    # not this structure test — single-window timings can flake under load).
+    assert result["interval1_prediction_s"] > 0
+    assert result["intervalK_prediction_s"] > 0
+    assert result["prediction_overhead_reduction"] == pytest.approx(
+        result["interval1_prediction_s"] / result["intervalK_prediction_s"])
+
+
+def test_bench_prediction_overhead_structure():
+    result = bench.bench_prediction_overhead(repeats=2, batch=1, seq=64,
+                                             dim=32, heads=2, rank=4,
+                                             block_size=16, reduce_seq=128,
+                                             reduce_batch=1)
+    assert set(result) == {"probe", "block_reduce", "match_many"}
+    probe = result["probe"]
+    assert probe["optimised_s"] > 0 and probe["pre_pr_s"] > 0
+    assert probe["speedup"] == pytest.approx(
+        probe["pre_pr_s"] / probe["optimised_s"])
+    reduce = result["block_reduce"]
+    assert reduce["seq"] == 128.0
+    assert reduce["two_stage_s"] > 0 and reduce["reshape_sum_s"] > 0
+    matcher = result["match_many"]
+    assert matcher["vectorised_s"] > 0 and matcher["loop_s"] > 0
+
+
 def test_bench_optimizer_step_structure():
     result = bench.bench_optimizer_step(repeats=2, n_params=8, param_shape=(32,))
     assert result["flat_s"] > 0 and result["loop_s"] > 0
@@ -158,12 +202,17 @@ def test_bench_geometry_lookup_beats_compute():
 def test_bench_json_flag(tmp_path):
     json_path = tmp_path / "BENCH_perf.json"
     report = bench.main(["--json", str(json_path), "--repeats", "1",
-                         "--op-repeats", "1", "--batch", "1", "--seq", "32"])
+                         "--op-repeats", "1", "--batch", "1", "--seq", "32",
+                         "--predicted-seq", "64", "--predictor-epochs", "1",
+                         "--predicted-repeats", "1"])
     assert json_path.exists()
     on_disk = json.loads(json_path.read_text())
-    for key in ("meta", "dense_step", "sparse_step", "geometry", "sparse_chain",
+    for key in ("meta", "dense_step", "sparse_step", "predicted_step",
+                "prediction_overhead", "geometry", "sparse_chain",
                 "crossover", "optimizer_step", "embedding_scatter", "ops"):
         assert key in on_disk and key in report
     assert on_disk["dense_step"]["fused_s"] > 0
+    assert on_disk["predicted_step"]["speedup_vs_oracle"] > 0
+    assert on_disk["prediction_overhead"]["block_reduce"]["speedup"] > 0
     assert set(on_disk["ops"]) == {"masked_softmax", "attention_core",
                                    "layer_norm", "cross_entropy", "linear_gelu"}
