@@ -33,15 +33,37 @@ compositions, plus (since the sparse-chain pass):
 * **prediction_overhead** — the mask-derivation path in isolation: the
   batched single-GEMM probe vs. the per-head einsum probe, the two-stage
   ``block_reduce`` vs. the 6-D reshape-sum at seq 512, and the vectorised
-  pattern matcher vs. the scalar per-head/per-pattern loop.
+  pattern matcher vs. the scalar per-head/per-pattern loop;
+* **predicted_quality** (since the calibration pass) — the predicted-vs-
+  oracle *block-sparsity gap* on fresh evaluation batches across the
+  calibration length grid: oracle layouts, calibrated predicted layouts
+  (per-head fitted thresholds + pattern snapping), and the uncalibrated
+  fixed-threshold layouts, with the fraction of oracle-active blocks the
+  predicted layouts retain; the acceptance bar is ``gap <= 0.05`` at the
+  long-sequence end of the grid;
+* **optimizer_regimes** — the flat vs. loop Adam update swept per
+  parameter-size regime (fixed total elements, growing per-parameter size),
+  validating :data:`repro.optim.adam.FLAT_MEAN_SIZE_THRESHOLD`: flat must
+  win below the threshold and the loop at or above it (measured crossover
+  ~4k elements under NumPy 2.4, matching the threshold).
+
+Re-measured under NumPy 2.4 (the PR-2 leftover): ``np.add.at`` remains ~2x
+slower than the sort + ``np.add.reduceat`` ``scatter_add_rows`` on both
+Zipf-duplicated and uniform token streams, so the segmented-reduce scatter
+stays the embedding-backward path with no NumPy-version gate.
 
 Run as a script::
 
     PYTHONPATH=src python benchmarks/bench_perf_regression.py --json BENCH_perf.json
 
+``--quick`` runs every section at miniature shapes with single repeats — a
+structural smoke of the whole harness (CI runs it on every push) whose
+timings and ratios are meaningless; never compare a ``--quick`` JSON against
+acceptance bars.
+
 The emitted JSON records all raw timings plus the speedup ratios; the
-acceptance bars for the perf passes are ``dense_step.speedup >= 1.5`` and
-``sparse_chain.speedup >= 1.3``.
+acceptance bars for the perf passes are ``dense_step.speedup >= 1.5``,
+``sparse_chain.speedup >= 1.3`` and ``predicted_quality`` gap ``<= 0.05``.
 """
 
 from __future__ import annotations
@@ -269,6 +291,8 @@ def bench_geometry(repeats: int = 50, seq: int = 512,
     cache.lookup(layout, seq)
     lookup_s = _best_of(lambda: cache.lookup(layout, seq), repeats)
     return {
+        "seq": float(seq),
+        "block_size": float(block_size),
         "layout_nnz": float(layout.nnz),
         "compute_s": compute_s,
         "lookup_s": lookup_s,
@@ -497,6 +521,146 @@ def bench_optimizer_step(repeats: int = 20, n_params: int = 200,
     results["n_elements"] = float(n_params * int(np.prod(param_shape)))
     results["speedup"] = results["loop_s"] / results["flat_s"]
     return results
+
+
+def bench_optimizer_regimes(repeats: int = 10,
+                            sizes=(256, 1024, 4096, 16384, 65536),
+                            total_elements: int = 2_000_000) -> Dict:
+    """Flat vs. loop Adam per parameter-size regime (threshold validation).
+
+    Every regime holds the total element count fixed and varies the
+    per-parameter size, so the sweep isolates the call-overhead-vs-memory-
+    bandwidth trade :data:`FLAT_MEAN_SIZE_THRESHOLD` encodes.  Both paths
+    are forced via the module constant (restored afterwards); the reported
+    ``threshold_validated`` is True when flat wins strictly below the
+    threshold and does not win above it.
+    """
+    import repro.optim.adam as adam_module
+    from repro.nn.module import Parameter
+
+    rng = np.random.default_rng(0)
+    saved = adam_module.FLAT_MEAN_SIZE_THRESHOLD
+    regimes = []
+    try:
+        for size in sizes:
+            n_params = max(2, total_elements // int(size))
+            timings: Dict[str, float] = {}
+            for mode in ("flat", "loop"):
+                adam_module.FLAT_MEAN_SIZE_THRESHOLD = (
+                    float("inf") if mode == "flat" else -1.0)
+                params = [Parameter(rng.normal(size=(int(size),)).astype(np.float32))
+                          for _ in range(n_params)]
+                optimizer = Adam(params, lr=1e-4, weight_decay=0.01)
+                for p in params:
+                    p.grad = rng.normal(size=(int(size),)).astype(np.float32)
+                optimizer.step()  # warm-up
+                timings[f"{mode}_s"] = _best_of(optimizer.step, repeats)
+            regimes.append({"param_size": float(size), "n_params": float(n_params),
+                            **timings,
+                            "flat_speedup": timings["loop_s"] / timings["flat_s"]})
+    finally:
+        adam_module.FLAT_MEAN_SIZE_THRESHOLD = saved
+    threshold = float(saved)
+    below = [r for r in regimes if r["param_size"] <= threshold]
+    above = [r for r in regimes if r["param_size"] > threshold]
+    validated = (all(r["flat_speedup"] >= 1.0 for r in below)
+                 and all(r["flat_speedup"] <= 1.15 for r in above))
+    return {"threshold_elements": threshold, "regimes": regimes,
+            "threshold_validated": bool(validated)}
+
+
+def _eval_layout_stats(engine, model, ids, eval_seq):
+    """Oracle / calibrated / uncalibrated layout sparsity on one fresh batch."""
+    from repro.sparsity.predictor import collect_layer_data
+
+    layers = collect_layer_data(model, [ids])
+    oracle_sp, cal_sp, uncal_sp, recall = [], [], [], []
+    for layer_index, predictor in enumerate(engine.attention_predictors):
+        merged = layers[layer_index].merged()
+        _, names = engine.attention_exposer.head_block_masks(
+            merged["attention_probs"])
+        oracle_layout = engine.layout_pool.combine(list(names), eval_seq)
+        oracle_sp.append(oracle_layout.sparsity())
+
+        cal_names = predictor.predict_patterns(merged["attention_inputs"])
+        cal_layout = engine.layout_pool.combine(cal_names, eval_seq)
+        cal_sp.append(cal_layout.sparsity())
+
+        oracle_masks = np.stack([oracle_layout.head_mask(h)
+                                 for h in range(oracle_layout.n_heads)])
+        cal_masks = np.stack([cal_layout.head_mask(h)
+                              for h in range(cal_layout.n_heads)])
+        recall.append(float((oracle_masks & cal_masks).sum() / oracle_masks.sum()))
+
+        saved_calibration = predictor.calibration
+        predictor.calibration = None
+        try:
+            uncal_names = predictor.predict_patterns(merged["attention_inputs"])
+        finally:
+            predictor.calibration = saved_calibration
+        uncal_sp.append(engine.layout_pool.combine(uncal_names, eval_seq).sparsity())
+    return (float(np.mean(oracle_sp)), float(np.mean(cal_sp)),
+            float(np.mean(uncal_sp)), float(np.mean(recall)))
+
+
+def bench_predicted_quality(batch: int = BATCH, seq: int = PREDICTED_SEQ,
+                            model_name: str = SPARSE_MODEL,
+                            predictor_epochs: int = 30,
+                            lengths=(128, 256, 512),
+                            eval_batches: int = 3) -> Dict:
+    """Predicted-vs-oracle block-sparsity gap across the calibration grid.
+
+    Probes are trained on the calibration batches and then calibrated on the
+    length grid (per-head threshold fitting + snap-bar scan, the default
+    engine path).  Evaluation uses *fresh* random batches at every grid
+    length: per layer, the oracle's snapped layouts are compared against the
+    calibrated predicted layouts and against the uncalibrated fixed-
+    threshold layouts.  ``recall`` is the fraction of oracle-active blocks
+    the calibrated layout retains (the accuracy side of the trade — density
+    matching must not be bought by dropping the blocks the oracle keeps).
+
+    The acceptance bar is ``gap <= 0.05`` at the longest grid length
+    (ISSUE 4; the uncalibrated gap at the same point was ~0.10-0.12).
+    """
+    lengths = tuple(int(l) for l in lengths)
+    result: Dict = {"lengths": [float(l) for l in lengths]}
+    model = build_model(model_name, seed=0)
+    rng = np.random.default_rng(0)
+    calib = rng.integers(0, model.config.vocab_size, size=(2, seq))
+    config = LongExposureConfig(block_size=BLOCK_SIZE, seed=0,
+                                predictor_epochs=predictor_epochs,
+                                calibration_lengths=lengths)
+    engine = LongExposure(config)
+    engine.prepare(model, [calib])
+    result["calibration_gap"] = engine.calibration_gap().get("attention", 0.0)
+    snap = engine.attention_calibrations[0].snap_coverage \
+        if engine.attention_calibrations else 0.0
+    result["snap_coverage"] = float(snap)
+
+    per_length: Dict[str, Dict[str, float]] = {}
+    for eval_seq in lengths:
+        stats = np.array([
+            _eval_layout_stats(
+                engine, model,
+                rng.integers(0, model.config.vocab_size, size=(batch, eval_seq)),
+                eval_seq)
+            for _ in range(max(1, eval_batches))])
+        oracle_sp, cal_sp, uncal_sp, recall = stats.mean(axis=0)
+        per_length[str(eval_seq)] = {
+            "oracle_sparsity": oracle_sp,
+            "calibrated_sparsity": cal_sp,
+            "calibrated_gap": abs(oracle_sp - cal_sp),
+            "uncalibrated_sparsity": uncal_sp,
+            "uncalibrated_gap": abs(oracle_sp - uncal_sp),
+            "oracle_recall": recall,
+        }
+    result["per_length"] = per_length
+    longest = per_length[str(max(lengths))]
+    result["gap"] = longest["calibrated_gap"]
+    result["uncalibrated_gap"] = longest["uncalibrated_gap"]
+    result["gap_reduction"] = (longest["uncalibrated_gap"]
+                               / max(longest["calibrated_gap"], 1e-9))
+    return result
 
 
 def bench_embedding_scatter(repeats: int = 20, vocab: int = 50257,
@@ -812,7 +976,20 @@ def run_benchmark(repeats: int = 5, op_repeats: int = 20,
                   batch: int = BATCH, seq: int = SEQ,
                   predicted_seq: int = PREDICTED_SEQ,
                   predictor_epochs: int = 30,
-                  predicted_repeats: int = 3) -> Dict:
+                  predicted_repeats: int = 3,
+                  quick: bool = False) -> Dict:
+    if quick:
+        # Structural smoke: every section runs, at shapes small enough for a
+        # CI worker, with single-digit repeats.  The numbers mean nothing;
+        # the point is that the harness itself cannot silently rot.
+        repeats, op_repeats, predicted_repeats = 1, 2, 1
+        batch, seq, predicted_seq, predictor_epochs = 2, 64, 128, 2
+    # Calibration grid of the quality section: quarter / half / full of the
+    # predicted-step sequence length (128/256/512 at the default config),
+    # floored at one block.
+    quality_lengths = tuple(sorted({max(BLOCK_SIZE, predicted_seq // 4),
+                                    max(BLOCK_SIZE, predicted_seq // 2),
+                                    predicted_seq}))
     report = {
         "meta": {
             "dense_model": DENSE_MODEL,
@@ -822,6 +999,7 @@ def run_benchmark(repeats: int = 5, op_repeats: int = 20,
             "predicted_seq": predicted_seq,
             "predict_interval": PREDICT_INTERVAL,
             "repeats": repeats,
+            "quick": quick,
             "platform": platform.platform(),
             "numpy": np.__version__,
         },
@@ -830,13 +1008,25 @@ def run_benchmark(repeats: int = 5, op_repeats: int = 20,
         "predicted_step": bench_predicted_step(predicted_repeats, batch=batch,
                                                seq=predicted_seq,
                                                predictor_epochs=predictor_epochs),
+        "predicted_quality": bench_predicted_quality(
+            batch=batch, seq=predicted_seq, predictor_epochs=predictor_epochs,
+            lengths=quality_lengths, eval_batches=1 if quick else 3),
         "prediction_overhead": bench_prediction_overhead(op_repeats,
                                                          batch=batch, seq=seq),
-        "geometry": bench_geometry(),
+        "geometry": bench_geometry(repeats=5 if quick else 50,
+                                   seq=128 if quick else 512),
         "sparse_chain": bench_sparse_chain(op_repeats, batch=batch, seq=seq),
-        "crossover": bench_crossover(),
-        "optimizer_step": bench_optimizer_step(op_repeats),
-        "embedding_scatter": bench_embedding_scatter(op_repeats),
+        "crossover": bench_crossover(repeats=2 if quick else 10,
+                                     seq=128 if quick else 512),
+        "optimizer_step": bench_optimizer_step(op_repeats,
+                                               n_params=20 if quick else 200),
+        "optimizer_regimes": bench_optimizer_regimes(
+            repeats=2 if quick else 10,
+            sizes=(256, 4096, 16384) if quick else (256, 1024, 4096, 16384, 65536),
+            total_elements=200_000 if quick else 2_000_000),
+        "embedding_scatter": bench_embedding_scatter(
+            op_repeats, vocab=2048 if quick else 50257,
+            n_tokens=512 if quick else 8192),
         "ops": bench_fused_ops(op_repeats),
     }
     return report
@@ -874,6 +1064,19 @@ def _print_report(report: Dict) -> None:
           f"{predicted['intervalK_prediction_s'] * 1000:.2f} ms/step "
           f"({predicted['prediction_overhead_reduction']:.2f}x less)   "
           f"mask drift {predicted['attention_mask_drift']:.4f}")
+    quality = report["predicted_quality"]
+    print(f"predicted quality (calibrated probes, grid "
+          f"{[int(l) for l in quality['lengths']]}, snap bar "
+          f"{quality['snap_coverage']:.2f}):")
+    for length, row in quality["per_length"].items():
+        print(f"  seq {length:>4}: oracle {row['oracle_sparsity']:.3f}  "
+              f"calibrated {row['calibrated_sparsity']:.3f} "
+              f"(gap {row['calibrated_gap']:.3f}, recall {row['oracle_recall']:.3f})  "
+              f"uncalibrated {row['uncalibrated_sparsity']:.3f} "
+              f"(gap {row['uncalibrated_gap']:.3f})")
+    print(f"  gap at seq {int(max(quality['lengths']))}: "
+          f"{quality['gap']:.3f} calibrated vs {quality['uncalibrated_gap']:.3f} "
+          f"uncalibrated ({quality['gap_reduction']:.1f}x tighter)")
     overhead = report["prediction_overhead"]
     probe = overhead["probe"]
     print("prediction overhead (mask derivation in isolation):")
@@ -887,7 +1090,8 @@ def _print_report(report: Dict) -> None:
     print(f"  match_many {matcher['vectorised_s'] * 1e3:8.3f} ms vs "
           f"{matcher['loop_s'] * 1e3:8.3f} ms  ({matcher['speedup']:.2f}x)")
     geom = report["geometry"]
-    print(f"sparse geometry per call (seq 512, block 16, nnz {int(geom['layout_nnz'])}):")
+    print(f"sparse geometry per call (seq {int(geom['seq'])}, "
+          f"block {int(geom['block_size'])}, nnz {int(geom['layout_nnz'])}):")
     print(f"  compute   {geom['compute_s'] * 1e3:8.3f} ms")
     print(f"  lookup    {geom['lookup_s'] * 1e3:8.3f} ms")
     print(f"  speedup   {geom['speedup']:8.1f}x")
@@ -907,6 +1111,13 @@ def _print_report(report: Dict) -> None:
     print(f"  flat      {opt['flat_s'] * 1e3:8.2f} ms")
     print(f"  loop      {opt['loop_s'] * 1e3:8.2f} ms")
     print(f"  speedup   {opt['speedup']:8.2f}x")
+    regimes = report["optimizer_regimes"]
+    print(f"optimizer regimes (threshold {int(regimes['threshold_elements'])} "
+          f"elements, validated={regimes['threshold_validated']}):")
+    for row in regimes["regimes"]:
+        print(f"  size {int(row['param_size']):>7} x {int(row['n_params']):>6}: "
+              f"flat {row['flat_s'] * 1e3:8.2f} ms  loop {row['loop_s'] * 1e3:8.2f} ms  "
+              f"flat wins {row['flat_speedup']:.2f}x")
     scatter = report["embedding_scatter"]
     print(f"embedding scatter (vocab {int(scatter['vocab'])}, "
           f"{int(scatter['n_tokens'])} tokens):")
@@ -935,6 +1146,11 @@ def main(argv=None) -> Dict:
                         help="offline probe-training epochs for predicted_step")
     parser.add_argument("--predicted-repeats", type=int, default=3,
                         help="best-of-N repeats for the predicted_step windows")
+    parser.add_argument("--quick", action="store_true",
+                        help="structural smoke: run every section at tiny "
+                             "shapes with single repeats (timings are "
+                             "meaningless; CI uses this to catch harness "
+                             "breakage without flaky timing asserts)")
     args = parser.parse_args(argv)
 
     if args.json:
@@ -946,7 +1162,8 @@ def main(argv=None) -> Dict:
                            batch=args.batch, seq=args.seq,
                            predicted_seq=args.predicted_seq,
                            predictor_epochs=args.predictor_epochs,
-                           predicted_repeats=args.predicted_repeats)
+                           predicted_repeats=args.predicted_repeats,
+                           quick=args.quick)
     _print_report(report)
     if args.json:
         with open(args.json, "w") as handle:

@@ -171,6 +171,15 @@ class FineTuner:
             self.profiler.set_gauge("mlp_reuse_rate", stats.mlp_reuse_rate())
             self.profiler.set_gauge("attention_mask_drift", stats.mean_attention_drift())
             self.profiler.set_gauge("mlp_block_drift", stats.mean_mlp_drift())
+            # Achieved sparsity of the executed layouts plus the calibration-
+            # time predicted-vs-oracle density gap, so a drifting predicted
+            # density is visible next to the phase timings.
+            self.profiler.set_gauge("attention_sparsity",
+                                    stats.mean_attention_sparsity())
+            self.profiler.set_gauge("mlp_sparsity", stats.mean_mlp_sparsity())
+            gaps = getattr(self.engine, "calibration_gap", dict)()
+            for kind, gap in gaps.items():
+                self.profiler.set_gauge(f"{kind}_calibration_gap", gap)
 
         timing = PhaseTimings(forward=forward_s, backward=backward_s,
                               optimizer=optimizer_s, prediction=prediction_s)

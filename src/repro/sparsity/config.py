@@ -44,6 +44,19 @@ class LongExposureConfig:
         If True, the engine uses the exposer's exact (ground-truth) masks at
         runtime instead of predictor outputs.  Used for ablations and tests;
         the paper's "shadowy" baselines correspond to uniform oracle masks.
+    calibrate_predictors:
+        Fit per-layer/per-head decision thresholds and the pattern-snap bar
+        against the oracle masks after predictor training (see
+        :mod:`repro.sparsity.predictor.calibration`).  Calibration closes the
+        predicted-vs-oracle block-density gap and makes the probes robust to
+        sequence lengths away from their training grid; disabling it restores
+        the fixed-threshold sigmoid-mass prediction path.
+    calibration_lengths:
+        Sequence-length grid of the calibration pass.  Empty (the default)
+        calibrates at the lengths of the calibration batches; an explicit
+        grid (e.g. ``(128, 256, 512)``) additionally fits thresholds at each
+        listed length (truncating the calibration batches), with log-linear
+        interpolation between grid points at runtime.
     predict_interval:
         Refresh the predicted (or oracle) sparsity patterns every this many
         fine-tuning steps; between refreshes the sparse backends reuse the
@@ -75,6 +88,8 @@ class LongExposureConfig:
     optimize_attention: bool = True
     optimize_mlp: bool = True
     oracle_mode: bool = False
+    calibrate_predictors: bool = True
+    calibration_lengths: Tuple[int, ...] = ()
     predict_interval: int = 1
     mlp_offload_inactive: bool = False
     min_active_mlp_blocks: int = 1
@@ -91,3 +106,6 @@ class LongExposureConfig:
             raise ValueError("predictor_rank must be positive")
         if self.predict_interval < 1:
             raise ValueError("predict_interval must be >= 1")
+        self.calibration_lengths = tuple(self.calibration_lengths)
+        if any(length <= 0 for length in self.calibration_lengths):
+            raise ValueError("calibration_lengths must be positive")

@@ -79,10 +79,14 @@ from repro.sparsity.ops.neuron_sparse import (
 )
 from repro.sparsity.patterns import PatternPool, build_default_pool
 from repro.sparsity.predictor import (
+    AttentionCalibration,
     AttentionPredictor,
+    MLPCalibration,
     MLPPredictor,
     PredictorMetrics,
     PredictorTrainingConfig,
+    calibrate_attention_predictor,
+    calibrate_mlp_predictor,
     collect_layer_data,
     train_attention_predictor,
     train_mlp_predictor,
@@ -428,6 +432,10 @@ class LongExposure:
         self.mlp_predictors: List[MLPPredictor] = []
         self.predictor_metrics: Dict[str, List[PredictorMetrics]] = {
             "attention": [], "mlp": []}
+        # Per-layer fitted calibrations (populated by prepare() when
+        # config.calibrate_predictors is set; parallel to the predictor lists).
+        self.attention_calibrations: List[AttentionCalibration] = []
+        self.mlp_calibrations: List[MLPCalibration] = []
         self.stats = EngineStats()
         self._installed_blocks: List = []
         self._sparse_backends: List = []
@@ -451,6 +459,8 @@ class LongExposure:
         self.layout_pool.construct(seq_lens)
 
         mlp_enabled = config.optimize_mlp and model.config.activation == "relu"
+        self.attention_calibrations = []
+        self.mlp_calibrations = []
         if config.oracle_mode:
             self._prepared = True
             return
@@ -488,7 +498,80 @@ class LongExposure:
                     self.mlp_exposer, training_config)
                 self.mlp_predictors.append(predictor)
                 self.predictor_metrics["mlp"].append(metrics)
+        if config.calibrate_predictors:
+            self._calibrate_predictors(model, calibration_batches, collected)
         self._prepared = True
+
+    def _calibrate_predictors(self, model: CausalLMModel,
+                              calibration_batches: Sequence[np.ndarray],
+                              collected) -> None:
+        """Fit per-layer decision thresholds and snap bars against the oracle.
+
+        Runs one extra (frozen-model) collection pass per grid length — the
+        native-length collection is reused when the grid length matches every
+        calibration batch — then calibrates each trained predictor on the
+        per-length oracle masks (see
+        :mod:`repro.sparsity.predictor.calibration`).
+
+        The grid is anchored on the *actual* token lengths of the calibration
+        batches (prepare's ``seq_lens`` parameter only declares layout-pool
+        lengths and may differ from them).
+        """
+        config = self.config
+        native = sorted({int(np.asarray(b).shape[-1]) for b in calibration_batches})
+        lengths = sorted(set(int(s) for s in config.calibration_lengths) | set(native)
+                         ) if config.calibration_lengths else native
+        self.layout_pool.construct(lengths)
+
+        # length -> [merged dict per layer]; each layer's recordings are
+        # concatenated exactly once per grid length (the attention probs
+        # alone are O(n·heads·seq²) — re-merging per consumer would copy
+        # them four times per layer per length).
+        merged_by_length: Dict[int, list] = {}
+        for length in lengths:
+            if native == [length]:
+                layers = collected
+            elif not any(np.asarray(b).shape[-1] >= length
+                         for b in calibration_batches):
+                continue   # no calibration batch long enough for this length
+            else:
+                layers = collect_layer_data(model, calibration_batches,
+                                            truncate_to=length)
+            merged_by_length[length] = [layer.merged() for layer in layers]
+
+        self.attention_calibrations = []
+        for layer_index, predictor in enumerate(self.attention_predictors):
+            calibration = calibrate_attention_predictor(
+                predictor, self.attention_exposer,
+                {length: merged[layer_index]["attention_inputs"]
+                 for length, merged in merged_by_length.items()},
+                {length: merged[layer_index]["attention_probs"]
+                 for length, merged in merged_by_length.items()})
+            predictor.set_calibration(calibration)
+            self.attention_calibrations.append(calibration)
+
+        self.mlp_calibrations = []
+        for layer_index, predictor in enumerate(self.mlp_predictors):
+            calibration = calibrate_mlp_predictor(
+                predictor, self.mlp_exposer,
+                {length: merged[layer_index]["mlp_inputs"]
+                 for length, merged in merged_by_length.items()},
+                {length: merged[layer_index]["mlp_activations"]
+                 for length, merged in merged_by_length.items()})
+            predictor.set_calibration(calibration)
+            self.mlp_calibrations.append(calibration)
+
+    # -- calibration reporting ---------------------------------------------------
+    def calibration_gap(self) -> Dict[str, float]:
+        """Mean |predicted − oracle| density gap recorded at calibration time."""
+        out: Dict[str, float] = {}
+        if self.attention_calibrations:
+            out["attention"] = float(np.mean(
+                [c.mean_gap() for c in self.attention_calibrations]))
+        if self.mlp_calibrations:
+            out["mlp"] = float(np.mean(
+                [c.mean_gap() for c in self.mlp_calibrations]))
+        return out
 
     # -- oracle (exposer-driven) paths ------------------------------------------------
     def oracle_attention_layout(self, module: MultiHeadAttention, q, k,
@@ -588,6 +671,12 @@ class LongExposure:
         recalls = self.mean_predictor_recall()
         for kind, value in recalls.items():
             lines.append(f"  {kind} predictor mean recall: {value:.4f}")
+        for kind, gap in self.calibration_gap().items():
+            lines.append(f"  {kind} calibration density gap: {gap:.4f}")
+        if self.attention_calibrations:
+            grid = self.attention_calibrations[0].grid_lengths()
+            lines.append(f"  calibration grid: {grid} "
+                         f"(snap bar {self.attention_calibrations[0].snap_coverage:.2f})")
         lines.append(f"  mean attention block sparsity: {self.stats.mean_attention_sparsity():.3f}")
         lines.append(f"  mean MLP block sparsity: {self.stats.mean_mlp_sparsity():.3f}")
         lines.append(f"  prediction overhead: {self.stats.prediction_seconds * 1000:.2f} ms")

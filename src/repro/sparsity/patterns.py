@@ -229,6 +229,24 @@ class PatternPool:
             self._mask_matrix_cache[n_blocks] = cached
         return cached
 
+    def snap_masks(self, masks: np.ndarray, coverage: float = 0.95) -> List[str]:
+        """Snap binary per-head block masks onto the nearest pool patterns.
+
+        ``masks`` is boolean with shape ``(heads, n_blocks, n_blocks)``.  For
+        every head the cheapest pattern retaining at least ``coverage`` of the
+        mask's active blocks is selected — :meth:`match` semantics with the
+        thresholded mask itself as the mass, which is how the calibrated
+        predictors recover the oracle's structured layouts from free-form
+        thresholded masks.  ``dense`` is a superset of every causal mask, so
+        snapping is total: the result always names a pool pattern and the
+        returned patterns are causal with a guaranteed diagonal (the pool
+        enforces both), whatever the input mask looked like.
+        """
+        masks = np.asarray(masks)
+        if masks.ndim != 3 or masks.shape[-1] != masks.shape[-2]:
+            raise ValueError("masks must have shape (heads, n, n)")
+        return self.match_many(masks.astype(np.float64), coverage=coverage)
+
     def match_many(self, block_scores: np.ndarray, coverage: float = 0.95) -> List[str]:
         """Vector version of :meth:`match` over the leading (head) dimension.
 

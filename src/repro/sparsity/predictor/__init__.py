@@ -22,6 +22,13 @@ they stay accurate while the PEFT parameters evolve during fine-tuning.
 from repro.sparsity.predictor.attention import AttentionPredictor
 from repro.sparsity.predictor.mlp import MLPPredictor
 from repro.sparsity.predictor.collect import CollectedLayerData, collect_layer_data
+from repro.sparsity.predictor.calibration import (
+    AttentionCalibration,
+    CalibrationEntry,
+    MLPCalibration,
+    calibrate_attention_predictor,
+    calibrate_mlp_predictor,
+)
 from repro.sparsity.predictor.training import (
     PredictorTrainingConfig,
     PredictorMetrics,
@@ -31,8 +38,13 @@ from repro.sparsity.predictor.training import (
 
 __all__ = [
     "AttentionPredictor",
+    "AttentionCalibration",
+    "CalibrationEntry",
+    "MLPCalibration",
     "MLPPredictor",
     "CollectedLayerData",
+    "calibrate_attention_predictor",
+    "calibrate_mlp_predictor",
     "collect_layer_data",
     "PredictorTrainingConfig",
     "PredictorMetrics",

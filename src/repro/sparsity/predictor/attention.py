@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.nn.module import Module, Parameter
 from repro.sparsity.patterns import PatternPool, block_count, causal_block_mask
+from repro.sparsity.predictor.calibration import threshold_block_masks
 from repro.tensor import Tensor
 
 
@@ -58,6 +59,21 @@ class AttentionPredictor(Module):
         # training path runs (the only place the weights change).
         self._downsample_cache: dict = {}
         self._packed_qk: Optional[np.ndarray] = None
+        # Optional fitted decision state (per-head thresholds + snap bar);
+        # None preserves the uncalibrated fixed-threshold behaviour exactly.
+        self.calibration = None
+
+    def set_calibration(self, calibration) -> None:
+        """Attach an :class:`AttentionCalibration` (or None to detach).
+
+        Calibration replaces the fixed logit threshold of :meth:`block_masks`
+        with per-head, per-length fitted thresholds, and routes
+        :meth:`predict_patterns` through threshold-then-snap instead of the
+        sigmoid-mass coverage matcher.
+        """
+        if calibration is not None and calibration.block_size != self.block_size:
+            raise ValueError("calibration block_size does not match the predictor")
+        self.calibration = calibration
 
     # -- shared helpers ------------------------------------------------------------
     def downsample_indices(self, seq_len: int) -> np.ndarray:
@@ -135,13 +151,31 @@ class AttentionPredictor(Module):
     def block_masks(self, x: np.ndarray) -> np.ndarray:
         """Binary per-head block masks ``(heads, n_blocks, n_blocks)``.
 
-        The scores are thresholded directly in logit space (``σ(s) > p`` iff
-        ``s > log(p / (1-p))``, so no sigmoid is materialised), reduced over
-        the batch dimension (a block is kept if any sample needs it — the
-        recall-oriented reduction of Figure 5), and restricted to the causal
-        triangle.
+        Uncalibrated, the scores are thresholded at a fixed bar directly in
+        logit space (``σ(s) > p`` iff ``s > log(p / (1-p))``, so no sigmoid
+        is materialised).  With a fitted :class:`AttentionCalibration`
+        attached, each head is thresholded at its calibrated per-length logit
+        threshold instead — placed at the score quantile matching the oracle
+        mask's density, which is what closes the predicted-vs-oracle density
+        gap.  The batch reduction differs per path: uncalibrated keeps a
+        block if *any* sample needs it (the recall-oriented reduction of
+        Figure 5); calibrated thresholds the batch-*mean* score, matching
+        how the thresholds were fitted and staying invariant to the runtime
+        batch size.  Both restrict to the causal triangle and force the
+        diagonal.
         """
+        x = np.asarray(x)
+        seq_len = x.shape[-2]
         scores = self.approximate_scores(x)                     # (batch, heads, nb, nb)
+        if self.calibration is not None:
+            # Mean over the batch rather than the recall-first any-union: the
+            # thresholds were fitted on mean scores (the mean is invariant to
+            # the runtime batch size where a union grows denser with it).
+            # threshold_block_masks is shared with the calibration fit — the
+            # fitted thresholds are only valid while both paths build masks
+            # identically.
+            tau = self.calibration.thresholds_for(seq_len)
+            return threshold_block_masks(scores.mean(axis=0), tau)
         prob_threshold = 0.5 + self.threshold
         if prob_threshold >= 1.0:
             keep = np.zeros(scores.shape[1:], dtype=bool)
@@ -157,17 +191,29 @@ class AttentionPredictor(Module):
     def predict_patterns(self, x: np.ndarray) -> List[str]:
         """Atomic pattern name per head for the current batch input ``x``.
 
-        Each head's predicted block mass (sigmoid confidence above the 0.5
-        decision boundary, averaged over the batch) is matched against the
-        pool: the cheapest atomic pattern covering at least ``coverage`` of
-        that mass is selected.  Subtracting the 0.5 baseline suppresses the
-        uniform background confidence of clearly-inactive blocks so the
-        matcher sees the same concentrated mass picture the exposer sees.
+        With a fitted calibration attached, each head's scores are
+        thresholded at the calibrated per-head/per-length bar and the binary
+        mask is snapped onto the cheapest pool pattern retaining
+        ``snap_coverage`` of its active blocks — density-matched to the
+        oracle by construction, so the predicted layouts recover the
+        oracle's structured sparsity instead of over-covering.
+
+        Uncalibrated, each head's predicted block mass (sigmoid confidence
+        above the 0.5 decision boundary, averaged over the batch) is matched
+        against the pool: the cheapest atomic pattern covering at least
+        ``coverage`` of that mass is selected.  Subtracting the 0.5 baseline
+        suppresses the uniform background confidence of clearly-inactive
+        blocks so the matcher sees the same concentrated mass picture the
+        exposer sees.
 
         The sigmoid / baseline-subtract / clip chain mutates the score buffer
         in place — this runs per layer per refresh inside the hot loop, and
         the only allocation left is the small per-head mass reduction.
         """
+        if self.calibration is not None:
+            masks = self.block_masks(x)
+            return self.pattern_pool.snap_masks(
+                masks, coverage=self.calibration.snap_coverage)
         scores = self.approximate_scores(x)                     # (batch, heads, nb, nb)
         np.negative(scores, out=scores)
         np.exp(scores, out=scores)

@@ -60,7 +60,8 @@ def _dense_attention_probs(attention, x_norm: Tensor,
 
 
 def collect_layer_data(model: CausalLMModel, batches: Iterable[np.ndarray],
-                       max_batches: Optional[int] = None) -> List[CollectedLayerData]:
+                       max_batches: Optional[int] = None,
+                       truncate_to: Optional[int] = None) -> List[CollectedLayerData]:
     """Run inference passes and record per-layer predictor training data.
 
     Parameters
@@ -72,6 +73,10 @@ def collect_layer_data(model: CausalLMModel, batches: Iterable[np.ndarray],
         Iterable of integer token-id arrays of shape ``(batch, seq)``.
     max_batches:
         Optional cap on the number of batches to record.
+    truncate_to:
+        Optional sequence length to truncate every batch to before the pass;
+        batches shorter than this are skipped entirely.  The calibration
+        grid uses this to re-collect the same batches at each grid length.
 
     Returns
     -------
@@ -85,6 +90,10 @@ def collect_layer_data(model: CausalLMModel, batches: Iterable[np.ndarray],
             input_ids = np.asarray(batch)
             if input_ids.ndim == 1:
                 input_ids = input_ids[None, :]
+            if truncate_to is not None:
+                if input_ids.shape[-1] < truncate_to:
+                    continue
+                input_ids = input_ids[..., :truncate_to]
             bsz, seq = input_ids.shape
             mask = causal_mask(seq)
             positions = np.broadcast_to(np.arange(seq), (bsz, seq))

@@ -43,15 +43,26 @@ class PredictorTrainingConfig:
 
 @dataclass
 class PredictorMetrics:
-    """Quality of a trained predictor on its training data (labels are cheap)."""
+    """Quality of a trained predictor on its training data (labels are cheap).
+
+    ``predicted_density`` / ``label_density`` expose the over-coverage the
+    recall-weighted loss bakes in (predicted > label means the raw decision
+    boundary keeps too many blocks) — the miscalibration the calibration
+    pass corrects; a large ratio is the signal to check
+    ``engine.calibration_gap()`` before trusting raw predictions.
+    """
 
     recall: float
     precision: float
     loss: float
     epochs: int
+    predicted_density: float = 0.0
+    label_density: float = 0.0
 
     def summary(self) -> str:
-        return f"recall={self.recall:.4f} precision={self.precision:.4f} loss={self.loss:.4f}"
+        return (f"recall={self.recall:.4f} precision={self.precision:.4f} "
+                f"loss={self.loss:.4f} density={self.predicted_density:.3f}"
+                f"/{self.label_density:.3f}")
 
 
 def _recall_precision(pred: np.ndarray, target: np.ndarray) -> Tuple[float, float]:
@@ -121,8 +132,14 @@ def train_attention_predictor(predictor: AttentionPredictor,
     pred = pred & causal.astype(bool)[None, None]
     target = (labels > 0.5) & causal.astype(bool)[None, None]
     recall, precision = _recall_precision(pred, target)
+    causal_blocks = max(float(causal.sum()), 1.0)
+    per_sample_head = pred.shape[0] * pred.shape[1]
     return PredictorMetrics(recall=recall, precision=precision,
-                            loss=last_loss, epochs=config.epochs)
+                            loss=last_loss, epochs=config.epochs,
+                            predicted_density=float(pred.sum())
+                            / (per_sample_head * causal_blocks),
+                            label_density=float(target.sum())
+                            / (per_sample_head * causal_blocks))
 
 
 # ---------------------------------------------------------------------------

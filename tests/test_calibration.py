@@ -1,0 +1,390 @@
+"""Tests of the predictor-calibration subsystem (threshold + snap fitting).
+
+Covers the three calibration guarantees the ISSUE names:
+
+* threshold calibration closes the predicted-vs-oracle block-density gap —
+  including at seq 512, the regime where the uncalibrated probes were
+  measured ~0.10 too dense;
+* the multi-length grid round-trips (exact lookups at grid lengths,
+  log-linear interpolation between them, clamping outside), so probes do not
+  collapse to near-dense masks away from their training length;
+* pattern snapping never violates the causal/layout invariants — snapped
+  layouts stay inside the causal triangle with a guaranteed diagonal, for
+  any input mask.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.sparsity import LongExposure, LongExposureConfig
+from repro.sparsity.exposer import AttentionExposer, MLPExposer
+from repro.sparsity.patterns import build_default_pool, causal_block_mask
+from repro.sparsity.predictor import (
+    AttentionCalibration,
+    AttentionPredictor,
+    MLPCalibration,
+    MLPPredictor,
+    PredictorTrainingConfig,
+    calibrate_attention_predictor,
+    calibrate_mlp_predictor,
+    collect_layer_data,
+    train_attention_predictor,
+    train_mlp_predictor,
+)
+from repro.sparsity.predictor.calibration import _bracket, _separating_threshold
+
+
+class TestPrimitives:
+    def test_separating_threshold_keeps_exactly_k(self):
+        rng = np.random.default_rng(0)
+        vals = np.sort(rng.normal(size=50))[::-1]
+        for keep in (1, 10, 49):
+            tau = _separating_threshold(vals, keep)
+            assert int((vals > tau).sum()) == keep
+
+    def test_separating_threshold_edges(self):
+        vals = np.array([3.0, 2.0, 1.0])
+        assert (vals > _separating_threshold(vals, 0)).sum() == 0
+        assert (vals > _separating_threshold(vals, 3)).sum() == 3
+        assert (vals > _separating_threshold(vals, 99)).sum() == 3
+
+    def test_separating_threshold_ties_keep_more_not_fewer(self):
+        """Tied boundary scores must be kept (recall side), not all dropped."""
+        vals = np.array([5.0, 3.0, 3.0, 3.0, 1.0])
+        tau = _separating_threshold(vals, 3)
+        assert int((vals > tau).sum()) == 4   # all tied 3.0s survive
+        tau = _separating_threshold(np.zeros(6), 2)
+        assert int((np.zeros(6) > tau).sum()) == 6
+
+    def test_bracket_exact_and_clamped(self):
+        assert _bracket([32, 64, 128], 64) == (64, None, 0.0)
+        assert _bracket([32, 64, 128], 16) == (32, None, 0.0)
+        assert _bracket([32, 64, 128], 512) == (128, None, 0.0)
+        low, high, w = _bracket([32, 128], 64)
+        assert (low, high) == (32, 128)
+        assert w == pytest.approx(0.5)   # log-linear: 64 is halfway in log2
+
+    def test_thresholds_for_interpolates_between_grid_points(self):
+        cal = AttentionCalibration(
+            block_size=16,
+            thresholds={32: np.array([0.0, 2.0]), 128: np.array([1.0, 4.0])},
+            snap_coverage=0.8)
+        np.testing.assert_array_equal(cal.thresholds_for(32), [0.0, 2.0])
+        np.testing.assert_array_equal(cal.thresholds_for(128), [1.0, 4.0])
+        np.testing.assert_allclose(cal.thresholds_for(64), [0.5, 3.0])
+        np.testing.assert_array_equal(cal.thresholds_for(8), [0.0, 2.0])
+        np.testing.assert_array_equal(cal.thresholds_for(4096), [1.0, 4.0])
+
+    def test_mlp_threshold_for_round_trip(self):
+        cal = MLPCalibration(thresholds={32: 0.2, 128: 0.6})
+        assert cal.threshold_for(32) == 0.2
+        assert cal.threshold_for(128) == 0.6
+        assert cal.threshold_for(64) == pytest.approx(0.4)
+        assert cal.grid_lengths() == [32, 128]
+
+    def test_set_calibration_validates_block_size(self):
+        predictor = AttentionPredictor(32, 2, 4, 16, build_default_pool())
+        wrong = AttentionCalibration(block_size=32, thresholds={64: np.zeros(2)},
+                                     snap_coverage=0.8)
+        with pytest.raises(ValueError):
+            predictor.set_calibration(wrong)
+        predictor.set_calibration(None)
+        assert predictor.calibration is None
+
+
+class TestSnapMasks:
+    def setup_method(self):
+        self.pool = build_default_pool()
+
+    def test_snapped_patterns_preserve_causality_and_diagonal(self):
+        """Snapping never violates the layout invariants, for any input."""
+        rng = np.random.default_rng(0)
+        for n_blocks in (4, 8, 16):
+            masks = rng.random((5, n_blocks, n_blocks)) < 0.4
+            names = self.pool.snap_masks(masks, coverage=0.8)
+            assert len(names) == 5
+            causal = causal_block_mask(n_blocks)
+            for name in names:
+                snapped = self.pool.mask(name, n_blocks)
+                assert not np.any(snapped & ~causal)          # causal
+                assert np.all(np.diag(snapped))               # diagonal kept
+
+    def test_snap_retains_coverage_or_falls_back_to_dense(self):
+        rng = np.random.default_rng(1)
+        n_blocks = 8
+        masks = (rng.random((6, n_blocks, n_blocks)) < 0.5) & \
+            causal_block_mask(n_blocks)[None]
+        masks |= np.eye(n_blocks, dtype=bool)[None]
+        bar = 0.85
+        names = self.pool.snap_masks(masks, coverage=bar)
+        for mask, name in zip(masks, names):
+            snapped = self.pool.mask(name, n_blocks)
+            retained = (mask & snapped).sum() / mask.sum()
+            assert retained >= bar - 1e-12 or name == "dense"
+
+    def test_exact_pattern_snaps_to_itself_at_full_coverage(self):
+        """At coverage 1.0 only supersets qualify and the cheapest wins, so a
+        pattern snaps back to its own mask (possibly under an alias name when
+        two pool patterns coincide at this grid size, e.g. dense and
+        local8+global2 at 8 blocks)."""
+        n_blocks = 8
+        for name in ("local2", "local4+global1", "strided2+local2", "dense"):
+            mask = self.pool.mask(name, n_blocks)
+            snapped = self.pool.snap_masks(mask[None], coverage=1.0)[0]
+            np.testing.assert_array_equal(self.pool.mask(snapped, n_blocks), mask)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            self.pool.snap_masks(np.zeros((8, 8), dtype=bool))
+
+
+@pytest.fixture(scope="module")
+def trained_setup(tiny_model):
+    """A trained layer-0 attention predictor plus per-length collected data."""
+    rng = np.random.default_rng(3)
+    batches = [rng.integers(0, tiny_model.config.vocab_size, size=(2, 128))]
+    pool = build_default_pool()
+    exposer = AttentionExposer(pool, block_size=16, coverage=0.9)
+    lengths = (32, 64, 128)
+    per_length = {
+        length: collect_layer_data(tiny_model, [b[..., :length] for b in batches])
+        for length in lengths
+    }
+    merged = per_length[128][0].merged()
+    predictor = AttentionPredictor(tiny_model.config.dim, tiny_model.config.num_heads,
+                                   rank=4, block_size=16, pattern_pool=pool, seed=0)
+    train_attention_predictor(predictor, merged["attention_inputs"],
+                              merged["attention_probs"], exposer,
+                              PredictorTrainingConfig(epochs=8))
+    inputs = {l: per_length[l][0].merged()["attention_inputs"] for l in lengths}
+    probs = {l: per_length[l][0].merged()["attention_probs"] for l in lengths}
+    return predictor, exposer, inputs, probs
+
+
+class TestThresholdCalibration:
+    def test_calibrated_density_matches_oracle_on_calibration_data(self, trained_setup):
+        predictor, exposer, inputs, probs = trained_setup
+        calibration = calibrate_attention_predictor(predictor, exposer,
+                                                    inputs, probs)
+        assert sorted(calibration.thresholds) == [32, 64, 128]
+        # The raw thresholded masks hit the oracle density by construction
+        # (quantile matching); overshoot is bounded by the forced diagonal
+        # (at most n_blocks of the n_blocks(n_blocks+1)/2 causal blocks, felt
+        # only on coarse grids), undershoot only by quantisation.
+        for entry in calibration.entries:
+            n_blocks = entry.seq_len // 16
+            diag_slack = 2.0 / (n_blocks + 1)
+            assert entry.raw_predicted_density >= entry.oracle_density - 0.05
+            assert entry.raw_predicted_density <= (
+                entry.oracle_density + diag_slack + 0.05)
+            assert entry.gap <= 0.2
+        finest = max(calibration.entries, key=lambda e: e.seq_len)
+        assert finest.raw_predicted_density == pytest.approx(
+            finest.oracle_density, abs=0.06)
+        assert 0.0 <= calibration.mean_gap() <= 0.2
+
+    def test_calibration_tightens_the_density_gap(self, trained_setup):
+        """Calibrated predictions must track oracle density better than the
+        fixed-threshold path at every grid length."""
+        predictor, exposer, inputs, probs = trained_setup
+        calibration = calibrate_attention_predictor(predictor, exposer,
+                                                    inputs, probs)
+        pool = predictor.pattern_pool
+        gaps = {}
+        for calibrated in (False, True):
+            predictor.set_calibration(calibration if calibrated else None)
+            total = 0.0
+            for length, x in inputs.items():
+                n_blocks = probs[length].shape[-1] // 16
+                _, oracle_names = exposer.head_block_masks(probs[length])
+                causal_total = causal_block_mask(n_blocks).sum()
+                oracle_density = np.mean([
+                    pool.mask(n, n_blocks).sum() / causal_total
+                    for n in oracle_names])
+                names = predictor.predict_patterns(x)
+                predicted_density = np.mean([
+                    pool.mask(n, n_blocks).sum() / causal_total for n in names])
+                total += abs(predicted_density - oracle_density)
+            gaps[calibrated] = total / len(inputs)
+        predictor.set_calibration(None)
+        assert gaps[True] <= gaps[False] + 1e-9
+
+    def test_multi_length_round_trip_no_dense_collapse(self, trained_setup):
+        """A probe calibrated on the grid must stay structured at every grid
+        length *and* at interpolated lengths in between — the uncalibrated
+        failure mode was near-dense masks away from the training length."""
+        predictor, exposer, inputs, probs = trained_setup
+        calibration = calibrate_attention_predictor(predictor, exposer,
+                                                    inputs, probs)
+        predictor.set_calibration(calibration)
+        try:
+            rng = np.random.default_rng(11)
+            for seq in (32, 48, 64, 96, 128):     # 48/96 are off-grid
+                x = rng.normal(size=(2, seq, predictor.dim)).astype(np.float32)
+                masks = predictor.block_masks(x)
+                n_blocks = masks.shape[-1]
+                causal_total = causal_block_mask(n_blocks).sum()
+                density = masks[:, causal_block_mask(n_blocks)].sum() / (
+                    masks.shape[0] * causal_total)
+                assert density < 0.95    # never collapses to (near-)dense
+                names = predictor.predict_patterns(x)
+                assert all(n in predictor.pattern_pool.names() for n in names)
+        finally:
+            predictor.set_calibration(None)
+
+
+class TestMLPCalibrationFit:
+    def test_calibrated_active_count_matches_oracle(self, tiny_model):
+        rng = np.random.default_rng(5)
+        batches = [rng.integers(0, tiny_model.config.vocab_size, size=(2, 64))]
+        collected = collect_layer_data(tiny_model, batches)
+        merged = collected[0].merged()
+        exposer = MLPExposer(block_size=16, threshold=0.03)
+        predictor = MLPPredictor(tiny_model.config.dim, tiny_model.config.hidden_dim,
+                                 block_size=16, seed=0)
+        train_mlp_predictor(predictor, merged["mlp_inputs"],
+                            merged["mlp_activations"], exposer,
+                            PredictorTrainingConfig(epochs=6))
+        calibration = calibrate_mlp_predictor(
+            predictor, exposer,
+            {64: merged["mlp_inputs"]}, {64: merged["mlp_activations"]})
+        predictor.set_calibration(calibration)
+        try:
+            oracle = exposer.active_blocks(merged["mlp_activations"])
+            predicted = predictor.predict_active_blocks(merged["mlp_inputs"])
+            assert predicted.size == oracle.size
+        finally:
+            predictor.set_calibration(None)
+
+
+class TestSeq512Gap:
+    def test_predicted_sparsity_tracks_oracle_at_seq_512(self):
+        """The acceptance-criteria regime at test scale: calibrated probes on
+        fresh batches at seq 512 stay within tolerance of the oracle's block
+        sparsity, and strictly closer than the uncalibrated probes."""
+        model = build_model("opt-tiny", seed=0)
+        rng = np.random.default_rng(0)
+        calib = rng.integers(0, model.config.vocab_size, size=(2, 512))
+        config = LongExposureConfig(block_size=32, predictor_epochs=8, seed=0,
+                                    calibration_lengths=(128, 512))
+        engine = LongExposure(config)
+        engine.prepare(model, [calib])
+
+        ids = rng.integers(0, model.config.vocab_size, size=(2, 512))
+        layers = collect_layer_data(model, [ids])
+        oracle_sp, cal_sp, uncal_sp = [], [], []
+        for layer_index, predictor in enumerate(engine.attention_predictors):
+            merged = layers[layer_index].merged()
+            _, names = engine.attention_exposer.head_block_masks(
+                merged["attention_probs"])
+            oracle_sp.append(engine.layout_pool.combine(list(names), 512).sparsity())
+            cal_names = predictor.predict_patterns(merged["attention_inputs"])
+            cal_sp.append(engine.layout_pool.combine(cal_names, 512).sparsity())
+            saved = predictor.calibration
+            predictor.calibration = None
+            try:
+                uncal_names = predictor.predict_patterns(merged["attention_inputs"])
+            finally:
+                predictor.calibration = saved
+            uncal_sp.append(engine.layout_pool.combine(uncal_names, 512).sparsity())
+        cal_gap = abs(np.mean(oracle_sp) - np.mean(cal_sp))
+        uncal_gap = abs(np.mean(oracle_sp) - np.mean(uncal_sp))
+        assert cal_gap <= 0.10          # test-scale tolerance (bench bar: 0.05)
+        assert cal_gap <= uncal_gap + 1e-9
+
+
+class TestCollectAndMetricsSupport:
+    def test_collect_truncate_to_clips_and_skips(self, tiny_model):
+        rng = np.random.default_rng(2)
+        long_batch = rng.integers(0, tiny_model.config.vocab_size, size=(2, 64))
+        short_batch = rng.integers(0, tiny_model.config.vocab_size, size=(2, 16))
+        collected = collect_layer_data(tiny_model, [long_batch, short_batch],
+                                       truncate_to=32)
+        merged = collected[0].merged()
+        # Only the long batch survives, clipped to 32 tokens.
+        assert merged["attention_inputs"].shape[:2] == (2, 32)
+        assert merged["attention_probs"].shape[-2:] == (32, 32)
+
+    def test_metrics_report_density_miscalibration(self, trained_setup):
+        predictor, exposer, inputs, probs = trained_setup
+        metrics = train_attention_predictor(
+            predictor, inputs[128], probs[128], exposer,
+            PredictorTrainingConfig(epochs=0))
+        assert 0.0 <= metrics.label_density <= 1.0
+        assert 0.0 <= metrics.predicted_density <= 1.0
+        assert "density" in metrics.summary()
+
+
+class TestEngineIntegration:
+    def test_prepare_attaches_calibrations(self, prepared_engine):
+        model, engine = prepared_engine
+        assert len(engine.attention_calibrations) == len(model.blocks)
+        assert len(engine.mlp_calibrations) == len(model.blocks)
+        for predictor, calibration in zip(engine.attention_predictors,
+                                          engine.attention_calibrations):
+            assert predictor.calibration is calibration
+            assert calibration.grid_lengths() == [64]   # native batch length
+        gaps = engine.calibration_gap()
+        assert set(gaps) == {"attention", "mlp"}
+        assert all(0.0 <= g <= 1.0 for g in gaps.values())
+        assert "calibration" in engine.summary()
+
+    def test_calibration_can_be_disabled(self, tiny_batches):
+        model = build_model("opt-tiny", seed=0)
+        config = LongExposureConfig(block_size=16, predictor_epochs=1,
+                                    calibrate_predictors=False)
+        engine = LongExposure(config)
+        engine.prepare(model, tiny_batches[:1])
+        assert engine.attention_calibrations == []
+        assert all(p.calibration is None for p in engine.attention_predictors)
+        assert engine.calibration_gap() == {}
+
+    def test_explicit_grid_lengths_collected(self, tiny_batches):
+        model = build_model("opt-tiny", seed=0)
+        config = LongExposureConfig(block_size=16, predictor_epochs=1,
+                                    calibration_lengths=(32, 64))
+        engine = LongExposure(config)
+        engine.prepare(model, tiny_batches[:1])
+        assert engine.attention_calibrations[0].grid_lengths() == [32, 64]
+
+    def test_config_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            LongExposureConfig(calibration_lengths=(0,))
+
+    def test_declared_seq_lens_longer_than_batches(self, tiny_batches):
+        """prepare() may declare layout-pool lengths beyond the calibration
+        batches; the calibration grid must follow the *actual* batch lengths
+        (regression: keying by declared lengths mismatched masks vs probs)."""
+        model = build_model("opt-tiny", seed=0)
+        config = LongExposureConfig(block_size=16, predictor_epochs=1)
+        engine = LongExposure(config)
+        engine.prepare(model, tiny_batches[:1], seq_lens=[128])
+        assert engine.attention_calibrations[0].grid_lengths() == [64]
+
+    def test_trainer_surfaces_calibration_gauges(self, tiny_batches):
+        from repro.peft import apply_lora
+        from repro.runtime.trainer import FineTuner, TrainingConfig
+
+        model = build_model("opt-tiny", seed=0)
+        engine = LongExposure(LongExposureConfig(block_size=16,
+                                                 predictor_epochs=1))
+        engine.prepare(model, tiny_batches[:1])
+        apply_lora(model)
+        engine.install(model)
+        try:
+            tuner = FineTuner(model, TrainingConfig(learning_rate=1e-3),
+                              engine=engine)
+            tuner.step(np.asarray(tiny_batches[0]))
+        finally:
+            engine.uninstall(model)
+        gauges = tuner.profiler.gauges()
+        assert "attention_sparsity" in gauges
+        assert "mlp_sparsity" in gauges
+        assert "attention_calibration_gap" in gauges
+        assert "mlp_calibration_gap" in gauges
+        assert 0.0 <= gauges["attention_sparsity"] <= 1.0
+        summary = tuner.profiler.summary_dict()
+        assert "attention_calibration_gap" in summary["gauges"]

@@ -183,6 +183,41 @@ def test_bench_optimizer_step_structure():
     assert result["speedup"] == pytest.approx(result["loop_s"] / result["flat_s"])
 
 
+def test_bench_optimizer_regimes_structure():
+    import repro.optim.adam as adam_module
+
+    saved = adam_module.FLAT_MEAN_SIZE_THRESHOLD
+    result = bench.bench_optimizer_regimes(repeats=1, sizes=(64, 256),
+                                           total_elements=4096)
+    # The forced-path sweep must restore the routing constant.
+    assert adam_module.FLAT_MEAN_SIZE_THRESHOLD == saved
+    assert result["threshold_elements"] == saved
+    assert len(result["regimes"]) == 2
+    for row in result["regimes"]:
+        assert row["flat_s"] > 0 and row["loop_s"] > 0
+        assert row["flat_speedup"] == pytest.approx(
+            row["loop_s"] / row["flat_s"])
+    assert isinstance(result["threshold_validated"], bool)
+
+
+def test_bench_predicted_quality_structure():
+    result = bench.bench_predicted_quality(batch=1, seq=64,
+                                           model_name="opt-tiny",
+                                           predictor_epochs=1,
+                                           lengths=(32, 64), eval_batches=1)
+    assert result["lengths"] == [32.0, 64.0]
+    assert 0.0 < result["snap_coverage"] <= 1.0
+    for length in ("32", "64"):
+        row = result["per_length"][length]
+        for key in ("oracle_sparsity", "calibrated_sparsity",
+                    "uncalibrated_sparsity", "oracle_recall"):
+            assert 0.0 <= row[key] <= 1.0
+        assert row["calibrated_gap"] == pytest.approx(
+            abs(row["oracle_sparsity"] - row["calibrated_sparsity"]))
+    assert result["gap"] == result["per_length"]["64"]["calibrated_gap"]
+    assert result["gap_reduction"] > 0
+
+
 def test_bench_embedding_scatter_structure():
     result = bench.bench_embedding_scatter(repeats=2, vocab=512, dim=8,
                                            n_tokens=256)
@@ -208,8 +243,9 @@ def test_bench_json_flag(tmp_path):
     assert json_path.exists()
     on_disk = json.loads(json_path.read_text())
     for key in ("meta", "dense_step", "sparse_step", "predicted_step",
-                "prediction_overhead", "geometry", "sparse_chain",
-                "crossover", "optimizer_step", "embedding_scatter", "ops"):
+                "predicted_quality", "prediction_overhead", "geometry",
+                "sparse_chain", "crossover", "optimizer_step",
+                "optimizer_regimes", "embedding_scatter", "ops"):
         assert key in on_disk and key in report
     assert on_disk["dense_step"]["fused_s"] > 0
     assert on_disk["predicted_step"]["speedup_vs_oracle"] > 0
