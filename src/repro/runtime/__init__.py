@@ -13,6 +13,7 @@ This package is the harness the paper's evaluation is built on:
   strong-scaling study of Figure 14.
 """
 
+from repro.runtime.arena import BufferArena, StepCapture
 from repro.runtime.trainer import FineTuner, PhaseTimings, TrainingConfig, TrainingReport
 from repro.runtime.profiler import PhaseProfiler
 from repro.runtime.memory import MemoryModel, MemoryBreakdown
@@ -20,6 +21,8 @@ from repro.runtime.platform import PlatformSpec, PLATFORMS, roofline_step_time
 from repro.runtime.distributed import DataParallelSimulator, ScalingResult
 
 __all__ = [
+    "BufferArena",
+    "StepCapture",
     "FineTuner",
     "PhaseTimings",
     "TrainingConfig",

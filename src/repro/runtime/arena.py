@@ -1,0 +1,242 @@
+"""Steady-state step capture: buffer arena + planned tape replay.
+
+PEFT fine-tuning is a steady-state workload — thousands of steps with
+bit-identical shapes — yet every step of the seed runtime rebuilt the Python
+autograd graph node by node, re-sorted it topologically, and allocated fresh
+output/temporary ndarrays for every op.  :class:`StepCapture` captures that
+steady state, CUDA-graph-style, for the NumPy tape:
+
+1. **warm-up** — the first step(s) run exactly as before (one-time caches:
+   geometry, causal masks, packed probe weights).
+2. **capture** — the next step runs with the :class:`BufferArena` installed
+   (every allocation seam takes recycled buffers; on this step they are all
+   fresh) and the tensor tape recording creation order.  The backward pass
+   runs its ordinary DFS once and records the processed schedule as a
+   :class:`~repro.tensor.tensor.TapePlan` — tape positions for interior
+   nodes, direct references for persistent leaves, plus the full parent
+   wiring for validation.
+3. **replay** — subsequent steps reuse the plan: the topological re-sort is
+   skipped (the recorded schedule is validated against the new tape with
+   cheap integer/identity checks and then executed), and every arena take
+   hits the pool, so the steady-state allocation count is zero.  The
+   replayed order *is* the recorded DFS order, so captured and uncaptured
+   execution are bitwise identical (locked by the parity suite).
+4. **invalidation** — a signature change (input shape/dtype, label shape,
+   fused-kernel toggle) or a plan validation failure falls back to the
+   uncaptured path for that backward and triggers exactly one re-capture,
+   mirroring how a sequence-length change forces a predictor refresh in the
+   PR-3 scheduler.
+
+Contract: capture mode assumes the standard training-step shape — gradients
+are consumed and zeroed within the step, and no Tensor from step ``N`` is
+read at step ``N + 1`` (the arena recycles step ``N``'s buffers wholesale).
+``retain_graph=True`` double-backwards are not supported while capturing.
+
+The shape/dtype-keyed :class:`BufferArena` itself lives in
+:mod:`repro.tensor.arena` (the lowest layer, importable by the tensor core
+without cycles) and is re-exported here, which is the public entry point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from repro.tensor import arena as _tensor_arena
+from repro.tensor import tensor as _tensor_module
+from repro.tensor.arena import BufferArena
+from repro.tensor.tensor import PlanMismatchError, TapePlan, Tensor
+
+__all__ = [
+    "BufferArena",
+    "PlanMismatchError",
+    "StepCapture",
+]
+
+
+class StepCapture:
+    """Per-trainer capture state machine (warm-up → capture → replay).
+
+    Parameters
+    ----------
+    warmup_steps:
+        Uncaptured steps before the capture step (one is enough to populate
+        the one-time caches; the capture step itself must see steady-state
+        control flow).
+    max_failures:
+        After this many failed capture attempts or replay fallbacks *without
+        an intervening healthy replay streak* the capture is switched off
+        entirely (``state == "off"``) — the workload is not steady-state and
+        paying the bookkeeping is pointless.  A streak of
+        ``FAILURE_RESET_REPLAYS`` consecutive successful replays clears the
+        counter, so isolated, individually-recovered fallbacks thousands of
+        steps apart do not eventually disable capture.  Switching off also
+        swaps in a fresh empty arena so the retired pool is reclaimed.
+    """
+
+    WARMUP = "warmup"
+    CAPTURE = "capture"
+    REPLAY = "replay"
+    OFF = "off"
+    # Consecutive successful replays that prove the workload steady-state
+    # again and forgive earlier capture failures / fallbacks.
+    FAILURE_RESET_REPLAYS = 8
+
+    def __init__(self, warmup_steps: int = 1, max_failures: int = 3):
+        self.arena = BufferArena()
+        self.state = self.WARMUP if warmup_steps > 0 else self.CAPTURE
+        self.signature: Optional[Hashable] = None
+        self.plan: Optional[TapePlan] = None
+        self.tape: Optional[List[Tensor]] = None
+        self.warmup_steps = int(warmup_steps)
+        self.max_failures = int(max_failures)
+        # Counters (surfaced as profiler gauges by the trainer).
+        self.steps = 0
+        self.captures = 0
+        self.recaptures = 0
+        self.replay_steps = 0
+        self.fallbacks = 0
+        self.last_step_allocations = 0
+        self._warmup_left = self.warmup_steps
+        self._failures = 0
+        self._replay_streak = 0
+        self._replays_since_capture = 0
+        self._alloc_before = 0
+        self._prev_arena: Optional[BufferArena] = None
+        self._step_open = False
+
+    # -- step lifecycle ------------------------------------------------------
+    def begin_step(self, signature: Hashable) -> None:
+        """Enter a step; ``signature`` pins everything that shapes the graph.
+
+        The trainer passes input/label shapes and the fused-kernel toggle; a
+        change invalidates the plan and schedules exactly one re-capture.
+        """
+        self.steps += 1
+        if self.state == self.OFF:
+            return
+        trim_stale = False
+        if signature != self.signature:
+            if self.signature is not None and self.state != self.WARMUP:
+                # Shape change mid-run: drop the plan and (below, once the
+                # previous step's outstanding buffers have been recycled by
+                # next_generation) the stale-shape buffer pools — a
+                # bucketed-length loader would otherwise accumulate one full
+                # working set per length seen.  Then re-capture once.
+                if self.captures:
+                    # Only a signature change after a successful capture is a
+                    # *re*-capture (the gauge advertises exactly-one-per-
+                    # shape-change; a flip before the first capture is not
+                    # one).
+                    if (self.plan is not None
+                            and self._replays_since_capture == 0):
+                        # The previous plan was never replayed: the signature
+                        # is flipping at least as fast as we can capture
+                        # (shape-alternating batches).  Sterile captures
+                        # count toward the kill-switch — without this, such
+                        # a workload would pay capture bookkeeping plus a
+                        # full working-set reallocation on every single
+                        # step, forever.
+                        self._failures += 1
+                    self.recaptures += 1
+                self.state = (self.OFF if self._failures >= self.max_failures
+                              else self.CAPTURE)
+                trim_stale = True
+            self.signature = signature
+            self.plan = None
+            if self.state == self.OFF:
+                # Retired at the transition: the previous generation's
+                # buffers are dead, so drop the whole pool right away.
+                self.arena = BufferArena()
+                self.tape = None
+                return
+        if self.state == self.WARMUP:
+            self.tape = None
+            self._step_open = True
+            return
+        self.arena.next_generation()
+        if trim_stale:
+            self.arena.trim()
+        self._alloc_before = self.arena.misses
+        self._prev_arena = _tensor_arena.set_active(self.arena)
+        self.tape = []
+        _tensor_module.set_tape(self.tape)
+        self._step_open = True
+
+    def run_backward(self, loss: Tensor, grad=None) -> None:
+        """Backward through the capture machinery (replay / record / plain)."""
+        if self.state == self.REPLAY and self.plan is not None:
+            try:
+                loss.backward(grad, tape=self.tape, plan=self.plan)
+                self.replay_steps += 1
+                self._replay_streak += 1
+                self._replays_since_capture += 1
+                if self._replay_streak >= self.FAILURE_RESET_REPLAYS:
+                    self._failures = 0
+                return
+            except PlanMismatchError:
+                # Validation failed *before* any gradient was touched: fall
+                # through to an ordinary recording pass on this very step.
+                # Repeated fallbacks without a healthy replay streak in
+                # between mean the graph is not steady-state, so they count
+                # toward the kill-switch like failed captures.
+                self.fallbacks += 1
+                self._failures += 1
+                self._replay_streak = 0
+                self.plan = None
+                self.state = (self.OFF if self._failures >= self.max_failures
+                              else self.CAPTURE)
+        if self.state == self.CAPTURE and self.tape is not None:
+            plan = loss.backward(grad, tape=self.tape, record=True)
+            if plan is None:
+                self._failures += 1
+                if self._failures >= self.max_failures:
+                    self.state = self.OFF
+            else:
+                self.plan = plan
+                self.captures += 1
+                self.state = self.REPLAY
+                self._replays_since_capture = 0
+            return
+        loss.backward(grad)
+
+    def end_step(self) -> None:
+        """Leave the step: detach the arena/tape, roll the state machine."""
+        if not self._step_open:
+            return
+        self._step_open = False
+        if self.state == self.WARMUP:
+            self._warmup_left -= 1
+            if self._warmup_left <= 0:
+                self.state = self.CAPTURE
+            return
+        if self.tape is not None or self.state == self.OFF:
+            _tensor_module.set_tape(None)
+            _tensor_arena.set_active(self._prev_arena)
+            self._prev_arena = None
+            self.tape = None
+            self.last_step_allocations = self.arena.misses - self._alloc_before
+            if self.state == self.OFF and self.arena.takes:
+                # Retired for good: swap in an empty arena so the whole pool
+                # (free lists *and* this step's outstanding buffers) becomes
+                # unreferenced once the step's tensors die, instead of being
+                # held for the trainer's lifetime.
+                self.arena = BufferArena()
+
+    # -- reporting -----------------------------------------------------------
+    def gauges(self) -> Dict[str, float]:
+        """Point-in-time metrics for :meth:`PhaseProfiler.set_gauge`."""
+        return {
+            "arena_allocations_step": float(self.last_step_allocations),
+            "arena_bytes": float(self.arena.bytes_held),
+            "arena_hit_rate": self.arena.hit_rate(),
+            "capture_replay_steps": float(self.replay_steps),
+            "capture_recaptures": float(self.recaptures),
+            "capture_fallbacks": float(self.fallbacks),
+        }
+
+    def summary(self) -> str:
+        return (f"StepCapture(state={self.state}, steps={self.steps}, "
+                f"captures={self.captures}, replays={self.replay_steps}, "
+                f"recaptures={self.recaptures}, fallbacks={self.fallbacks}, "
+                f"arena={self.arena.bytes_held / 1024 ** 2:.1f} MiB, "
+                f"allocs/step={self.last_step_allocations})")

@@ -19,7 +19,9 @@ import numpy as np
 from repro.nn import Module
 from repro.optim import Adam, GradScaler, MixedPrecisionConfig, clip_grad_norm
 from repro.optim.base import Optimizer
+from repro.runtime.arena import StepCapture
 from repro.runtime.profiler import PhaseProfiler
+from repro.tensor import fused
 
 
 @dataclass
@@ -33,6 +35,13 @@ class TrainingConfig:
     mixed_precision: bool = False
     log_every: int = 0
     seed: int = 0
+    # Steady-state step capture (see repro.runtime.arena): after a warm-up
+    # step, record the tape's execution schedule and buffer population, then
+    # replay subsequent steps through recycled buffers with the topological
+    # re-sort skipped.  Bitwise identical to the uncaptured path; a shape
+    # change triggers exactly one re-capture.
+    capture_steps: bool = False
+    capture_warmup: int = 1
 
 
 @dataclass
@@ -111,7 +120,8 @@ class FineTuner:
     """
 
     def __init__(self, model: Module, config: Optional[TrainingConfig] = None,
-                 optimizer: Optional[Optimizer] = None, engine=None):
+                 optimizer: Optional[Optimizer] = None, engine=None,
+                 capture=None):
         self.model = model
         self.config = config or TrainingConfig()
         trainable = model.trainable_parameters()
@@ -122,6 +132,19 @@ class FineTuner:
         self.engine = engine
         self.scaler = GradScaler(MixedPrecisionConfig(enabled=self.config.mixed_precision))
         self.profiler = PhaseProfiler()
+        # Step capture: pass a StepCapture, True, or enable via the config.
+        if capture is None:
+            capture = self.config.capture_steps
+        if capture is True:
+            capture = StepCapture(warmup_steps=self.config.capture_warmup)
+        self.capture: Optional[StepCapture] = capture or None
+
+    def _capture_signature(self, input_ids: np.ndarray,
+                           labels: Optional[np.ndarray]):
+        """Everything that shapes the step's graph; a change forces re-capture."""
+        return (input_ids.shape, str(input_ids.dtype),
+                None if labels is None else np.asarray(labels).shape,
+                fused.fused_kernels_enabled())
 
     # -- single step -------------------------------------------------------------
     def step(self, input_ids: np.ndarray,
@@ -134,25 +157,36 @@ class FineTuner:
             self.engine.advance_step()
         engine_pred_before = self.engine.stats.prediction_seconds if self.engine else 0.0
 
-        start = time.perf_counter()
-        loss, _ = self.model.loss(input_ids, labels=labels)
-        forward_s = time.perf_counter() - start
+        capture = self.capture
+        if capture is not None:
+            input_ids = np.asarray(input_ids)
+            capture.begin_step(self._capture_signature(input_ids, labels))
+        try:
+            start = time.perf_counter()
+            loss, _ = self.model.loss(input_ids, labels=labels)
+            forward_s = time.perf_counter() - start
 
-        start = time.perf_counter()
-        scaled = self.scaler.scale_loss(loss)
-        scaled.backward()
-        backward_s = time.perf_counter() - start
+            start = time.perf_counter()
+            scaled = self.scaler.scale_loss(loss)
+            if capture is not None:
+                capture.run_backward(scaled)
+            else:
+                scaled.backward()
+            backward_s = time.perf_counter() - start
 
-        start = time.perf_counter()
-        finite = self.scaler.unscale_and_check(self.optimizer.params)
-        if self.config.grad_clip > 0:
-            clip_grad_norm(self.optimizer.params, self.config.grad_clip)
-        if finite:
-            self.optimizer.step()
-        self.scaler.update(found_overflow=not finite)
-        self.optimizer.zero_grad()
-        self.model.zero_grad()
-        optimizer_s = time.perf_counter() - start
+            start = time.perf_counter()
+            finite = self.scaler.unscale_and_check(self.optimizer.params)
+            if self.config.grad_clip > 0:
+                clip_grad_norm(self.optimizer.params, self.config.grad_clip)
+            if finite:
+                self.optimizer.step()
+            self.scaler.update(found_overflow=not finite)
+            self.optimizer.zero_grad()
+            self.model.zero_grad()
+            optimizer_s = time.perf_counter() - start
+        finally:
+            if capture is not None:
+                capture.end_step()
 
         prediction_s = 0.0
         if self.engine is not None:
@@ -180,6 +214,11 @@ class FineTuner:
             gaps = getattr(self.engine, "calibration_gap", dict)()
             for kind, gap in gaps.items():
                 self.profiler.set_gauge(f"{kind}_calibration_gap", gap)
+        if capture is not None:
+            # Steady-state allocation counts + arena footprint next to the
+            # phase timings: allocations/step must read ~0 once captured.
+            for name, value in capture.gauges().items():
+                self.profiler.set_gauge(name, value)
 
         timing = PhaseTimings(forward=forward_s, backward=backward_s,
                               optimizer=optimizer_s, prediction=prediction_s)

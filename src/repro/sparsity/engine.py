@@ -65,6 +65,7 @@ import numpy as np
 
 from repro.models.base import CausalLMModel
 from repro.nn.attention import DenseAttentionBackend, MultiHeadAttention, causal_mask
+from repro.tensor import arena as _tensor_arena
 from repro.nn.mlp import DenseMLPBackend, MLPBlock
 from repro.peft.lora import LoRALinear
 from repro.sparsity.config import LongExposureConfig
@@ -507,10 +508,12 @@ class LongExposure:
                               collected) -> None:
         """Fit per-layer decision thresholds and snap bars against the oracle.
 
-        Runs one extra (frozen-model) collection pass per grid length — the
-        native-length collection is reused when the grid length matches every
-        calibration batch — then calibrates each trained predictor on the
-        per-length oracle masks (see
+        The whole grid is served from the *one* collection pass ``prepare()``
+        already ran: shorter grid lengths are exact prefixes of the recorded
+        full-length activations (causal model — see
+        :meth:`CollectedLayerData.merged`), so no extra frozen-model pass
+        runs per grid length.  Each trained predictor is then calibrated on
+        the per-length oracle masks (see
         :mod:`repro.sparsity.predictor.calibration`).
 
         The grid is anchored on the *actual* token lengths of the calibration
@@ -528,16 +531,13 @@ class LongExposure:
         # alone are O(n·heads·seq²) — re-merging per consumer would copy
         # them four times per layer per length).
         merged_by_length: Dict[int, list] = {}
+        batch_lengths = [int(np.asarray(b).shape[-1]) for b in calibration_batches]
         for length in lengths:
-            if native == [length]:
-                layers = collected
-            elif not any(np.asarray(b).shape[-1] >= length
-                         for b in calibration_batches):
+            if not any(bl >= length for bl in batch_lengths):
                 continue   # no calibration batch long enough for this length
-            else:
-                layers = collect_layer_data(model, calibration_batches,
-                                            truncate_to=length)
-            merged_by_length[length] = [layer.merged() for layer in layers]
+            truncate = None if all(bl == length for bl in batch_lengths) else length
+            merged_by_length[length] = [layer.merged(truncate_to=truncate)
+                                        for layer in collected]
 
         self.attention_calibrations = []
         for layer_index, predictor in enumerate(self.attention_predictors):
@@ -586,7 +586,9 @@ class LongExposure:
         previous out-of-place form.
         """
         scale = 1.0 / np.sqrt(module.head_dim)
-        scores = np.matmul(q.data, np.swapaxes(k.data, -1, -2))
+        score_shape = q.shape[:-1] + (k.shape[2],)
+        scores = np.matmul(q.data, np.swapaxes(k.data, -1, -2),
+                           out=_tensor_arena.empty(score_shape, q.data.dtype))
         scores *= scale
         causal = causal_mask(seq_len)
         np.copyto(scores, np.float32(-1e9), where=~causal)
@@ -597,15 +599,23 @@ class LongExposure:
         np.maximum(denom, 1e-12, out=denom)
         scores /= denom
         masks, names = self.attention_exposer.head_block_masks(scores)
+        # The dense score buffer is the biggest per-layer temporary of oracle
+        # mode; recycling it here lets every layer of the step share one.
+        _tensor_arena.release(scores)
         return self.layout_pool.combine(list(names), seq_len)
 
     def oracle_mlp_blocks(self, mlp: MLPBlock, x) -> np.ndarray:
         """Exact active neuron blocks computed from the current input (ablation mode)."""
-        pre = x.data.reshape(-1, mlp.dim) @ mlp.fc1.weight.data.T
+        x2d = x.data.reshape(-1, mlp.dim)
+        pre = np.matmul(x2d, mlp.fc1.weight.data.T,
+                        out=_tensor_arena.empty((x2d.shape[0], mlp.hidden_dim),
+                                                x2d.dtype))
         pre += mlp.fc1.bias.data
         np.maximum(pre, 0.0, out=pre)
         act = pre.reshape(*x.data.shape[:-1], mlp.hidden_dim)
-        return self.mlp_exposer.active_blocks(act)
+        blocks = self.mlp_exposer.active_blocks(act)
+        _tensor_arena.release(pre)
+        return blocks
 
     # -- backend installation --------------------------------------------------------
     def install(self, model: CausalLMModel) -> None:

@@ -38,6 +38,7 @@ from repro.sparsity.ops.geometry_cache import (
 )
 from repro.sparsity.ops.layout import MultiHeadLayout
 from repro.tensor import Tensor
+from repro.tensor import arena as _arena
 from repro.tensor import fused as _fused
 from repro.tensor import reference as _reference
 from repro.tensor.tensor import custom_op
@@ -70,6 +71,23 @@ def _blockify(x: np.ndarray, block_size: int) -> np.ndarray:
     batch, heads, seq, dim = x.shape
     n_blocks = seq // block_size
     return x.reshape(batch, heads, n_blocks, block_size, dim)
+
+
+def _blockify_arena(x: np.ndarray, block_size: int) -> np.ndarray:
+    """Pad + blockify, routing any reshape copy through the buffer arena.
+
+    Contiguous inputs blockify as a free view (as before); non-contiguous
+    inputs (head-transposed Q/K/V) would silently copy inside ``reshape`` —
+    that copy lands in a recycled arena buffer instead.  Values identical.
+    """
+    x = _pad_to_blocks(x, block_size, axis=2)
+    batch, heads, seq, dim = x.shape
+    n_blocks = seq // block_size
+    if x.flags["C_CONTIGUOUS"]:
+        return x.reshape(batch, heads, n_blocks, block_size, dim)
+    buf = _arena.empty((batch, heads, n_blocks, block_size, dim), x.dtype)
+    np.copyto(buf.reshape(batch, heads, seq, dim), x)
+    return buf
 
 
 # ---------------------------------------------------------------------------
@@ -202,88 +220,151 @@ def block_sparse_attention(q: Tensor, k: Tensor, v: Tensor, layout: MultiHeadLay
         return _reference.block_sparse_attention(q, k, v, layout, scale=scale)
 
     scale = scale if scale is not None else 1.0 / np.sqrt(head_dim)
+    dtype = q.data.dtype
 
-    q_pad = _blockify(_pad_to_blocks(q.data, bs, axis=2), bs)
-    k_pad = _blockify(_pad_to_blocks(k.data, bs, axis=2), bs)
-    v_pad = _blockify(_pad_to_blocks(v.data, bs, axis=2), bs)
+    q_pad = _blockify_arena(q.data, bs)
+    k_pad = _blockify_arena(k.data, bs)
+    v_pad = _blockify_arena(v.data, bs)
     padded_len = layout.n_blocks * bs
 
     heads, rows, cols = layout.heads, layout.rows, layout.cols
     starts = layout.row_segment_starts
+    nnz = layout.nnz
     geom = (cache.lookup(layout, seq_len) if cache is not None
             else compute_block_geometry(layout, seq_len))
     seg_ids, seg_heads, seg_rows = geom.seg_ids, geom.seg_heads, geom.seg_rows
+    n_blocks = layout.n_blocks
+    n_row_segs = seg_heads.shape[0]
 
-    q_blk = q_pad[:, heads, rows]                                # (batch, nnz, bs, dim)
-    k_blk = k_pad[:, heads, cols]
-    v_blk = v_pad[:, heads, cols]
+    # Block gathers as linearised ``np.take`` into recycled buffers (values
+    # identical to the fancy-indexed ``pad[:, heads, rows]`` form).
+    def _gather(pad: np.ndarray, gather_idx: np.ndarray) -> np.ndarray:
+        flat = pad.reshape(batch, n_heads * n_blocks, bs, -1)
+        return np.take(flat, gather_idx, axis=1, mode="clip",
+                       out=_arena.empty((batch, nnz, bs, flat.shape[-1]),
+                                        pad.dtype))
+
+    q_blk = _gather(q_pad, geom.row_gather)                      # (batch, nnz, bs, dim)
+    k_blk = _gather(k_pad, geom.col_gather)
+    v_blk = _gather(v_pad, geom.col_gather)
+    _arena.release(q_pad, k_pad, v_pad)
 
     # Scores buffer: scaled, masked, exponentiated and normalised in place —
     # it leaves this block as the probability stack, with no `np.where(...)` /
     # exp / divide temporaries ever materialised.
-    scores = np.matmul(q_blk, np.swapaxes(k_blk, -1, -2))
+    scores = np.matmul(q_blk, np.swapaxes(k_blk, -1, -2),
+                       out=_arena.empty((batch, nnz, bs, bs), dtype))
     scores *= scale
     allowed_f32 = geom.element_mask_f32                          # (nnz, bs, bs)
     np.copyto(scores, _NEG_INF, where=geom.neg_element_mask[None])
 
     # Row-wise softmax across all blocks sharing a (head, query-row) segment.
-    block_max = scores.max(axis=-1)                              # (batch, nnz, bs)
-    seg_max = np.maximum.reduceat(block_max, starts, axis=1)     # (batch, nseg, bs)
-    row_max = seg_max[:, seg_ids]                                # (batch, nnz, bs)
+    block_max = scores.max(axis=-1,
+                           out=_arena.empty((batch, nnz, bs), dtype))
+    seg_max = np.maximum.reduceat(block_max, starts, axis=1,
+                                  out=_arena.empty((batch, n_row_segs, bs), dtype))
+    row_max = np.take(seg_max, seg_ids, axis=1, mode="clip",
+                      out=_arena.empty((batch, nnz, bs), dtype))
     scores -= row_max[..., None]
+    _arena.release(block_max, seg_max, row_max)
     np.exp(scores, out=scores)
     np.multiply(scores, allowed_f32[None], out=scores)
-    block_sum = scores.sum(axis=-1)                              # (batch, nnz, bs)
-    seg_sum = np.add.reduceat(block_sum, starts, axis=1)
-    row_sum = seg_sum[:, seg_ids]                                # fresh gather: safe to fix up in place
+    block_sum = scores.sum(axis=-1,
+                           out=_arena.empty((batch, nnz, bs), dtype))
+    seg_sum = np.add.reduceat(block_sum, starts, axis=1,
+                              out=_arena.empty((batch, n_row_segs, bs), dtype))
+    row_sum = np.take(seg_sum, seg_ids, axis=1, mode="clip",     # fresh gather: safe to fix up in place
+                      out=_arena.empty((batch, nnz, bs), dtype))
     np.copyto(row_sum, 1.0, where=row_sum == 0.0)
     scores /= row_sum[..., None]
+    _arena.release(block_sum, seg_sum, row_sum)
     probs = scores                                               # (batch, nnz, bs, bs)
 
-    ctx_blk = np.matmul(probs, v_blk)                            # (batch, nnz, bs, dim)
-    ctx_seg = np.add.reduceat(ctx_blk, starts, axis=1)
-    out = np.zeros((batch, n_heads, layout.n_blocks, bs, head_dim), dtype=q.data.dtype)
-    out[:, seg_heads, seg_rows] = ctx_seg
+    out_shape5 = (batch, n_heads, n_blocks, bs, head_dim)
+
+    def _scatter_to_rows(seg: np.ndarray, buf_dtype) -> np.ndarray:
+        """Place (head, row)-segment sums into a full block grid buffer."""
+        out_blocks = _arena.empty(out_shape5, buf_dtype)
+        out_blocks[:, seg_heads, seg_rows] = seg
+        if geom.row_uncovered.size:
+            out_blocks.reshape(batch, n_heads * n_blocks, bs, head_dim)[
+                :, geom.row_uncovered] = 0.0
+        return out_blocks
+
+    ctx_blk = np.matmul(probs, v_blk,
+                        out=_arena.empty((batch, nnz, bs, head_dim), dtype))
+    ctx_seg = np.add.reduceat(ctx_blk, starts, axis=1,
+                              out=_arena.empty((batch, n_row_segs, bs, head_dim),
+                                               dtype))
+    out = _scatter_to_rows(ctx_seg, dtype)
+    _arena.release(ctx_blk, ctx_seg)
     out = out.reshape(batch, n_heads, padded_len, head_dim)[:, :, :seq_len]
 
-    n_blocks = layout.n_blocks
     col_order, col_starts = geom.col_order, geom.col_starts
     col_seg_heads, col_seg_cols = geom.col_seg_heads, geom.col_seg_cols
+    n_col_segs = col_seg_heads.shape[0]
 
     def _scatter_to_cols(contrib: np.ndarray) -> np.ndarray:
         """Accumulate per-block contributions onto their (head, col) blocks."""
-        contrib_sorted = contrib[:, col_order]
-        seg = np.add.reduceat(contrib_sorted, col_starts, axis=1)
-        out_blocks = np.zeros((batch, n_heads, n_blocks, bs, head_dim), dtype=np.float32)
+        contrib_sorted = np.take(contrib, col_order, axis=1, mode="clip",
+                                 out=_arena.empty(contrib.shape, contrib.dtype))
+        seg = np.add.reduceat(contrib_sorted, col_starts, axis=1,
+                              out=_arena.empty((batch, n_col_segs, bs, head_dim),
+                                               np.float32))
+        _arena.release(contrib_sorted)
+        out_blocks = _arena.empty(out_shape5, np.float32)
         out_blocks[:, col_seg_heads, col_seg_cols] = seg
+        if geom.col_uncovered.size:
+            out_blocks.reshape(batch, n_heads * n_blocks, bs, head_dim)[
+                :, geom.col_uncovered] = 0.0
+        _arena.release(seg)
         return out_blocks.reshape(batch, n_heads, padded_len, head_dim)
 
     def backward(grad_out: np.ndarray):
-        grad_out_pad = _blockify(_pad_to_blocks(grad_out, bs, axis=2), bs)
-        dout_blk = grad_out_pad[:, heads, rows]                  # (batch, nnz, bs, dim)
+        grad_out_pad = _blockify_arena(grad_out, bs)
+        dout_blk = _gather(grad_out_pad, geom.row_gather)        # (batch, nnz, bs, dim)
+        _arena.release(grad_out_pad)
 
         # dV: P^T @ dOut accumulated onto (head, col) blocks.
-        dv = _scatter_to_cols(np.matmul(np.swapaxes(probs, -1, -2), dout_blk))
+        dv_contrib = np.matmul(np.swapaxes(probs, -1, -2), dout_blk,
+                               out=_arena.empty((batch, nnz, bs, head_dim), dtype))
+        dv = _scatter_to_cols(dv_contrib)
+        _arena.release(dv_contrib)
 
         # dP, then the softmax backward carried out in the same buffer
         # (dS = probs * (dP - inner_row) * scale, written into dP).
-        dS = np.matmul(dout_blk, np.swapaxes(v_blk, -1, -2))     # (batch, nnz, bs, bs)
-        inner_blk = np.einsum("...ij,...ij->...i", dS, probs)    # (batch, nnz, bs)
-        inner_seg = np.add.reduceat(inner_blk, starts, axis=1)
-        inner_row = inner_seg[:, seg_ids]
+        dS = np.matmul(dout_blk, np.swapaxes(v_blk, -1, -2),
+                       out=_arena.empty((batch, nnz, bs, bs), dtype))
+        _arena.release(dout_blk)
+        inner_blk = np.einsum("...ij,...ij->...i", dS, probs,
+                              out=_arena.empty((batch, nnz, bs), dtype))
+        inner_seg = np.add.reduceat(inner_blk, starts, axis=1,
+                                    out=_arena.empty((batch, n_row_segs, bs), dtype))
+        inner_row = np.take(inner_seg, seg_ids, axis=1, mode="clip",
+                            out=_arena.empty((batch, nnz, bs), dtype))
         dS -= inner_row[..., None]
+        _arena.release(inner_blk, inner_seg, inner_row)
         dS *= probs
         dS *= scale
 
         # dQ: contributions land on (head, row) blocks — contiguous segments.
-        dq_contrib = np.matmul(dS, k_blk)                        # (batch, nnz, bs, dim)
-        dq_seg = np.add.reduceat(dq_contrib, starts, axis=1)
-        dq = np.zeros((batch, n_heads, n_blocks, bs, head_dim), dtype=np.float32)
-        dq[:, seg_heads, seg_rows] = dq_seg
+        dq_contrib = np.matmul(dS, k_blk,
+                               out=_arena.empty((batch, nnz, bs, head_dim), dtype))
+        dq_seg = np.add.reduceat(dq_contrib, starts, axis=1,
+                                 out=_arena.empty((batch, n_row_segs, bs, head_dim),
+                                                  np.float32))
+        dq = _scatter_to_rows(dq_seg, np.float32)
+        _arena.release(dq_contrib, dq_seg)
         dq = dq.reshape(batch, n_heads, padded_len, head_dim)
 
         # dK: dS^T @ Q accumulated onto (head, col) blocks.
-        dk = _scatter_to_cols(np.matmul(np.swapaxes(dS, -1, -2), q_blk))
+        dk_contrib = np.matmul(np.swapaxes(dS, -1, -2), q_blk,
+                               out=_arena.empty((batch, nnz, bs, head_dim), dtype))
+        dk = _scatter_to_cols(dk_contrib)
+        # The gathered blocks and the probability stack are dead once the
+        # three gradients exist; recycling them here lets the next layer's
+        # backward run in the very same (cache-hot) buffers.
+        _arena.release(dk_contrib, dS, q_blk, k_blk, v_blk, probs)
 
         return (dq[:, :, :seq_len], dk[:, :, :seq_len], dv[:, :, :seq_len])
 

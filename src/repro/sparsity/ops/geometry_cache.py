@@ -86,6 +86,14 @@ class BlockGeometry:
     # negates or bool->float casts the mask on the hot path.
     neg_element_mask: np.ndarray = None    # ~element_mask, for masked fill
     element_mask_f32: np.ndarray = None    # element_mask as float32 multiplier
+    # Linearised gather/scatter indices for the arena-aware kernel: block
+    # gathers run through ``np.take(..., out=)`` (no fancy-indexing
+    # temporary), and the scatter targets zero only the uncovered
+    # (head, block) slots of a recycled output buffer instead of a full fill.
+    row_gather: np.ndarray = None          # heads * n_blocks + rows (int64)
+    col_gather: np.ndarray = None          # heads * n_blocks + cols (int64)
+    row_uncovered: np.ndarray = None       # linear (head, row) slots w/o segment
+    col_uncovered: np.ndarray = None       # linear (head, col) slots w/o segment
 
 
 def compute_block_geometry(layout: MultiHeadLayout, seq_len: int) -> BlockGeometry:
@@ -93,6 +101,8 @@ def compute_block_geometry(layout: MultiHeadLayout, seq_len: int) -> BlockGeomet
     seg_ids, seg_heads, seg_rows = segment_geometry(layout)
     col_order, col_starts, col_seg_heads, col_seg_cols = layout.col_geometry()
     element_mask = block_element_mask(layout, seq_len)
+    n_blocks = np.int64(layout.n_blocks)
+    all_slots = np.arange(layout.n_heads * layout.n_blocks, dtype=np.int64)
     return BlockGeometry(
         seg_ids=seg_ids, seg_heads=seg_heads, seg_rows=seg_rows,
         element_mask=element_mask,
@@ -100,6 +110,12 @@ def compute_block_geometry(layout: MultiHeadLayout, seq_len: int) -> BlockGeomet
         col_seg_heads=col_seg_heads, col_seg_cols=col_seg_cols,
         neg_element_mask=~element_mask,
         element_mask_f32=element_mask.astype(np.float32),
+        row_gather=layout.heads.astype(np.int64) * n_blocks + layout.rows,
+        col_gather=layout.heads.astype(np.int64) * n_blocks + layout.cols,
+        row_uncovered=np.setdiff1d(
+            all_slots, seg_heads.astype(np.int64) * n_blocks + seg_rows),
+        col_uncovered=np.setdiff1d(
+            all_slots, col_seg_heads.astype(np.int64) * n_blocks + col_seg_cols),
     )
 
 

@@ -29,6 +29,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.tensor import Tensor
+from repro.tensor import arena as _arena
 from repro.tensor.tensor import custom_op
 
 
@@ -76,9 +77,15 @@ class NeuronSparseWeights:
         ``(n_active, d)`` — i.e. already transposed so the second matmul is
         ``hidden_activations @ fc2_active_t``.
         """
-        fc1_active = self.fc1_weight[active]
+        n_active = active.shape[0]
+        fc1_active = np.take(self.fc1_weight, active, axis=0, mode="clip",
+                             out=_arena.empty((n_active, self.fc1_weight.shape[1]),
+                                              self.fc1_weight.dtype))
         if self.coalesced and self.fc2_weight_t is not None:
-            fc2_active_t = self.fc2_weight_t[active]
+            fc2_active_t = np.take(self.fc2_weight_t, active, axis=0, mode="clip",
+                                   out=_arena.empty(
+                                       (n_active, self.fc2_weight_t.shape[1]),
+                                       self.fc2_weight_t.dtype))
         else:
             fc2_active_t = self.fc2_weight[:, active].T
         return fc1_active, fc2_active_t
@@ -149,30 +156,51 @@ def neuron_sparse_linear_pair(x: Tensor,
     b1_active = fc1_bias.data[active]
 
     x2d = x_data.reshape(-1, d_model)
-    pre = x2d @ fc1_active.T + b1_active                     # (N, n_active)
+    n_rows = x2d.shape[0]
+    n_active = active.shape[0]
+    pre = np.matmul(x2d, fc1_active.T,
+                    out=_arena.empty((n_rows, n_active), x2d.dtype))
+    pre += b1_active
     act_mask = pre > 0
-    hidden = pre * act_mask
-    out2d = hidden @ fc2_active_t + fc2_bias.data            # (N, d)
+    hidden = np.multiply(pre, act_mask,
+                         out=_arena.empty((n_rows, n_active), pre.dtype))
+    _arena.release(pre)
+    out2d = np.matmul(hidden, fc2_active_t,
+                      out=_arena.empty((n_rows, d_model), hidden.dtype))
+    out2d += fc2_bias.data
     out = out2d.reshape(*batch_shape, d_model)
 
     def backward(grad_out: np.ndarray):
+        # Gradients are produced only for the parents that will consume them:
+        # during PEFT fine-tuning the backbone fc1/fc2 are frozen, so their
+        # (hidden, d)-sized zero fills and scatter matmuls are dead work the
+        # autograd loop would discard anyway.
         grad2d = grad_out.reshape(-1, d_model)
-        # fc2 gradients (only active rows of the (hidden, d) transposed view,
-        # i.e. active columns of the (d, hidden) weight).
-        grad_fc2_bias = grad2d.sum(axis=0)
-        grad_fc2_active = hidden.T @ grad2d                  # (n_active, d)
-        grad_fc2 = np.zeros_like(fc2_weight.data)
-        grad_fc2[:, active] = grad_fc2_active.T
+        grad_fc2_bias = grad2d.sum(axis=0) if fc2_bias.requires_grad else None
+        grad_fc2 = None
+        if fc2_weight.requires_grad:
+            # Only active rows of the (hidden, d) transposed view, i.e.
+            # active columns of the (d, hidden) weight.
+            grad_fc2_active = hidden.T @ grad2d              # (n_active, d)
+            grad_fc2 = _arena.zeros(fc2_weight.shape, fc2_weight.data.dtype)
+            grad_fc2[:, active] = grad_fc2_active.T
         # Through the activation.
-        grad_hidden = (grad2d @ fc2_active_t.T) * act_mask    # (N, n_active)
-        # fc1 gradients (only active rows).
-        grad_fc1_active = grad_hidden.T @ x2d                 # (n_active, d)
-        grad_fc1 = np.zeros_like(fc1_weight.data)
-        grad_fc1[active] = grad_fc1_active
-        grad_b1 = np.zeros_like(fc1_bias.data)
-        grad_b1[active] = grad_hidden.sum(axis=0)
+        grad_hidden = np.matmul(grad2d, fc2_active_t.T,
+                                out=_arena.empty((n_rows, n_active), grad2d.dtype))
+        grad_hidden *= act_mask                               # (N, n_active)
+        grad_fc1 = grad_b1 = None
+        if fc1_weight.requires_grad:
+            grad_fc1_active = grad_hidden.T @ x2d             # (n_active, d)
+            grad_fc1 = _arena.zeros(fc1_weight.shape, fc1_weight.data.dtype)
+            grad_fc1[active] = grad_fc1_active
+        if fc1_bias.requires_grad:
+            grad_b1 = _arena.zeros(fc1_bias.shape, fc1_bias.data.dtype)
+            grad_b1[active] = grad_hidden.sum(axis=0)
         # Input gradient.
-        grad_x = (grad_hidden @ fc1_active).reshape(x_data.shape)
+        grad_x = np.matmul(grad_hidden, fc1_active,
+                           out=_arena.empty((n_rows, d_model), grad_hidden.dtype)
+                           ).reshape(x_data.shape)
+        _arena.release(grad_hidden, hidden, fc1_active, fc2_active_t)
         return grad_x, grad_fc1, grad_b1, grad_fc2, grad_fc2_bias
 
     return custom_op(out, (x, fc1_weight, fc1_bias, fc2_weight, fc2_bias), backward)

@@ -29,6 +29,7 @@ from repro.nn.module import Module, Parameter
 from repro.sparsity.patterns import PatternPool, block_count, causal_block_mask
 from repro.sparsity.predictor.calibration import threshold_block_masks
 from repro.tensor import Tensor
+from repro.tensor import arena as _arena
 
 
 class AttentionPredictor(Module):
@@ -140,11 +141,16 @@ class AttentionPredictor(Module):
         x_ds = x[:, idx, :]                                     # (batch, nb, dim)
         nb = x_ds.shape[1]
         h, r = self.num_heads, self.rank
-        proj = x_ds.reshape(batch * nb, dim) @ self._packed_weights()
+        packed = self._packed_weights()
+        proj = np.matmul(x_ds.reshape(batch * nb, dim), packed,
+                         out=_arena.empty((batch * nb, packed.shape[1]),
+                                          x_ds.dtype))
         proj = proj.reshape(batch, nb, 2, h, r)
         q_hat = proj[:, :, 0].swapaxes(1, 2)                    # (batch, heads, nb, r)
         k_hat = proj[:, :, 1].swapaxes(1, 2)
-        scores = np.matmul(q_hat, np.swapaxes(k_hat, -1, -2))
+        scores = np.matmul(q_hat, np.swapaxes(k_hat, -1, -2),
+                           out=_arena.empty((batch, h, nb, nb), x_ds.dtype))
+        _arena.release(proj.base if proj.base is not None else proj)
         scores *= np.float32(1.0 / np.sqrt(self.rank))
         return scores
 
@@ -175,13 +181,16 @@ class AttentionPredictor(Module):
             # fitted thresholds are only valid while both paths build masks
             # identically.
             tau = self.calibration.thresholds_for(seq_len)
-            return threshold_block_masks(scores.mean(axis=0), tau)
+            masks = threshold_block_masks(scores.mean(axis=0), tau)
+            _arena.release(scores)
+            return masks
         prob_threshold = 0.5 + self.threshold
         if prob_threshold >= 1.0:
             keep = np.zeros(scores.shape[1:], dtype=bool)
         else:
             logit_threshold = np.log(prob_threshold / (1.0 - prob_threshold))
             keep = (scores > logit_threshold).any(axis=0)       # reduce over batch
+        _arena.release(scores)
         n_blocks = keep.shape[-1]
         keep &= causal_block_mask(n_blocks)[None]
         diag = np.eye(n_blocks, dtype=bool)
@@ -222,6 +231,7 @@ class AttentionPredictor(Module):
         scores -= 0.5
         np.clip(scores, 0.0, None, out=scores)
         mass = scores.mean(axis=0)                              # (heads, nb, nb)
+        _arena.release(scores)
         n_blocks = mass.shape[-1]
         mass *= causal_block_mask(n_blocks)[None]
         return self.pattern_pool.match_many(mass, coverage=self.coverage)

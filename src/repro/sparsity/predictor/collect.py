@@ -35,13 +35,47 @@ class CollectedLayerData:
     mlp_inputs: List[np.ndarray] = field(default_factory=list)         # (batch, seq, dim)
     mlp_activations: List[np.ndarray] = field(default_factory=list)    # (batch, seq, hidden)
 
-    def merged(self) -> Dict[str, np.ndarray]:
-        """Concatenate recordings along the batch axis."""
+    def merged(self, truncate_to: Optional[int] = None) -> Dict[str, np.ndarray]:
+        """Concatenate recordings along the batch axis.
+
+        With ``truncate_to=L`` every recording is sliced to its first ``L``
+        positions (recordings shorter than ``L`` are skipped, mirroring
+        ``collect_layer_data(truncate_to=...)``).  For a *causal* model this
+        is exact, not an approximation: position ``t`` of every recorded
+        quantity — post-LayerNorm inputs, attention probabilities (row ``t``
+        attends only to keys ``<= t``), post-ReLU activations — depends only
+        on tokens ``<= t``, so the slice of a full-length pass equals the
+        recording of a pass over the truncated batch.  This is what lets the
+        calibration grid reuse *one* collection at the maximum length instead
+        of re-running a frozen-model pass per grid length.
+        """
+        if truncate_to is None:
+            return {
+                "attention_inputs": np.concatenate(self.attention_inputs, axis=0),
+                "attention_probs": np.concatenate(self.attention_probs, axis=0),
+                "mlp_inputs": np.concatenate(self.mlp_inputs, axis=0),
+                "mlp_activations": np.concatenate(self.mlp_activations, axis=0),
+            }
+        length = int(truncate_to)
+
+        def cut_seq(arrays: List[np.ndarray]) -> np.ndarray:
+            kept = [a[:, :length] for a in arrays if a.shape[1] >= length]
+            if not kept:
+                raise ValueError(f"no recording is at least {length} tokens long")
+            return np.concatenate(kept, axis=0)
+
+        def cut_probs(arrays: List[np.ndarray]) -> np.ndarray:
+            kept = [a[:, :, :length, :length] for a in arrays
+                    if a.shape[2] >= length]
+            if not kept:
+                raise ValueError(f"no recording is at least {length} tokens long")
+            return np.concatenate(kept, axis=0)
+
         return {
-            "attention_inputs": np.concatenate(self.attention_inputs, axis=0),
-            "attention_probs": np.concatenate(self.attention_probs, axis=0),
-            "mlp_inputs": np.concatenate(self.mlp_inputs, axis=0),
-            "mlp_activations": np.concatenate(self.mlp_activations, axis=0),
+            "attention_inputs": cut_seq(self.attention_inputs),
+            "attention_probs": cut_probs(self.attention_probs),
+            "mlp_inputs": cut_seq(self.mlp_inputs),
+            "mlp_activations": cut_seq(self.mlp_activations),
         }
 
 

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.nn.module import Module, Parameter
 from repro.tensor import Tensor
+from repro.tensor import arena as _arena
 
 
 class MLPPredictor(Module):
@@ -67,16 +68,21 @@ class MLPPredictor(Module):
         x = np.asarray(x)
         if x.ndim == 2:
             x = x[None]
-        logits = x.reshape(-1, self.dim) @ self.w_a.data
+        x2d = x.reshape(-1, self.dim)
+        logits = np.matmul(x2d, self.w_a.data,
+                           out=_arena.empty((x2d.shape[0], self.w_a.data.shape[1]),
+                                            x2d.dtype))
         # The sigmoid chain mutates the logits buffer in place: this runs per
         # layer per refresh inside the fine-tuning hot loop, and the GEMM
-        # output is the only allocation.
+        # output is the only (arena-recycled) allocation.
         logits += self.bias.data
         np.negative(logits, out=logits)
         np.exp(logits, out=logits)
         logits += 1.0
         np.reciprocal(logits, out=logits)
-        return logits.mean(axis=0)
+        scores = logits.mean(axis=0)
+        _arena.release(logits)
+        return scores
 
     def predict_active_blocks(self, x: np.ndarray) -> np.ndarray:
         """Indices of neuron blocks predicted active for the whole input.

@@ -1,0 +1,220 @@
+"""Shape/dtype-keyed buffer arena with generation-based recycling.
+
+PEFT fine-tuning runs thousands of steps with bit-identical shapes, yet the
+seed tape allocated fresh output and temporary ndarrays for every op of every
+step — for buffers past glibc's mmap threshold that means an mmap/munmap pair
+plus a page-fault storm per allocation, every step, forever.  The arena turns
+that steady state into buffer *reuse*:
+
+* :meth:`BufferArena.take` returns a buffer for ``(shape, dtype)`` — recycled
+  from the free pool when one is available (a *hit*), freshly allocated
+  otherwise (a *miss*).  At steady state every take hits and the per-step
+  allocation count is zero.
+* **Generations** delimit training steps: :meth:`BufferArena.next_generation`
+  returns every buffer handed out during the previous step to the free pool
+  wholesale.  This is safe because step ``N``'s activations and gradients are
+  dead once step ``N + 1`` begins (the trainer zeroes gradients at the end of
+  each step); it is the CUDA-graph memory-pool discipline realised for a
+  NumPy tape.
+* :meth:`BufferArena.release` returns a buffer *mid-generation* — the
+  liveness seam.  Ops release their dead temporaries (softmax row maxima, the
+  backward's dS buffers, consumed saved activations) so non-overlapping
+  buffers share storage within one step: layer ``k``'s backward reuses the
+  very buffers layer ``k + 1`` just finished with, which both bounds peak
+  memory and keeps the working set cache-hot.
+
+The module also owns the *active arena* switch the allocation seams consult:
+:func:`empty` / :func:`zeros` route through the active arena when one is
+installed (capture mode) and degrade to plain ``np.empty`` / ``np.zeros``
+otherwise, so captured and uncaptured execution run the *same instruction
+stream* — only the provenance of the buffers differs, which is what makes
+the two modes bitwise identical.
+
+This module lives in ``repro.tensor`` (the lowest layer) so the tensor core
+and the fused kernels can import it without cycles; the public runtime entry
+point — including the step-capture state machine — is
+:mod:`repro.runtime.arena`, which re-exports everything here.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BufferArena",
+    "active",
+    "set_active",
+    "scope",
+    "empty",
+    "zeros",
+    "release",
+]
+
+
+class BufferArena:
+    """Pool of ndarrays keyed by ``(shape, dtype)`` with generation recycling."""
+
+    __slots__ = ("_free", "_used", "generation", "takes", "hits", "misses",
+                 "bytes_allocated", "bytes_held", "releases",
+                 "last_generation_misses", "_gen_misses")
+
+    def __init__(self) -> None:
+        self._free: Dict[Tuple, List[np.ndarray]] = {}
+        self._used: Dict[int, Tuple[Tuple, np.ndarray]] = {}
+        self.generation = 0
+        self.takes = 0
+        self.hits = 0
+        self.misses = 0
+        self.releases = 0
+        self.bytes_allocated = 0      # cumulative bytes of fresh allocations
+        self.bytes_held = 0           # current footprint of the whole pool
+        self.last_generation_misses = 0
+        self._gen_misses = 0
+
+    @staticmethod
+    def _key(shape, dtype) -> Tuple:
+        return (tuple(int(s) for s in shape), np.dtype(dtype).str)
+
+    def take(self, shape, dtype=np.float32, zero: bool = False) -> np.ndarray:
+        """Return a buffer of ``shape``/``dtype`` (recycled when possible).
+
+        With ``zero=True`` the buffer is zero-filled; otherwise its contents
+        are undefined (like ``np.empty``) and the caller must fully overwrite
+        it — every allocation seam in the stack is written that way.
+        """
+        key = self._key(shape, dtype)
+        self.takes += 1
+        free = self._free.get(key)
+        if free:
+            buf = free.pop()
+            self.hits += 1
+            if zero:
+                buf.fill(0)
+        else:
+            self.misses += 1
+            self._gen_misses += 1
+            buf = np.zeros(shape, dtype) if zero else np.empty(shape, dtype)
+            self.bytes_allocated += buf.nbytes
+            self.bytes_held += buf.nbytes
+        self._used[id(buf)] = (key, buf)
+        return buf
+
+    def release(self, buf: np.ndarray) -> bool:
+        """Return ``buf`` to the free pool mid-generation (liveness reuse).
+
+        Only buffers handed out by :meth:`take` in the current generation are
+        accepted (identity-matched); anything else — views, foreign arrays —
+        is ignored, so callers can release opportunistically.
+        """
+        entry = self._used.pop(id(buf), None)
+        if entry is None:
+            return False
+        key, owned = entry
+        self._free.setdefault(key, []).append(owned)
+        self.releases += 1
+        return True
+
+    def owns(self, buf: np.ndarray) -> bool:
+        """Whether ``buf`` is a live arena buffer of the current generation."""
+        return id(buf) in self._used
+
+    def next_generation(self) -> None:
+        """Recycle every outstanding buffer; call at each step boundary."""
+        free = self._free
+        for key, buf in self._used.values():
+            lst = free.get(key)
+            if lst is None:
+                free[key] = [buf]
+            else:
+                lst.append(buf)
+        self._used.clear()
+        self.generation += 1
+        self.last_generation_misses = self._gen_misses
+        self._gen_misses = 0
+
+    def trim(self) -> int:
+        """Drop every *free* buffer (outstanding ones are untouched).
+
+        Bounds the pool across shape regimes: the step-capture runtime calls
+        this when the step signature changes, so stale-shape pools (the old
+        sequence length's buffers) do not accumulate.  Returns bytes freed.
+        """
+        freed = 0
+        for buffers in self._free.values():
+            freed += sum(buf.nbytes for buf in buffers)
+        self._free.clear()
+        self.bytes_held -= freed
+        return freed
+
+    def hit_rate(self) -> float:
+        return self.hits / self.takes if self.takes else 0.0
+
+    def stats_dict(self) -> Dict[str, float]:
+        """JSON-friendly counters (surfaced as profiler gauges)."""
+        return {
+            "generation": float(self.generation),
+            "takes": float(self.takes),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "hit_rate": self.hit_rate(),
+            "bytes_held": float(self.bytes_held),
+            "bytes_allocated": float(self.bytes_allocated),
+            "last_generation_misses": float(self.last_generation_misses),
+        }
+
+
+# ---------------------------------------------------------------------------
+# active-arena switch consulted by the allocation seams
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[BufferArena] = None
+
+
+def active() -> Optional[BufferArena]:
+    """The arena currently backing the allocation seams (None = plain NumPy)."""
+    return _ACTIVE
+
+
+def set_active(arena: Optional[BufferArena]) -> Optional[BufferArena]:
+    """Install ``arena`` as the active arena; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = arena
+    return previous
+
+
+@contextlib.contextmanager
+def scope(arena: Optional[BufferArena]) -> Iterator[Optional[BufferArena]]:
+    """Context manager installing ``arena`` for the duration."""
+    previous = set_active(arena)
+    try:
+        yield arena
+    finally:
+        set_active(previous)
+
+
+def empty(shape, dtype=np.float32) -> np.ndarray:
+    """Arena-aware ``np.empty``: recycled buffer when an arena is active."""
+    arena = _ACTIVE
+    if arena is not None:
+        return arena.take(shape, dtype)
+    return np.empty(shape, dtype)
+
+
+def zeros(shape, dtype=np.float32) -> np.ndarray:
+    """Arena-aware ``np.zeros`` (recycled buffers are re-zeroed on reuse)."""
+    arena = _ACTIVE
+    if arena is not None:
+        return arena.take(shape, dtype, zero=True)
+    return np.zeros(shape, dtype)
+
+
+def release(*bufs: np.ndarray) -> None:
+    """Return dead temporaries to the active arena (no-op without one)."""
+    arena = _ACTIVE
+    if arena is not None:
+        for buf in bufs:
+            arena.release(buf)

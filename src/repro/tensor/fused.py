@@ -44,6 +44,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from repro.tensor import arena as _arena
 from repro.tensor.tensor import Tensor, custom_op
 
 __all__ = [
@@ -99,25 +100,37 @@ def reference_kernels():
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis`` as one fused node."""
-    probs = x.data - x.data.max(axis=axis, keepdims=True)
+    data = x.data
+    probs = np.subtract(data, data.max(axis=axis, keepdims=True),
+                        out=_arena.empty(data.shape, data.dtype))
     np.exp(probs, out=probs)
     probs /= probs.sum(axis=axis, keepdims=True)
 
     def backward(grad):
-        dot = (grad * probs).sum(axis=axis, keepdims=True)
-        return ((grad - dot) * probs,)
+        tmp = np.multiply(grad, probs, out=_arena.empty(probs.shape, probs.dtype))
+        dot = tmp.sum(axis=axis, keepdims=True)
+        np.subtract(grad, dot, out=tmp)
+        tmp *= probs
+        return (tmp,)
 
     return custom_op(probs, (x,), backward)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Log-softmax with a fused backward (used by the LM scoring path)."""
-    out = x.data - x.data.max(axis=axis, keepdims=True)
-    logsumexp = np.log(np.exp(out).sum(axis=axis, keepdims=True))
+    data = x.data
+    out = np.subtract(data, data.max(axis=axis, keepdims=True),
+                      out=_arena.empty(data.shape, data.dtype))
+    exp = np.exp(out, out=_arena.empty(out.shape, out.dtype))
+    logsumexp = np.log(exp.sum(axis=axis, keepdims=True))
+    _arena.release(exp)
     out -= logsumexp
 
     def backward(grad):
-        return (grad - np.exp(out) * grad.sum(axis=axis, keepdims=True),)
+        tmp = np.exp(out, out=_arena.empty(out.shape, out.dtype))
+        tmp *= grad.sum(axis=axis, keepdims=True)
+        np.subtract(grad, tmp, out=tmp)
+        return (tmp,)
 
     return custom_op(out, (x,), backward)
 
@@ -133,7 +146,13 @@ def masked_softmax(scores: Tensor, mask: Optional[np.ndarray], axis: int = -1,
     if mask is None:
         return softmax(scores, axis=axis)
     mask = np.asarray(mask, dtype=bool)
-    probs = np.where(mask, scores.data, np.asarray(neg_fill, dtype=scores.data.dtype))
+    data = scores.data
+    shape = np.broadcast_shapes(data.shape, mask.shape)
+    # Masked fill without the ``np.where`` temporary: pre-fill with the drop
+    # value and copy the kept scores over it (identical values).
+    probs = _arena.empty(shape, data.dtype)
+    probs[...] = np.asarray(neg_fill, dtype=data.dtype)
+    np.copyto(probs, np.broadcast_to(data, shape), where=mask)
     probs -= probs.max(axis=axis, keepdims=True)
     np.exp(probs, out=probs)
     np.multiply(probs, mask, out=probs)
@@ -141,8 +160,10 @@ def masked_softmax(scores: Tensor, mask: Optional[np.ndarray], axis: int = -1,
     np.divide(probs, np.where(denom == 0, 1.0, denom), out=probs)
 
     def backward(grad):
-        grad = grad * mask
-        dot = (grad * probs).sum(axis=axis, keepdims=True)
+        grad = np.multiply(grad, mask, out=_arena.empty(probs.shape, probs.dtype))
+        tmp = np.multiply(grad, probs, out=_arena.empty(probs.shape, probs.dtype))
+        dot = tmp.sum(axis=axis, keepdims=True)
+        _arena.release(tmp)
         grad -= dot
         grad *= probs
         return (grad,)
@@ -156,22 +177,37 @@ def masked_softmax(scores: Tensor, mask: Optional[np.ndarray], axis: int = -1,
 
 def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
     """Layer normalisation over the last dimension with affine parameters."""
-    mean = x.data.mean(axis=-1, keepdims=True)
-    normalized = x.data - mean
+    data = x.data
+    mean = data.mean(axis=-1, keepdims=True)
+    normalized = np.subtract(data, mean, out=_arena.empty(data.shape, data.dtype))
     var = np.square(normalized).mean(axis=-1, keepdims=True)
     inv_std = 1.0 / np.sqrt(var + eps, out=var)
     normalized *= inv_std
-    out = normalized * weight.data
+    out = np.multiply(normalized, weight.data,
+                      out=_arena.empty(data.shape, data.dtype))
     out += bias.data
-    dim = x.data.shape[-1]
+    dim = data.shape[-1]
 
     def backward(grad):
-        grad_weight = (grad * normalized).reshape(-1, dim).sum(axis=0)
-        grad_bias = grad.reshape(-1, dim).sum(axis=0)
-        grad_norm = grad * weight.data
-        grad_x = grad_norm - grad_norm.mean(axis=-1, keepdims=True)
-        grad_x -= normalized * (grad_norm * normalized).mean(axis=-1, keepdims=True)
+        # Affine-parameter gradients only when the parameters are trainable
+        # (they are frozen during PEFT fine-tuning — dead reductions else).
+        tmp = _arena.empty(normalized.shape, normalized.dtype)
+        grad_weight = grad_bias = None
+        if weight.requires_grad:
+            np.multiply(grad, normalized, out=tmp)
+            grad_weight = tmp.reshape(-1, dim).sum(axis=0)
+        if bias.requires_grad:
+            grad_bias = grad.reshape(-1, dim).sum(axis=0)
+        # ``tmp`` doubles as the grad_norm buffer once grad_weight is reduced.
+        grad_norm = np.multiply(grad, weight.data, out=tmp)
+        grad_x = np.subtract(grad_norm, grad_norm.mean(axis=-1, keepdims=True),
+                             out=_arena.empty(normalized.shape, normalized.dtype))
+        np.multiply(grad_norm, normalized, out=grad_norm)
+        inner_mean = grad_norm.mean(axis=-1, keepdims=True)
+        np.multiply(normalized, inner_mean, out=grad_norm)
+        grad_x -= grad_norm
         grad_x *= inv_std
+        _arena.release(tmp, normalized)
         return grad_x, grad_weight, grad_bias
 
     return custom_op(out, (x, weight, bias), backward)
@@ -188,13 +224,13 @@ def _gelu_value_and_tanh(pre: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     order of magnitude slower than two multiplies; profiling the seed train
     step showed GeLU alone at ~35 % of wall-clock for exactly this reason.
     """
-    inner = pre * pre
+    inner = np.multiply(pre, pre, out=_arena.empty(pre.shape, pre.dtype))
     inner *= _GELU_A
     inner += 1.0
     inner *= pre
     inner *= _GELU_C
     tanh_inner = np.tanh(inner, out=inner)
-    out = tanh_inner + 1.0
+    out = np.add(tanh_inner, 1.0, out=_arena.empty(pre.shape, pre.dtype))
     out *= pre
     out *= 0.5
     return out, tanh_inner
@@ -202,15 +238,18 @@ def _gelu_value_and_tanh(pre: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
 
 def _gelu_local_grad(pre: np.ndarray, tanh_inner: np.ndarray) -> np.ndarray:
     """d gelu(x) / dx given the pre-activation and its cached tanh term."""
-    sech2 = 1.0 - tanh_inner * tanh_inner
-    d_inner = pre * pre
+    sech2 = np.multiply(tanh_inner, tanh_inner,
+                        out=_arena.empty(pre.shape, pre.dtype))
+    np.subtract(1.0, sech2, out=sech2)
+    d_inner = np.multiply(pre, pre, out=_arena.empty(pre.shape, pre.dtype))
     d_inner *= 3.0 * _GELU_A
     d_inner += 1.0
     d_inner *= _GELU_C
-    local = sech2 * d_inner
+    local = np.multiply(sech2, d_inner, out=sech2)
     local *= pre
     local += 1.0 + tanh_inner
     local *= 0.5
+    _arena.release(d_inner)
     return local
 
 
@@ -231,7 +270,9 @@ def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
     # level batch loop for (batch, m, k) @ (k, n), while the reshape of a
     # C-contiguous activation is free.
     x2d = x_data.reshape(-1, in_features)
-    out = np.matmul(x2d, weight.data.T)
+    out = np.matmul(x2d, weight.data.T,
+                    out=_arena.empty((x2d.shape[0], out_features),
+                                     np.result_type(x2d, weight.data)))
     if bias is not None:
         out += bias.data
 
@@ -260,21 +301,48 @@ def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
     parents = (x, weight) if bias is None else (x, weight, bias)
 
     def backward(grad):
+        # Gradients are produced only for parents that will consume them:
+        # under PEFT the base projections, the tied LM head and the norms
+        # are frozen, so their weight-gradient GEMMs/reductions are dead
+        # work the autograd loop would discard anyway.
         grad2d = grad.reshape(-1, out_features)
+        act_grad = None
         if relu_mask is not None:
-            grad2d = grad2d * relu_mask
+            grad2d = act_grad = np.multiply(
+                grad2d, relu_mask, out=_arena.empty(grad2d.shape, grad2d.dtype))
         elif gelu_pre is not None:
-            grad2d = grad2d * _gelu_local_grad(gelu_pre, gelu_tanh)
+            local = _gelu_local_grad(gelu_pre, gelu_tanh)
+            grad2d = act_grad = np.multiply(
+                grad2d, local, out=_arena.empty(grad2d.shape, grad2d.dtype))
+            _arena.release(local, gelu_pre, gelu_tanh)
         elif act_out is not None:
+            local = _arena.empty(act_out.shape, act_out.dtype)
             if activation == "tanh":
-                grad2d = grad2d * (1.0 - act_out * act_out)
+                np.multiply(act_out, act_out, out=local)
+                np.subtract(1.0, local, out=local)
             else:  # sigmoid
-                grad2d = grad2d * (act_out * (1.0 - act_out))
-        grad_x = np.matmul(grad2d, weight.data).reshape(x_data.shape)
-        grad_w = np.matmul(grad2d.T, x2d)
+                np.subtract(1.0, act_out, out=local)
+                local *= act_out
+            grad2d = act_grad = np.multiply(
+                grad2d, local, out=_arena.empty(grad2d.shape, grad2d.dtype))
+            _arena.release(local)
+        grad_x = grad_w = None
+        if x.requires_grad:
+            grad_x = np.matmul(
+                grad2d, weight.data,
+                out=_arena.empty((grad2d.shape[0], in_features),
+                                 np.result_type(grad2d, weight.data))
+            ).reshape(x_data.shape)
+        if weight.requires_grad:
+            grad_w = np.matmul(grad2d.T, x2d,
+                               out=_arena.empty((out_features, in_features),
+                                                np.result_type(grad2d, x2d)))
+        grad_b = (grad2d.sum(axis=0)
+                  if bias is not None and bias.requires_grad else None)
+        if act_grad is not None:
+            _arena.release(act_grad)
         if bias is None:
             return grad_x, grad_w
-        grad_b = grad2d.sum(axis=0)
         return grad_x, grad_w, grad_b
 
     return custom_op(out.reshape(*x_data.shape[:-1], out_features),
@@ -309,32 +377,50 @@ def cross_entropy_logits(logits: Tensor, targets: np.ndarray,
     else:
         scored = data
     vocab = scored.shape[-1]
-    flat_logits = scored.reshape(-1, vocab)
+    n_rows = int(np.prod(scored.shape[:-1], dtype=np.int64))
+    if shift:
+        # The shifted slice is non-contiguous, so reshape would copy anyway;
+        # route the copy through the arena instead.
+        flat_logits = _arena.empty((n_rows, vocab), data.dtype)
+        np.copyto(flat_logits.reshape(scored.shape), scored)
+    else:
+        flat_logits = scored.reshape(-1, vocab)
     flat_targets = targets.reshape(-1)
     valid = flat_targets != ignore_index
     n_valid = int(valid.sum())
     safe_targets = np.where(valid, flat_targets, 0)
     rows = np.arange(flat_targets.shape[0])
 
-    shifted = flat_logits - flat_logits.max(axis=-1, keepdims=True)
-    probs = np.exp(shifted)
+    shifted = np.subtract(flat_logits, flat_logits.max(axis=-1, keepdims=True),
+                          out=_arena.empty((n_rows, vocab), data.dtype))
+    if shift:
+        _arena.release(flat_logits)
+    # Pull the target-token logits out *before* exponentiating in place: the
+    # probabilities then reuse the shifted buffer, so the op keeps a single
+    # (rows, vocab) array alive for the backward instead of two.
+    target_logits = shifted[rows, safe_targets]
+    probs = np.exp(shifted, out=shifted)
     denom_rows = probs.sum(axis=-1, keepdims=True)
     # log-prob of the target token only — the full log-prob matrix is never
     # materialised; ``probs`` doubles as the saved state for the backward.
-    picked = shifted[rows, safe_targets] - np.log(denom_rows[:, 0])
+    picked = target_logits - np.log(denom_rows[:, 0])
     np.divide(probs, denom_rows, out=probs)
     denom = max(n_valid, 1)
     loss_value = -(picked * valid).sum() / denom
 
     def backward(grad):
         grad = np.asarray(grad).reshape(())
-        grad_flat = probs.copy()
+        grad_flat = _arena.empty(probs.shape, probs.dtype)
+        np.copyto(grad_flat, probs)
         grad_flat[rows, safe_targets] -= 1.0
         grad_flat *= (valid[:, None] / denom) * grad
+        _arena.release(probs)
         if not shift:
             return (grad_flat.reshape(data.shape),)
-        full = np.zeros(data.shape, dtype=data.dtype)
+        full = _arena.empty(data.shape, data.dtype)
         full[..., :-1, :] = grad_flat.reshape(scored.shape)
+        full[..., -1:, :] = 0.0
+        _arena.release(grad_flat)
         return (full,)
 
     loss = custom_op(np.asarray(loss_value, dtype=np.float32), (logits,), backward)
@@ -365,7 +451,9 @@ def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor,
     if attn_mask is not None:
         attn_mask = np.asarray(attn_mask, dtype=bool)
 
-    probs = np.matmul(q.data, np.swapaxes(k.data, -1, -2))
+    score_shape = q.shape[:-1] + (k.shape[-2],)
+    probs = np.matmul(q.data, np.swapaxes(k.data, -1, -2),
+                      out=_arena.empty(score_shape, q.data.dtype))
     probs *= scale
     if attn_mask is not None:
         np.copyto(probs, _NEG_FILL, where=~attn_mask)
@@ -375,18 +463,25 @@ def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor,
         np.multiply(probs, attn_mask, out=probs)
     denom = probs.sum(axis=-1, keepdims=True)
     np.divide(probs, np.where(denom == 0, 1.0, denom), out=probs)
-    out = np.matmul(probs, v.data)
+    out = np.matmul(probs, v.data,
+                    out=_arena.empty(q.shape[:-1] + (v.shape[-1],), q.data.dtype))
 
     def backward(grad_out):
-        grad_v = np.matmul(np.swapaxes(probs, -1, -2), grad_out)
+        grad_v = np.matmul(np.swapaxes(probs, -1, -2), grad_out,
+                           out=_arena.empty(v.shape, v.data.dtype))
         # dP, then softmax backward in the same buffer.
-        dS = np.matmul(grad_out, np.swapaxes(v.data, -1, -2))
-        dot = (dS * probs).sum(axis=-1, keepdims=True)
+        dS = np.matmul(grad_out, np.swapaxes(v.data, -1, -2),
+                       out=_arena.empty(score_shape, q.data.dtype))
+        tmp = np.multiply(dS, probs, out=_arena.empty(score_shape, q.data.dtype))
+        dot = tmp.sum(axis=-1, keepdims=True)
+        _arena.release(tmp)
         dS -= dot
         dS *= probs
         dS *= scale
-        grad_q = np.matmul(dS, k.data)
-        grad_k = np.matmul(np.swapaxes(dS, -1, -2), q.data)
+        grad_q = np.matmul(dS, k.data, out=_arena.empty(q.shape, q.data.dtype))
+        grad_k = np.matmul(np.swapaxes(dS, -1, -2), q.data,
+                           out=_arena.empty(k.shape, k.data.dtype))
+        _arena.release(dS, probs)
         return grad_q, grad_k, grad_v
 
     result = custom_op(out, (q, k, v), backward)

@@ -20,6 +20,8 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.tensor import arena as _arena
+
 ArrayLike = Union[np.ndarray, float, int, "Tensor", Sequence]
 
 # ---------------------------------------------------------------------------
@@ -68,6 +70,48 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
         if size == 1 and grad.shape[axis] != 1:
             grad = grad.sum(axis=axis, keepdims=True)
     return grad.reshape(shape)
+
+
+def _grad_aliased(buf: np.ndarray, grads: dict) -> bool:
+    """Whether any pending gradient is (a view of) ``buf``.
+
+    Guards the backward pass's early buffer release: closures may return the
+    incoming gradient itself (``__add__``) or a view of it (``reshape`` /
+    ``transpose`` backwards), in which case the buffer is still live.
+    """
+    for value in grads.values():
+        if value is buf or value.base is buf:
+            return True
+    return False
+
+
+def _binary_out(ufunc, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Apply a binary ufunc, writing into an arena buffer when one is active.
+
+    Values are identical to ``ufunc(a, b)`` — only the output buffer's
+    provenance changes, which is what keeps captured and uncaptured
+    execution bitwise identical.
+    """
+    arena = _arena.active()
+    if arena is None:
+        return ufunc(a, b)
+    shape = np.broadcast_shapes(a.shape, b.shape)
+    dtype = np.result_type(a, b)
+    if ufunc is np.divide and dtype.kind not in "fc":
+        # True division promotes integer operands to float64; result_type
+        # alone would hand the ufunc an integer out buffer it cannot cast to.
+        dtype = np.dtype(np.float64)
+    return ufunc(a, b, out=arena.take(shape, dtype))
+
+
+def _matmul_out(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``np.matmul`` with an arena output buffer for the ndim >= 2 case."""
+    arena = _arena.active()
+    if arena is None or a.ndim < 2 or b.ndim < 2:
+        return np.matmul(a, b)
+    shape = (np.broadcast_shapes(a.shape[:-2], b.shape[:-2])
+             + (a.shape[-2], b.shape[-1]))
+    return np.matmul(a, b, out=arena.take(shape, np.result_type(a, b)))
 
 
 def scatter_add_rows(out: np.ndarray, indices: np.ndarray,
@@ -169,6 +213,74 @@ def _graph_freed_sentinel(grad):  # pragma: no cover - never invoked
 _GRAPH_FREED = _graph_freed_sentinel
 
 
+# ---------------------------------------------------------------------------
+# step capture: creation-order tape + planned backward replay
+# ---------------------------------------------------------------------------
+#
+# The step-capture runtime (repro.runtime.arena.StepCapture) records one
+# warm step's backward schedule and replays it on subsequent steps.  The
+# tensor core contributes two hooks:
+#
+# * a **tape** — while one is installed via ``set_tape``, every grad-carrying
+#   tensor created by ``Tensor._make`` is appended in creation order.  The
+#   tape gives later steps stable *positional* identities for graph nodes
+#   (the Tensor objects themselves are rebuilt every step);
+# * a **plan** — ``backward(record=True, tape=...)`` runs the normal
+#   DFS-ordered pass and records the processed schedule as tape positions
+#   (plus direct references for persistent leaves such as parameters).
+#   ``backward(plan=..., tape=...)`` then skips the topological re-sort
+#   entirely: it validates that the new tape wires up exactly like the
+#   recorded one (cheap integer/identity checks) and executes the recorded
+#   schedule.  Because the replayed order *is* the recorded DFS order,
+#   captured and uncaptured backward passes are bitwise identical.
+
+_TAPE: Optional[List["Tensor"]] = None
+
+
+def set_tape(tape: Optional[List["Tensor"]]) -> Optional[List["Tensor"]]:
+    """Install (or clear) the recording tape; returns the previous tape."""
+    global _TAPE
+    previous = _TAPE
+    _TAPE = tape
+    return previous
+
+
+def current_tape() -> Optional[List["Tensor"]]:
+    return _TAPE
+
+
+class PlanMismatchError(RuntimeError):
+    """The current step's graph no longer matches the recorded plan.
+
+    Raised by :meth:`Tensor.backward` *before* any gradient is touched, so
+    the caller can fall back to the ordinary DFS pass and re-capture.
+    """
+
+
+class TapePlan:
+    """A recorded backward schedule over tape positions.
+
+    ``entries`` holds the processing order: an ``int`` indexes the step's
+    tape (interior node), anything else is a direct reference to a
+    persistent leaf (parameter).  ``parent_specs`` mirrors ``entries`` and
+    pins the wiring of each interior node: per parent, an ``int`` tape
+    position, a direct leaf reference, or ``None`` for constants whose
+    identity is irrelevant to the backward (they carry no gradient).
+    """
+
+    __slots__ = ("tape_length", "root_index", "entries", "parent_specs")
+
+    def __init__(self, tape_length: int, root_index: int,
+                 entries: tuple, parent_specs: tuple):
+        self.tape_length = tape_length
+        self.root_index = root_index
+        self.entries = entries
+        self.parent_specs = parent_specs
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
 def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
         value = value.data
@@ -258,6 +370,8 @@ class Tensor:
         if requires:
             out._parents = parents
             out._backward = backward
+            if _TAPE is not None:
+                _TAPE.append(out)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -269,7 +383,10 @@ class Tensor:
 
     # -- backward pass --------------------------------------------------------
     def backward(self, grad: Optional[ArrayLike] = None,
-                 retain_graph: bool = False) -> None:
+                 retain_graph: bool = False,
+                 tape: Optional[List["Tensor"]] = None,
+                 plan: Optional[TapePlan] = None,
+                 record: bool = False) -> Optional[TapePlan]:
         """Back-propagate from this tensor through the recorded graph.
 
         ``grad`` defaults to ones for scalar outputs (the typical loss case).
@@ -286,6 +403,19 @@ class Tensor:
         full-size forward temporaries, so this releases the bulk of the
         graph's memory mid-backward.  Pass ``retain_graph=True`` to keep the
         graph alive for a second backward over the same tape.
+
+        Step capture (see :mod:`repro.runtime.arena`):
+
+        * ``record=True`` with ``tape`` (the creation-order list this step
+          was recorded on) additionally returns a :class:`TapePlan` encoding
+          the processed DFS schedule as tape positions — or ``None`` when the
+          graph is not capturable (interior nodes created outside the tape).
+        * ``plan`` with ``tape`` *replays* a recorded plan: the topological
+          sort is skipped and the recorded schedule executed after a cheap
+          structural validation.  Raises :class:`PlanMismatchError` — before
+          touching any gradient — when the graph changed.  The replayed order
+          is the recorded DFS order, so results are bitwise identical to the
+          unplanned pass.
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
@@ -306,6 +436,13 @@ class Tensor:
             # exclusively ours to mutate.
             seed_owned = seed is not grad
 
+        if plan is not None:
+            if tape is None:
+                raise ValueError("replaying a plan requires the step's tape")
+            schedule = self._validated_schedule(tape, plan)
+            self._execute_backward(schedule, seed, seed_owned, retain_graph)
+            return None
+
         # Topological order via iterative DFS (avoids recursion limits for
         # deep transformer graphs).
         topo: List[Tensor] = []
@@ -324,14 +461,101 @@ class Tensor:
                 if id(parent) not in visited:
                     stack.append((parent, False))
 
+        schedule = tuple(reversed(topo))
+        recorded = None
+        if record:
+            if tape is None:
+                raise ValueError("recording a plan requires the step's tape")
+            recorded = self._record_plan(tape, schedule)
+        self._execute_backward(schedule, seed, seed_owned, retain_graph)
+        return recorded
+
+    def _record_plan(self, tape: List["Tensor"],
+                     schedule: Tuple["Tensor", ...]) -> Optional[TapePlan]:
+        """Encode ``schedule`` as tape positions; None if not capturable."""
+        pos = {id(t): i for i, t in enumerate(tape)}
+        root_index = pos.get(id(self))
+        if root_index is None:
+            return None
+        entries: List = []
+        specs: List = []
+        for node in schedule:
+            idx = pos.get(id(node))
+            if idx is None:
+                if node._backward is not None:
+                    # Interior node created outside the tape: its closure
+                    # would not be rebuilt next step — not capturable.
+                    return None
+                if not node.requires_grad:
+                    # Per-step constant; carries no gradient, skip entirely.
+                    continue
+                # Persistent leaf (parameter): reference it directly.
+                entries.append(node)
+                specs.append(None)
+                continue
+            entries.append(idx)
+            specs.append(tuple(
+                pos[id(p)] if id(p) in pos
+                else (p if p.requires_grad else None)
+                for p in node._parents))
+        return TapePlan(len(tape), root_index, tuple(entries), tuple(specs))
+
+    def _validated_schedule(self, tape: List["Tensor"],
+                            plan: TapePlan) -> Tuple["Tensor", ...]:
+        """Map ``plan`` onto this step's tape, checking the wiring matches."""
+        if len(tape) != plan.tape_length:
+            raise PlanMismatchError(
+                f"tape length changed ({len(tape)} vs recorded "
+                f"{plan.tape_length})")
+        if tape[plan.root_index] is not self:
+            raise PlanMismatchError("backward root is not at the recorded "
+                                    "tape position")
+        schedule: List[Tensor] = []
+        for entry, spec in zip(plan.entries, plan.parent_specs):
+            if type(entry) is not int:
+                schedule.append(entry)            # persistent leaf
+                continue
+            node = tape[entry]
+            parents = node._parents
+            if spec is None or len(parents) != len(spec):
+                raise PlanMismatchError("node arity changed at tape position "
+                                        f"{entry}")
+            for parent, expected in zip(parents, spec):
+                if expected is None:
+                    # Recorded as a gradient-free constant: identity is
+                    # irrelevant, but it must *still* be gradient-free — a
+                    # parameter unfrozen after capture would otherwise have
+                    # its gradient silently dropped (it is absent from the
+                    # recorded schedule), breaking the never-wrong contract.
+                    if parent.requires_grad:
+                        raise PlanMismatchError(
+                            f"recorded constant parent at tape position "
+                            f"{entry} now requires grad")
+                    continue
+                if type(expected) is int:
+                    if tape[expected] is not parent:
+                        raise PlanMismatchError(
+                            f"graph wiring changed at tape position {entry}")
+                elif expected is not parent:
+                    raise PlanMismatchError(
+                        f"leaf identity changed at tape position {entry}")
+            schedule.append(node)
+        return tuple(schedule)
+
+    def _execute_backward(self, schedule: Tuple["Tensor", ...],
+                          seed: np.ndarray, seed_owned: bool,
+                          retain_graph: bool) -> None:
+        """Run the accumulation loop over an already-ordered schedule."""
+        arena = _arena.active()
         # Pending gradient per tensor id, plus the set of ids whose pending
         # buffer was allocated by this pass (and is therefore safe to mutate
         # in place — closure outputs may alias each other or the incoming
         # gradient, e.g. ``__add__`` returns the same array for both parents).
         grads = {id(self): seed}
         owned = {id(self)} if seed_owned else set()
-        for node in reversed(topo):
-            node_grad = grads.pop(id(node), None)
+        for node in schedule:
+            nid = id(node)
+            node_grad = grads.pop(nid, None)
             if node_grad is None:
                 continue
             backward_fn = node._backward
@@ -343,7 +567,14 @@ class Tensor:
                 # Leaf tensor (parameter or input with requires_grad).
                 if node.requires_grad:
                     if node.grad is None:
-                        node.grad = node_grad if id(node) in owned else node_grad.copy()
+                        if nid in owned:
+                            node.grad = node_grad
+                        elif arena is not None:
+                            buf = arena.take(node_grad.shape, node_grad.dtype)
+                            np.copyto(buf, node_grad)
+                            node.grad = buf
+                        else:
+                            node.grad = node_grad.copy()
                     else:
                         np.add(node.grad, node_grad, out=node.grad)
                 continue
@@ -377,13 +608,25 @@ class Tensor:
                 elif pid in owned:
                     np.add(existing, pgrad, out=existing)
                 else:
-                    grads[pid] = existing + pgrad
+                    if arena is not None:
+                        buf = arena.take(existing.shape, existing.dtype)
+                        np.add(existing, pgrad, out=buf)
+                        grads[pid] = buf
+                    else:
+                        grads[pid] = existing + pgrad
                     owned.add(pid)
+            if (arena is not None and nid in owned and arena.owns(node_grad)
+                    and not _grad_aliased(node_grad, grads)):
+                # This node's gradient buffer is dead (owned by the pass,
+                # propagated, and not aliased by any pending gradient):
+                # recycle it so later nodes of the same shape — typically the
+                # same op in an earlier layer — reuse the hot buffer.
+                arena.release(node_grad)
 
     # -- arithmetic -----------------------------------------------------------
     def __add__(self, other: ArrayLike) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
-        data = self.data + other.data
+        data = _binary_out(np.add, self.data, other.data)
 
         def backward(grad):
             return grad, grad
@@ -400,7 +643,7 @@ class Tensor:
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
-        data = self.data - other.data
+        data = _binary_out(np.subtract, self.data, other.data)
 
         def backward(grad):
             return grad, -grad
@@ -412,11 +655,12 @@ class Tensor:
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
-        data = self.data * other.data
+        data = _binary_out(np.multiply, self.data, other.data)
         a, b = self, other
 
         def backward(grad):
-            return grad * b.data, grad * a.data
+            return (_binary_out(np.multiply, grad, b.data),
+                    _binary_out(np.multiply, grad, a.data))
 
         return Tensor._make(data, (self, other), backward)
 
@@ -424,7 +668,7 @@ class Tensor:
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
-        data = self.data / other.data
+        data = _binary_out(np.divide, self.data, other.data)
         a, b = self, other
 
         def backward(grad):
@@ -452,7 +696,7 @@ class Tensor:
     def matmul(self, other: ArrayLike) -> "Tensor":
         """Batched matrix multiplication with broadcasting over batch dims."""
         other = other if isinstance(other, Tensor) else Tensor(other)
-        data = np.matmul(self.data, other.data)
+        data = _matmul_out(self.data, other.data)
         a, b = self, other
 
         def backward(grad):
@@ -465,8 +709,8 @@ class Tensor:
                 grad_a = np.matmul(grad, np.swapaxes(b_data, -1, -2))
                 grad_b = np.multiply.outer(a_data, grad)
                 return grad_a, grad_b
-            grad_a = np.matmul(grad, np.swapaxes(b_data, -1, -2))
-            grad_b = np.matmul(np.swapaxes(a_data, -1, -2), grad)
+            grad_a = _matmul_out(grad, np.swapaxes(b_data, -1, -2))
+            grad_b = _matmul_out(np.swapaxes(a_data, -1, -2), grad)
             return _unbroadcast(grad_a, a_data.shape), _unbroadcast(grad_b, b_data.shape)
 
         return Tensor._make(data, (self, other), backward)
@@ -579,13 +823,13 @@ class Tensor:
 
         def backward(grad):
             grad = np.asarray(grad)
-            if axis is None:
-                return (np.broadcast_to(grad, shape).copy(),)
-            if not keepdims:
+            if axis is not None and not keepdims:
                 axes = axis if isinstance(axis, tuple) else (axis,)
                 for ax in sorted(a % len(shape) for a in axes):
                     grad = np.expand_dims(grad, ax)
-            return (np.broadcast_to(grad, shape).copy(),)
+            full = _arena.empty(shape, grad.dtype)
+            np.copyto(full, grad)
+            return (full,)
 
         return Tensor._make(data, (self,), backward)
 
@@ -662,7 +906,7 @@ class Tensor:
                        (isinstance(part, Tensor)) for part in index_parts)
 
         def backward(grad):
-            full = np.zeros(shape, dtype=dtype)
+            full = _arena.zeros(shape, dtype)
             if advanced:
                 _scatter_add_index(full, index, grad)
             else:
@@ -752,7 +996,7 @@ def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
     vocab, dim = weight.data.shape
 
     def backward(grad):
-        full = np.zeros((vocab, dim), dtype=weight.data.dtype)
+        full = _arena.zeros((vocab, dim), weight.data.dtype)
         scatter_add_rows(full, indices.reshape(-1), grad.reshape(-1, dim))
         return (full,)
 

@@ -305,3 +305,103 @@ def build_cases() -> List[ParityCase]:
 
 
 ALL_CASES = build_cases()
+
+
+# ---------------------------------------------------------------------------
+# captured-vs-uncaptured step parity (the step-capture axis)
+# ---------------------------------------------------------------------------
+#
+# Step capture (repro.runtime.arena.StepCapture) must be *bitwise* invisible:
+# replaying the recorded backward schedule through recycled arena buffers has
+# to produce exactly the floats the ordinary DFS pass produces.  The helpers
+# below train a tiny model for a few steps with and without capture — same
+# seeds, same batches — and return everything a step mutates: per-step
+# losses, per-step parameter gradients (snapshotted inside the optimizer,
+# before zero_grad), the Adam moment state and the final parameters.  The
+# three-step horizon crosses the whole capture lifecycle (warm-up step,
+# capture step, replay step on a *different* batch).
+
+CAPTURE_BACKENDS = ("dense", "oracle", "predicted")
+
+
+def run_capture_training(backend: str, fused_enabled: bool, steps: int = 3,
+                         capture: bool = False, seq: int = 32):
+    """Train ``steps`` steps; returns (losses, grad_log, moments, params)."""
+    from repro.models import build_model
+    from repro.optim import Adam
+    from repro.peft import apply_lora
+    from repro.runtime import FineTuner, StepCapture, TrainingConfig
+    from repro.sparsity import LongExposure, LongExposureConfig
+
+    class GradRecordingAdam(Adam):
+        """Adam that snapshots the incoming gradients at every step."""
+
+        grad_log: List[List[np.ndarray]]
+
+        def step(self):
+            log = getattr(self, "grad_log", None)
+            if log is None:
+                log = self.grad_log = []
+            log.append([p.grad.copy() for p in self.params])
+            super().step()
+
+    model_name = "gpt2-tiny" if backend == "dense" else "opt-tiny"
+    with kernels_enabled(fused_enabled):
+        model = build_model(model_name, seed=0)
+        rng = np.random.default_rng(11)
+        engine = None
+        if backend != "dense":
+            calib = rng.integers(0, model.config.vocab_size, size=(2, seq))
+            engine = LongExposure(LongExposureConfig(
+                block_size=16, seed=0, oracle_mode=(backend == "oracle"),
+                predictor_epochs=2, predict_interval=2,
+                calibration_lengths=(seq,)))
+            engine.prepare(model, [calib])
+        if backend == "predicted":
+            apply_lora(model)
+        if engine is not None:
+            engine.install(model)
+        optimizer = GradRecordingAdam(model.trainable_parameters(), lr=1e-3)
+        tuner = FineTuner(model, TrainingConfig(), optimizer=optimizer,
+                          engine=engine,
+                          capture=StepCapture() if capture else None)
+        losses = []
+        for _ in range(steps):
+            ids = rng.integers(0, model.config.vocab_size, size=(2, seq))
+            loss, _ = tuner.step(ids)
+            losses.append(loss)
+        moments = [m.copy() for m in optimizer._m] + [v.copy() for v in optimizer._v]
+        params = [p.data.copy() for p in optimizer.params]
+        if engine is not None:
+            engine.uninstall(model)
+        if capture:
+            # The capture must actually have engaged: one capture step and at
+            # least one replayed backward.  (Zero-allocation steady state is
+            # asserted by the -m alloc tests, which hold the batch fixed;
+            # here every step sees a *fresh* batch, so drifting sparse
+            # layouts may legitimately allocate new block shapes.)
+            assert tuner.capture.captures >= 1, "capture never engaged"
+            assert tuner.capture.replay_steps >= 1, "plan never replayed"
+        return losses, optimizer.grad_log, moments, params
+
+
+def assert_capture_parity(backend: str, fused_enabled: bool,
+                          steps: int = 3) -> None:
+    """Bitwise-compare captured vs. uncaptured training trajectories."""
+    base = run_capture_training(backend, fused_enabled, steps, capture=False)
+    captured = run_capture_training(backend, fused_enabled, steps, capture=True)
+    losses_a, grads_a, moments_a, params_a = base
+    losses_b, grads_b, moments_b, params_b = captured
+    assert losses_a == losses_b, \
+        f"{backend}/fused={fused_enabled}: losses differ: {losses_a} vs {losses_b}"
+    for step_index, (ga, gb) in enumerate(zip(grads_a, grads_b)):
+        for param_index, (a, b) in enumerate(zip(ga, gb)):
+            assert np.array_equal(a, b), \
+                f"{backend}/fused={fused_enabled}: grad mismatch at step " \
+                f"{step_index}, param {param_index}"
+    for index, (a, b) in enumerate(zip(moments_a, moments_b)):
+        assert np.array_equal(a, b), \
+            f"{backend}/fused={fused_enabled}: optimizer state mismatch ({index})"
+    for index, (a, b) in enumerate(zip(params_a, params_b)):
+        assert np.array_equal(a, b), \
+            f"{backend}/fused={fused_enabled}: parameter mismatch ({index})"

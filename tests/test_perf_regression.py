@@ -83,6 +83,11 @@ def test_bench_sparse_step_structure():
         assert result[key] > 0
     for key in ("speedup", "chain_speedup", "pre_pr_speedup"):
         assert key in result
+    # The cached-vs-uncached diagnosis rides along: the measured per-step
+    # geometry recompute share must be reported (it is what bounds how much
+    # end-to-end speedup the cache can possibly show).
+    assert result["geometry_s_per_step"] > 0
+    assert 0.0 < result["geometry_fraction"] < 1.0
     # The baseline swaps must have been undone afterwards.
     import repro.sparsity.engine as engine_module
     import repro.tensor.tensor as tensor_module
@@ -157,6 +162,44 @@ def test_bench_predicted_step_structure():
     assert result["intervalK_prediction_s"] > 0
     assert result["prediction_overhead_reduction"] == pytest.approx(
         result["interval1_prediction_s"] / result["intervalK_prediction_s"])
+
+
+def test_bench_step_capture_structure():
+    result = bench.bench_step_capture(repeats=1, batch=1, seq=32,
+                                      predicted_seq=64, predictor_epochs=1,
+                                      interval=2, dense_model="gpt2-tiny",
+                                      sparse_model="opt-tiny")
+    for mode in ("dense", "oracle", "predicted"):
+        row = result[mode]
+        assert row["uncaptured_s"] > 0 and row["captured_s"] > 0
+        assert row["speedup"] == pytest.approx(
+            row["uncaptured_s"] / row["captured_s"])
+        # Fixed-batch windows: the captured steady state must be allocation-free
+        # and actually replayed (no silent fallback to the uncaptured path).
+        assert row["captured_allocs_per_step"] == 0.0
+        assert row["replay_steps"] >= 1.0
+        assert row["fallbacks"] == 0.0
+        assert row["arena_mb"] > 0.0
+    # The PR-4-form rollback baseline rides along on the predicted config
+    # (and the monkeypatched ops must have been restored afterwards).
+    predicted = result["predicted"]
+    assert predicted["pre_pr_s"] > 0
+    assert predicted["pre_pr_speedup"] == pytest.approx(
+        predicted["pre_pr_s"] / predicted["captured_s"])
+    from repro.tensor import fused as fused_module
+    assert fused_module.linear is not bench.pre_pr_linear
+    assert fused_module.layer_norm is not bench.pre_pr_layer_norm
+    import repro.sparsity.engine as engine_module
+    assert (engine_module.neuron_sparse_linear_pair
+            is not bench.pre_pr_neuron_sparse_linear_pair)
+    recap = result["recapture"]
+    assert recap["recaptures"] == 1.0
+    assert recap["post_change_allocs_per_step"] == 0.0
+    assert recap["state_replay"] == 1.0
+    # Capture state must not leak out of the benchmark.
+    from repro.tensor import arena as tensor_arena
+    from repro.tensor.tensor import current_tape
+    assert tensor_arena.active() is None and current_tape() is None
 
 
 def test_bench_prediction_overhead_structure():
@@ -242,9 +285,9 @@ def test_bench_json_flag(tmp_path):
                          "--predicted-repeats", "1"])
     assert json_path.exists()
     on_disk = json.loads(json_path.read_text())
-    for key in ("meta", "dense_step", "sparse_step", "predicted_step",
-                "predicted_quality", "prediction_overhead", "geometry",
-                "sparse_chain", "crossover", "optimizer_step",
+    for key in ("meta", "dense_step", "sparse_step", "step_capture",
+                "predicted_step", "predicted_quality", "prediction_overhead",
+                "geometry", "sparse_chain", "crossover", "optimizer_step",
                 "optimizer_regimes", "embedding_scatter", "ops"):
         assert key in on_disk and key in report
     assert on_disk["dense_step"]["fused_s"] > 0

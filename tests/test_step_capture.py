@@ -1,0 +1,453 @@
+"""Step-capture runtime tests: arena, planned replay, allocation regression.
+
+Three concerns, three marker tiers:
+
+* ``-m parity`` — captured-vs-uncaptured *bitwise* parity over full training
+  steps for every backend × fused-toggle combination (losses, per-step
+  gradients, optimizer state, parameters), via the shared harness in
+  :mod:`parity`;
+* ``-m alloc`` (also ``perf_smoke``) — the allocation-regression gate: once
+  a step is captured, subsequent steps must perform **zero** new arena
+  allocations for the dense, oracle-sparse and predicted configurations, and
+  a sequence-length change must trigger exactly one re-capture;
+* unmarked unit tests for :class:`BufferArena` and the tape-plan machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import parity
+from repro.models import build_model
+from repro.optim import Adam
+from repro.peft import apply_lora
+from repro.runtime import BufferArena, FineTuner, StepCapture, TrainingConfig
+from repro.sparsity import LongExposure, LongExposureConfig
+from repro.tensor import arena as tensor_arena
+from repro.tensor.tensor import PlanMismatchError, Tensor, set_tape
+
+
+# ---------------------------------------------------------------------------
+# BufferArena unit tests
+# ---------------------------------------------------------------------------
+
+def test_arena_take_miss_then_generation_hit():
+    arena = BufferArena()
+    a = arena.take((4, 3))
+    b = arena.take((4, 3))
+    assert a is not b                      # same generation -> distinct buffers
+    assert arena.misses == 2 and arena.hits == 0
+    arena.next_generation()
+    c = arena.take((4, 3))
+    d = arena.take((4, 3))
+    assert {id(c), id(d)} == {id(a), id(b)}   # recycled wholesale
+    assert arena.misses == 2 and arena.hits == 2
+    assert arena.last_generation_misses == 2
+
+
+def test_arena_keys_on_shape_and_dtype():
+    arena = BufferArena()
+    a = arena.take((8,), np.float32)
+    arena.next_generation()
+    assert arena.take((8,), np.float64) is not a   # dtype mismatch
+    assert arena.take((4,), np.float32) is not a   # shape mismatch
+    assert arena.take((8,), np.float32) is a
+
+
+def test_arena_release_recycles_mid_generation():
+    arena = BufferArena()
+    a = arena.take((16,))
+    assert arena.owns(a)
+    assert arena.release(a)
+    assert not arena.owns(a)
+    assert arena.take((16,)) is a          # same generation reuse
+    # Foreign arrays are ignored; a double release must not duplicate the
+    # pool entry (two takers sharing one buffer would corrupt data).
+    assert not arena.release(np.zeros(16, np.float32))
+    assert arena.release(a)
+    assert not arena.release(a)            # double release is a no-op
+    b = arena.take((16,))
+    c = arena.take((16,))
+    assert b is a and c is not a           # the pool held exactly one copy
+    view = arena.take((16,))[:4]
+    assert not arena.release(view)         # views are never pooled
+
+
+def test_arena_zeroed_take():
+    arena = BufferArena()
+    a = arena.take((5,), zero=True)
+    assert np.all(a == 0)
+    a[:] = 7.0
+    arena.next_generation()
+    b = arena.take((5,), zero=True)
+    assert b is a and np.all(b == 0)       # re-zeroed on reuse
+
+
+def test_arena_trim_drops_free_pools_only():
+    arena = BufferArena()
+    held = arena.take((8, 8))
+    arena.take((4, 4))
+    arena.next_generation()          # both free
+    live = arena.take((4, 4))        # one back in flight
+    freed = arena.trim()
+    assert freed == 8 * 8 * 4        # only the free (8, 8) buffer dropped
+    assert arena.owns(live)          # outstanding buffer untouched
+    assert arena.take((8, 8)) is not held
+    assert held is not None
+
+
+def test_integer_division_matches_uncaptured_under_arena():
+    # np.divide promotes int operands to float64; the arena out-buffer must
+    # follow suit instead of handing the ufunc an integer buffer.
+    a = Tensor(np.array([4, 9], dtype=np.int64))
+    b = Tensor(np.array([2, 3], dtype=np.int64))
+    plain = (a / b).data
+    with tensor_arena.scope(BufferArena()):
+        arena_backed = (a / b).data
+    assert plain.dtype == arena_backed.dtype
+    assert np.array_equal(plain, arena_backed)
+
+
+def test_zero_warmup_captures_on_the_first_step():
+    capture = StepCapture(warmup_steps=0)
+    w = Tensor(np.ones(3, np.float32), requires_grad=True)
+    capture.begin_step(("sig",))
+    capture.run_backward(_loss_chain(w))
+    capture.end_step()
+    w.grad = None
+    assert capture.captures == 1          # step 1 IS the capture step
+    capture.begin_step(("sig",))
+    capture.run_backward(_loss_chain(w))
+    capture.end_step()
+    assert capture.replay_steps == 1      # step 2 already replays
+    assert capture.recaptures == 0        # no signature change ever happened
+
+
+def test_repeated_replay_fallbacks_switch_capture_off():
+    capture = StepCapture(warmup_steps=0, max_failures=2)
+    w = Tensor(np.ones(3, np.float32), requires_grad=True)
+    losses = []
+    for step in range(4):
+        capture.begin_step(("sig",))
+        # Alternate graph wiring under one signature: every replay mismatches.
+        loss = _loss_chain(w) if step % 2 == 0 else _loss_cross(w)
+        capture.run_backward(loss)
+        capture.end_step()
+        losses.append(float(loss.data))
+        w.grad = None
+    assert capture.fallbacks >= 1
+    assert capture.state == capture.OFF   # kill-switch engaged
+    assert capture.arena.takes == 0       # retired pool swapped for an empty one
+    assert all(np.isfinite(losses))
+
+
+def test_replay_streak_forgives_isolated_fallbacks():
+    capture = StepCapture(warmup_steps=0, max_failures=2)
+    capture.FAILURE_RESET_REPLAYS  # class constant, default 8
+    w = Tensor(np.ones(3, np.float32), requires_grad=True)
+
+    def run_step(cross: bool):
+        capture.begin_step(("sig",))
+        loss = _loss_cross(w) if cross else _loss_chain(w)
+        capture.run_backward(loss)
+        capture.end_step()
+        w.grad = None
+
+    # capture + healthy streak, one fallback, another healthy streak, one
+    # fallback: isolated recovered mismatches must NOT disable capture.
+    for phase in range(2):
+        run_step(cross=bool(phase))       # (re)capture on the new wiring
+        for _ in range(capture.FAILURE_RESET_REPLAYS + 1):
+            run_step(cross=bool(phase))   # healthy replays reset _failures
+    run_step(cross=False)                 # second wiring flip -> one fallback
+    assert capture.fallbacks == 2         # one per wiring flip
+    assert capture.state == capture.REPLAY   # kill-switch never engaged
+
+
+def test_arena_helpers_degrade_without_active_arena():
+    assert tensor_arena.active() is None
+    buf = tensor_arena.empty((3,))
+    assert isinstance(buf, np.ndarray)
+    tensor_arena.release(buf)              # no-op
+    assert np.all(tensor_arena.zeros((3,)) == 0)
+
+
+# ---------------------------------------------------------------------------
+# tape-plan machinery
+# ---------------------------------------------------------------------------
+
+def _loss_mul(w):
+    return (w * 2.0).sum()
+
+
+def _loss_chain(w):
+    x = w * 2.0
+    return (x * x).sum()
+
+
+def _loss_cross(w):
+    x = w * 2.0
+    return (x * w).sum()
+
+
+def test_plan_record_and_replay_bitwise():
+    w = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3), requires_grad=True)
+    tape = []
+    set_tape(tape)
+    try:
+        plan = _loss_mul(w).backward(tape=tape, record=True)
+    finally:
+        set_tape(None)
+    assert plan is not None
+    reference = w.grad.copy()
+    w.grad = None
+    tape2 = []
+    set_tape(tape2)
+    try:
+        _loss_mul(w).backward(tape=tape2, plan=plan)
+    finally:
+        set_tape(None)
+    assert np.array_equal(w.grad, reference)
+
+
+def test_plan_mismatch_raises_before_touching_grads():
+    w = Tensor(np.ones((2, 2), np.float32), requires_grad=True)
+    tape = []
+    set_tape(tape)
+    try:
+        plan = _loss_chain(w).backward(tape=tape, record=True)
+    finally:
+        set_tape(None)
+    w.grad = None
+    tape2 = []
+    set_tape(tape2)
+    try:
+        loss = _loss_cross(w)            # same tape length, rewired parents
+        with pytest.raises(PlanMismatchError):
+            loss.backward(tape=tape2, plan=plan)
+    finally:
+        set_tape(None)
+    assert w.grad is None                # validated before any accumulation
+    loss.backward()                      # uncaptured fallback still works
+    assert w.grad is not None
+
+
+def test_unfreezing_recorded_constant_invalidates_plan():
+    # A parameter frozen at capture time is recorded as a gradient-free
+    # constant; flipping requires_grad mid-training must invalidate the plan
+    # (its gradient is absent from the recorded schedule and would be
+    # silently dropped otherwise).
+    w = Tensor(np.ones(3, np.float32), requires_grad=True)
+    frozen = Tensor(np.full(3, 2.0, np.float32), requires_grad=False)
+    tape = []
+    set_tape(tape)
+    try:
+        plan = (w * frozen).sum().backward(tape=tape, record=True)
+    finally:
+        set_tape(None)
+    assert plan is not None
+    w.grad = None
+    frozen.requires_grad = True            # staged unfreezing
+    tape2 = []
+    set_tape(tape2)
+    try:
+        loss = (w * frozen).sum()
+        with pytest.raises(PlanMismatchError):
+            loss.backward(tape=tape2, plan=plan)
+        loss.backward()                    # uncaptured fallback
+    finally:
+        set_tape(None)
+    assert np.array_equal(frozen.grad, np.ones(3, np.float32))
+
+
+def test_recapture_trims_previous_steps_working_set():
+    tuner, ids, capture = _build_tuner("dense")
+    for _ in range(4):
+        tuner.step(ids)
+    held_before = capture.arena.bytes_held
+    tuner.step(ids[:, :16])                # shape change -> trim + re-capture
+    # The old-shape working set (outstanding at trim time) must have been
+    # recycled *before* the trim, so it was actually dropped.
+    assert capture.arena.bytes_held < held_before
+    tuner.step(ids[:, :16])
+    assert capture.last_step_allocations == 0
+    # Per-step constants (e.g. the fresh ``1/count`` Tensor a mean creates
+    # every step) are recorded as "don't care": the plan pins only the
+    # *ordering* among gradient-carrying nodes, and the replayed closures are
+    # always the current step's own, so values stay exact.
+    w = Tensor(np.arange(4, dtype=np.float32), requires_grad=True)
+    tape = []
+    set_tape(tape)
+    try:
+        plan = _loss_mul(w).backward(tape=tape, record=True)
+    finally:
+        set_tape(None)
+    w.grad = None
+    tape2 = []
+    set_tape(tape2)
+    try:
+        (w * 5.0).sum().backward(tape=tape2, plan=plan)
+    finally:
+        set_tape(None)
+    assert np.array_equal(w.grad, np.full(4, 5.0, np.float32))
+
+
+def test_plan_not_recordable_with_external_interior_node():
+    w = Tensor(np.ones(3, np.float32), requires_grad=True)
+    outside = w * 3.0                    # interior node created off-tape
+    tape = []
+    set_tape(tape)
+    try:
+        plan = (outside * w).sum().backward(tape=tape, record=True)
+    finally:
+        set_tape(None)
+    assert plan is None                  # capture declines, gradients still flow
+    assert w.grad is not None
+
+
+# ---------------------------------------------------------------------------
+# captured-vs-uncaptured bitwise parity (full training steps)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parity
+@pytest.mark.parametrize("fused_enabled", [True, False],
+                         ids=["fused", "reference"])
+@pytest.mark.parametrize("backend", parity.CAPTURE_BACKENDS)
+def test_captured_steps_bitwise_identical(backend, fused_enabled):
+    parity.assert_capture_parity(backend, fused_enabled, steps=3)
+
+
+# ---------------------------------------------------------------------------
+# allocation regression (-m alloc / perf_smoke)
+# ---------------------------------------------------------------------------
+
+def _build_tuner(backend: str, seq: int = 32):
+    model_name = "gpt2-tiny" if backend == "dense" else "opt-tiny"
+    model = build_model(model_name, seed=0)
+    rng = np.random.default_rng(3)
+    engine = None
+    if backend != "dense":
+        calib = rng.integers(0, model.config.vocab_size, size=(2, seq))
+        engine = LongExposure(LongExposureConfig(
+            block_size=16, seed=0, oracle_mode=(backend == "oracle"),
+            predictor_epochs=2, calibration_lengths=(seq,)))
+        engine.prepare(model, [calib])
+    if backend == "predicted":
+        apply_lora(model)
+    if engine is not None:
+        engine.install(model)
+    optimizer = Adam(model.trainable_parameters(), lr=1e-3)
+    capture = StepCapture()
+    tuner = FineTuner(model, TrainingConfig(), optimizer=optimizer,
+                      engine=engine, capture=capture)
+    ids = rng.integers(0, model.config.vocab_size, size=(2, seq))
+    return tuner, ids, capture
+
+
+@pytest.mark.perf_smoke
+@pytest.mark.alloc
+@pytest.mark.parametrize("backend", ["dense", "oracle", "predicted"])
+def test_zero_allocations_after_capture(backend):
+    tuner, ids, capture = _build_tuner(backend)
+    try:
+        tuner.step(ids)                            # warm-up (uncaptured)
+        tuner.step(ids)                            # capture step (allocates)
+        assert capture.captures == 1
+        capture_allocs = capture.last_step_allocations
+        assert capture_allocs > 0                  # the capture step populates
+        for _ in range(2):                         # steps N+1, N+2: replay
+            tuner.step(ids)
+            assert capture.last_step_allocations == 0, \
+                f"{backend}: captured steady state still allocates"
+        assert capture.replay_steps == 2
+        assert capture.fallbacks == 0
+    finally:
+        if tuner.engine is not None:
+            tuner.engine.uninstall(tuner.model)
+
+
+@pytest.mark.perf_smoke
+@pytest.mark.alloc
+def test_shape_change_triggers_exactly_one_recapture():
+    tuner, ids, capture = _build_tuner("dense")
+    for _ in range(4):
+        tuner.step(ids)
+    assert capture.state == capture.REPLAY and capture.recaptures == 0
+    short = ids[:, :16]
+    tuner.step(short)                              # re-capture at new shape
+    assert capture.recaptures == 1
+    assert capture.captures == 2
+    tuner.step(short)                              # replay at new shape
+    tuner.step(short)
+    assert capture.recaptures == 1                 # exactly one
+    assert capture.state == capture.REPLAY
+    assert capture.last_step_allocations == 0
+
+
+@pytest.mark.perf_smoke
+@pytest.mark.alloc
+def test_alternating_shapes_trip_the_kill_switch():
+    # Batches whose shape flips every step re-capture without ever replaying
+    # (sterile captures); capture must switch itself off instead of paying
+    # capture bookkeeping + full arena reallocation forever.
+    tuner, ids, capture = _build_tuner("dense")
+    short = ids[:, :16]
+    for step in range(12):
+        tuner.step(ids if step % 2 == 0 else short)
+        if capture.state == capture.OFF:
+            break
+    assert capture.state == capture.OFF
+    assert capture.replay_steps == 0          # no plan ever got replayed
+    assert capture.arena.takes == 0           # retired pool dropped
+    # Training keeps working uncaptured.
+    loss, _ = tuner.step(ids)
+    assert np.isfinite(loss)
+
+
+@pytest.mark.perf_smoke
+@pytest.mark.alloc
+def test_fused_toggle_change_invalidates_plan():
+    from repro.tensor import fused
+
+    tuner, ids, capture = _build_tuner("dense")
+    for _ in range(3):
+        tuner.step(ids)
+    assert capture.state == capture.REPLAY
+    fused.set_fused_kernels(False)
+    try:
+        tuner.step(ids)                            # signature change -> recapture
+        assert capture.recaptures == 1
+        tuner.step(ids)
+        assert capture.last_step_allocations == 0
+    finally:
+        fused.set_fused_kernels(True)
+
+
+@pytest.mark.perf_smoke
+@pytest.mark.alloc
+def test_capture_gauges_reach_profiler():
+    tuner, ids, capture = _build_tuner("dense")
+    for _ in range(3):
+        tuner.step(ids)
+    gauges = tuner.profiler.summary_dict()["gauges"]
+    for key in ("arena_allocations_step", "arena_bytes", "arena_hit_rate",
+                "capture_replay_steps", "capture_recaptures",
+                "capture_fallbacks"):
+        assert key in gauges
+    assert gauges["arena_allocations_step"] == 0.0
+    assert gauges["arena_bytes"] > 0
+    assert gauges["capture_replay_steps"] >= 1.0
+    assert capture.summary().startswith("StepCapture(")
+
+
+@pytest.mark.perf_smoke
+@pytest.mark.alloc
+def test_capture_mode_leaves_globals_clean():
+    from repro.tensor.tensor import current_tape
+
+    tuner, ids, _ = _build_tuner("dense")
+    for _ in range(3):
+        tuner.step(ids)
+    assert tensor_arena.active() is None
+    assert current_tape() is None
