@@ -54,13 +54,17 @@ class GradScaler:
 
     def unscale_and_check(self, params: Iterable[Parameter]) -> bool:
         """Divide gradients by the scale; return True if they are finite."""
+        if not self.config.enabled:
+            # No scaling means nothing to unscale — and the overflow check
+            # exists to catch scaled-FP16 blow-ups, so the per-step
+            # full-gradient ``isfinite`` scan is pure overhead here.
+            return True
         finite = True
         inv = 1.0 / self.scale
         for param in params:
             if param.grad is None:
                 continue
-            if self.config.enabled:
-                param.grad = param.grad * inv
+            param.grad = param.grad * inv
             if not np.all(np.isfinite(param.grad)):
                 finite = False
         return finite

@@ -22,15 +22,32 @@ steady state, CUDA-graph-style, for the NumPy tape:
    replayed order *is* the recorded DFS order, so captured and uncaptured
    execution are bitwise identical (locked by the parity suite).
 4. **invalidation** — a signature change (input shape/dtype, label shape,
-   fused-kernel toggle) or a plan validation failure falls back to the
-   uncaptured path for that backward and triggers exactly one re-capture,
-   mirroring how a sequence-length change forces a predictor refresh in the
-   PR-3 scheduler.
+   fused-kernel toggle, loss scale) or a plan validation failure falls back
+   to the uncaptured path for that backward and triggers exactly one
+   re-capture, mirroring how a sequence-length change forces a predictor
+   refresh in the PR-3 scheduler.
+
+On top of the backward-only tape replay, the *full-step compiler* (PR 6)
+records the forward's kernel calls as well: during a captured step the
+trainer installs a :class:`~repro.tensor.plan.ForwardRecorder`, every
+instrumented op seam contributes a replay thunk over buffers bound exactly
+once, and the backward runs with ``retain_graph=True`` so its validated
+schedule survives the step.  A steady-state step then becomes **stage inputs
+→ run the flat ForwardPlan → execute the retained backward schedule →
+optimizer tail**, with the Python autograd graph built exactly once, at
+capture, and never touched during replay.  Coverage is checked (every graph
+node built must be recorded or noted as a view); any gap falls back to the
+PR-5 backward-only capture.  Full-plan buffers are plain allocations — never
+arena takes — so generation recycling cannot reclaim live plan state, and
+the backward's arena discipline (zero steady-state allocations) is
+unchanged.
 
 Contract: capture mode assumes the standard training-step shape — gradients
 are consumed and zeroed within the step, and no Tensor from step ``N`` is
 read at step ``N + 1`` (the arena recycles step ``N``'s buffers wholesale).
-``retain_graph=True`` double-backwards are not supported while capturing.
+User-level ``retain_graph=True`` double-backwards are not supported while
+capturing (the full-step compiler's internal graph retention is not a
+double backward: each retained schedule is executed once per step).
 
 The shape/dtype-keyed :class:`BufferArena` itself lives in
 :mod:`repro.tensor.arena` (the lowest layer, importable by the tensor core
@@ -41,13 +58,19 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional
 
+import numpy as np
+
 from repro.tensor import arena as _tensor_arena
+from repro.tensor import plan as _tensor_plan
 from repro.tensor import tensor as _tensor_module
 from repro.tensor.arena import BufferArena
+from repro.tensor.plan import ForwardPlan, ForwardRecorder
 from repro.tensor.tensor import PlanMismatchError, TapePlan, Tensor
 
 __all__ = [
     "BufferArena",
+    "ForwardPlan",
+    "ForwardRecorder",
     "PlanMismatchError",
     "StepCapture",
 ]
@@ -103,6 +126,25 @@ class StepCapture:
         self._alloc_before = 0
         self._prev_arena: Optional[BufferArena] = None
         self._step_open = False
+        # Full-step compiler state (see module docstring).  ``forward_plan``
+        # replays the forward's kernel calls; ``full_schedule`` is the
+        # retained backward schedule over the capture step's graph;
+        # ``full_root`` / ``full_loss`` are the retained scaled/unscaled loss
+        # tensors (their ``.data`` are plan buffers refreshed by every
+        # forward replay); ``full_seed`` is the persistent backward seed.
+        self.forward_plan: Optional[ForwardPlan] = None
+        self.full_schedule = None
+        self.full_root: Optional[Tensor] = None
+        self.full_loss: Optional[Tensor] = None
+        self.full_seed = None
+        self.full_layout_state = None
+        self.full_captures = 0
+        self.full_replays = 0
+        self.full_fallbacks = 0
+        self.full_fail_reason = ""
+        self._full_failures = 0
+        self._recorder: Optional[ForwardRecorder] = None
+        self._staged: Dict[str, np.ndarray] = {}
 
     # -- step lifecycle ------------------------------------------------------
     def begin_step(self, signature: Hashable) -> None:
@@ -116,6 +158,8 @@ class StepCapture:
             return
         trim_stale = False
         if signature != self.signature:
+            # Shapes/dtypes moved: every full-plan buffer binding is stale.
+            self.drop_full_plan()
             if self.signature is not None and self.state != self.WARMUP:
                 # Shape change mid-run: drop the plan and (below, once the
                 # previous step's outstanding buffers have been recycled by
@@ -178,11 +222,13 @@ class StepCapture:
                 # through to an ordinary recording pass on this very step.
                 # Repeated fallbacks without a healthy replay streak in
                 # between mean the graph is not steady-state, so they count
-                # toward the kill-switch like failed captures.
+                # toward the kill-switch like failed captures.  The full
+                # plan was compiled against the same graph — drop it too.
                 self.fallbacks += 1
                 self._failures += 1
                 self._replay_streak = 0
                 self.plan = None
+                self.drop_full_plan(fallback=True)
                 self.state = (self.OFF if self._failures >= self.max_failures
                               else self.CAPTURE)
         if self.state == self.CAPTURE and self.tape is not None:
@@ -221,6 +267,156 @@ class StepCapture:
                 # unreferenced once the step's tensors die, instead of being
                 # held for the trainer's lifetime.
                 self.arena = BufferArena()
+                self.drop_full_plan()
+
+    # -- full-step compiler --------------------------------------------------
+    def stage(self, name: str, value) -> np.ndarray:
+        """Copy ``value`` into the persistent staging buffer for ``name``.
+
+        The full plan's thunks are bound to these buffers at capture; each
+        replay refreshes them in place so the compiled step sees the new
+        batch through the very same arrays.  A shape/dtype change replaces
+        the buffer (and the step signature invalidates the plan anyway).
+        """
+        value = np.asarray(value)
+        buf = self._staged.get(name)
+        if buf is None or buf.shape != value.shape or buf.dtype != value.dtype:
+            buf = np.array(value)
+            self._staged[name] = buf
+        else:
+            np.copyto(buf, value)
+        return buf
+
+    def full_ready(self) -> bool:
+        """Whether a compiled full-step plan is installed and replayable."""
+        return self.forward_plan is not None and self.state == self.REPLAY
+
+    def wants_full_capture(self) -> bool:
+        """Whether this step should record a full plan (trainer consults)."""
+        return (self.forward_plan is None
+                and self._step_open
+                and self.state in (self.CAPTURE, self.REPLAY)
+                and self._full_failures < self.max_failures)
+
+    def begin_full_capture(self) -> ForwardRecorder:
+        """Install a :class:`ForwardRecorder` around this step's forward."""
+        rec = ForwardRecorder()
+        self._recorder = rec
+        _tensor_plan.set_recorder(rec)
+        return rec
+
+    def abort_full_capture(self) -> None:
+        """Uninstall the recorder after a failed forward (exception path)."""
+        if self._recorder is not None:
+            self._recorder = None
+            _tensor_plan.set_recorder(None)
+
+    def finish_full_capture(self, root: Tensor, loss: Tensor,
+                            layout_state=None) -> bool:
+        """Run this step's backward and compile the full plan if covered.
+
+        ``root`` is the backward root (the scaled loss); ``loss`` is the
+        unscaled loss tensor whose plan buffer replays read the step's loss
+        value from.  Returns True when the full plan is installed; on a
+        coverage gap the step degrades to the ordinary PR-5 capture/replay
+        backward and False is returned.
+        """
+        rec = self._recorder
+        self._recorder = None
+        _tensor_plan.set_recorder(None)
+        if rec is None:
+            self.run_backward(root)
+            return False
+        if not rec.ok():
+            self._full_failures += 1
+            self.full_fail_reason = rec.fail_reason
+            self.run_backward(root)
+            return False
+        schedule = self._backward_retained(root)
+        if schedule is None:
+            self._full_failures += 1
+            self.full_fail_reason = "backward schedule not capturable"
+            return False
+        self.forward_plan = ForwardPlan(rec.entries)
+        self.full_schedule = schedule
+        self.full_root = root
+        self.full_loss = loss
+        self.full_seed = np.ones_like(root.data)
+        self.full_layout_state = layout_state
+        self.full_captures += 1
+        self._full_failures = 0
+        return True
+
+    def _backward_retained(self, root: Tensor):
+        """This step's backward, keeping the graph alive for later replays.
+
+        Mirrors :meth:`run_backward`'s accounting exactly (replay / record /
+        fallback), but executes with ``retain_graph=True`` and returns the
+        validated schedule — the node sequence every compiled step will
+        re-execute.  Returns None when no plan could be used or recorded.
+        """
+        if self.state == self.REPLAY and self.plan is not None:
+            try:
+                schedule = root._validated_schedule(self.tape, self.plan)
+            except PlanMismatchError:
+                self.fallbacks += 1
+                self._failures += 1
+                self._replay_streak = 0
+                self.plan = None
+                self.state = (self.OFF if self._failures >= self.max_failures
+                              else self.CAPTURE)
+            else:
+                root._execute_backward(schedule, np.ones_like(root.data),
+                                       True, True)
+                self.replay_steps += 1
+                self._replay_streak += 1
+                self._replays_since_capture += 1
+                if self._replay_streak >= self.FAILURE_RESET_REPLAYS:
+                    self._failures = 0
+                return schedule
+        if self.state == self.CAPTURE and self.tape is not None:
+            plan = root.backward(tape=self.tape, record=True,
+                                 retain_graph=True)
+            if plan is None:
+                self._failures += 1
+                if self._failures >= self.max_failures:
+                    self.state = self.OFF
+                return None
+            self.plan = plan
+            self.captures += 1
+            self.state = self.REPLAY
+            self._replays_since_capture = 0
+            return root._validated_schedule(self.tape, plan)
+        root.backward(retain_graph=True)
+        return None
+
+    def replay_full_forward(self, threads: int = 1) -> None:
+        """Run the compiled forward plan (caller staged the inputs first)."""
+        self.forward_plan.run(threads)
+
+    def replay_full_backward(self) -> None:
+        """Execute the retained backward schedule over the refreshed buffers."""
+        self.full_root._execute_backward(self.full_schedule, self.full_seed,
+                                         False, True)
+        self.full_replays += 1
+
+    def full_loss_value(self) -> float:
+        """The (unscaled) loss of the last full replay."""
+        return float(self.full_loss.data)
+
+    def drop_full_plan(self, fallback: bool = False) -> None:
+        """Invalidate the compiled full-step plan (idempotent)."""
+        if self.forward_plan is None:
+            return
+        self.forward_plan.close()
+        self.forward_plan = None
+        self.full_schedule = None
+        self.full_root = None
+        self.full_loss = None
+        self.full_seed = None
+        self.full_layout_state = None
+        if fallback:
+            self.full_fallbacks += 1
 
     # -- reporting -----------------------------------------------------------
     def gauges(self) -> Dict[str, float]:
@@ -229,14 +425,20 @@ class StepCapture:
             "arena_allocations_step": float(self.last_step_allocations),
             "arena_bytes": float(self.arena.bytes_held),
             "arena_hit_rate": self.arena.hit_rate(),
+            "arena_evictions": float(self.arena.evictions),
             "capture_replay_steps": float(self.replay_steps),
             "capture_recaptures": float(self.recaptures),
             "capture_fallbacks": float(self.fallbacks),
+            "capture_full_captures": float(self.full_captures),
+            "capture_full_replays": float(self.full_replays),
+            "capture_full_fallbacks": float(self.full_fallbacks),
         }
 
     def summary(self) -> str:
         return (f"StepCapture(state={self.state}, steps={self.steps}, "
                 f"captures={self.captures}, replays={self.replay_steps}, "
                 f"recaptures={self.recaptures}, fallbacks={self.fallbacks}, "
+                f"full_captures={self.full_captures}, "
+                f"full_replays={self.full_replays}, "
                 f"arena={self.arena.bytes_held / 1024 ** 2:.1f} MiB, "
                 f"allocs/step={self.last_step_allocations})")

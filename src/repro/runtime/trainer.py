@@ -42,6 +42,22 @@ class TrainingConfig:
     # change triggers exactly one re-capture.
     capture_steps: bool = False
     capture_warmup: int = 1
+    # Full-step compilation (requires capture): during a captured step the
+    # forward's kernel calls are additionally recorded into a flat
+    # ForwardPlan and the backward schedule is retained, so subsequent
+    # steady-state steps replay forward + backward + optimizer tail without
+    # building a single Python graph node.  Steps where the sparsity engine
+    # is due to refresh its masks run interpreted (probe logic is Python
+    # control flow, not kernel calls) through the PR-5 backward replay.
+    compile_full_step: bool = False
+    # Thread count for the dependency-levelled forward executor.  1 replays
+    # the recorded kernel order — bitwise identical to the interpreted step.
+    # >1 dispatches each dependency level across a thread pool (NumPy
+    # releases the GIL inside BLAS); entries on one level never read each
+    # other's output, so results are value-identical, but cross-entry
+    # accumulation order is not pinned — the bitwise contract holds only at
+    # executor_threads=1.
+    executor_threads: int = 1
 
 
 @dataclass
@@ -138,13 +154,16 @@ class FineTuner:
         if capture is True:
             capture = StepCapture(warmup_steps=self.config.capture_warmup)
         self.capture: Optional[StepCapture] = capture or None
+        # Flat-update closure for compiled steps (None -> ordinary step()).
+        self._optim_plan_tail = getattr(self.optimizer, "plan_tail",
+                                        lambda: None)()
 
     def _capture_signature(self, input_ids: np.ndarray,
                            labels: Optional[np.ndarray]):
         """Everything that shapes the step's graph; a change forces re-capture."""
         return (input_ids.shape, str(input_ids.dtype),
                 None if labels is None else np.asarray(labels).shape,
-                fused.fused_kernels_enabled())
+                fused.fused_kernels_enabled(), float(self.scaler.scale))
 
     # -- single step -------------------------------------------------------------
     def step(self, input_ids: np.ndarray,
@@ -161,25 +180,88 @@ class FineTuner:
         if capture is not None:
             input_ids = np.asarray(input_ids)
             capture.begin_step(self._capture_signature(input_ids, labels))
+        loss_value: Optional[float] = None
+        forward_s = backward_s = 0.0
+        replayed = False
         try:
-            start = time.perf_counter()
-            loss, _ = self.model.loss(input_ids, labels=labels)
-            forward_s = time.perf_counter() - start
+            # Full-step compilation is only sound on steps whose forward is
+            # pure kernel calls: fused kernels on, and no sparsity-mask
+            # refresh due (probe/oracle logic runs between ops and cannot be
+            # recorded — those steps run interpreted via the PR-5 replay).
+            full = (capture is not None and self.config.compile_full_step
+                    and fused.fused_kernels_enabled()
+                    and (self.engine is None
+                         or not self.engine.refresh_due(input_ids.shape[-1])))
+            if full and capture.full_ready() and self.engine is not None \
+                    and self.engine.layout_state() != capture.full_layout_state:
+                # A refresh since capture moved the masks; the plan's
+                # closed-over gather geometry is stale.
+                capture.drop_full_plan(fallback=True)
+            if full and capture.full_ready():
+                capture.stage("input_ids", input_ids)
+                if labels is not None:
+                    capture.stage("labels", labels)
+                start = time.perf_counter()
+                try:
+                    capture.replay_full_forward(self.config.executor_threads)
+                    forward_s = time.perf_counter() - start
+                    start = time.perf_counter()
+                    capture.replay_full_backward()
+                    backward_s = time.perf_counter() - start
+                    loss_value = capture.full_loss_value()
+                    replayed = True
+                except Exception:
+                    # A partial replay may have half-written gradients; zero
+                    # them and fall through to the interpreted step, which
+                    # recomputes everything from scratch.
+                    capture.drop_full_plan(fallback=True)
+                    self.optimizer.zero_grad()
+                    self.model.zero_grad()
+                    loss_value = None
 
-            start = time.perf_counter()
-            scaled = self.scaler.scale_loss(loss)
-            if capture is not None:
-                capture.run_backward(scaled)
-            else:
-                scaled.backward()
-            backward_s = time.perf_counter() - start
+            if loss_value is None:
+                rec = None
+                ids, lab = input_ids, labels
+                if full and capture.wants_full_capture():
+                    # Run this forward over the persistent staging buffers so
+                    # the recorded thunks are bound to arrays every later
+                    # replay refreshes in place.
+                    ids = capture.stage("input_ids", input_ids)
+                    lab = (capture.stage("labels", labels)
+                           if labels is not None else None)
+                    rec = capture.begin_full_capture()
+                start = time.perf_counter()
+                try:
+                    loss, _ = self.model.loss(ids, labels=lab)
+                    scaled = self.scaler.scale_loss(loss)
+                except BaseException:
+                    if rec is not None:
+                        capture.abort_full_capture()
+                    raise
+                forward_s = time.perf_counter() - start
+
+                start = time.perf_counter()
+                if rec is not None:
+                    capture.finish_full_capture(
+                        scaled, loss,
+                        self.engine.layout_state()
+                        if self.engine is not None else None)
+                elif capture is not None:
+                    capture.run_backward(scaled)
+                else:
+                    scaled.backward()
+                backward_s = time.perf_counter() - start
+                loss_value = float(loss.data)
 
             start = time.perf_counter()
             finite = self.scaler.unscale_and_check(self.optimizer.params)
             if self.config.grad_clip > 0:
                 clip_grad_norm(self.optimizer.params, self.config.grad_clip)
             if finite:
-                self.optimizer.step()
+                if replayed and self._optim_plan_tail is not None:
+                    self._optim_plan_tail()
+                else:
+                    self.optimizer.step()
             self.scaler.update(found_overflow=not finite)
             self.optimizer.zero_grad()
             self.model.zero_grad()
@@ -222,7 +304,7 @@ class FineTuner:
 
         timing = PhaseTimings(forward=forward_s, backward=backward_s,
                               optimizer=optimizer_s, prediction=prediction_s)
-        return float(loss.data), timing
+        return loss_value, timing
 
     # -- full loop ------------------------------------------------------------------
     def train(self, batches: Iterable[np.ndarray],

@@ -348,11 +348,22 @@ class SparseMLPBackend:
         self.weight_cache: Optional[NeuronSparseWeights] = None
         self.last_active_blocks: Optional[np.ndarray] = None
         self._last_refresh_step: int = 0
+        # Set on first call when the layer's fc1/fc2 carry LoRA adapters and
+        # the backend permanently routes to the dense kernel; the full-step
+        # scheduler (refresh_due) skips such backends.
+        self._dense_fallback = False
 
     def reset_schedule(self) -> None:
         """Forget the reused block set; the next call re-derives it."""
         self.last_active_blocks = None
         self._last_refresh_step = 0
+
+    def _reusable(self) -> bool:
+        engine = self.engine
+        return (engine.config.predict_interval > 1
+                and self.last_active_blocks is not None
+                and engine.step_index
+                < self._last_refresh_step + engine.config.predict_interval)
 
     def _cache_for(self, mlp: MLPBlock) -> Optional[NeuronSparseWeights]:
         fc1, fc2 = mlp.fc1, mlp.fc2
@@ -374,14 +385,12 @@ class SparseMLPBackend:
             # the frozen-weight sparse path does not apply; fall back to the
             # dense kernel for this layer (the default LoRA placement targets
             # the attention projections, so this path is rare).
+            self._dense_fallback = True
             return DenseMLPBackend()(mlp, x)
 
         stats = engine.stats
         call_start = time.perf_counter()
-        if (engine.config.predict_interval > 1
-                and self.last_active_blocks is not None
-                and engine.step_index
-                < self._last_refresh_step + engine.config.predict_interval):
+        if self._reusable():
             active_blocks = self.last_active_blocks
             stats.mlp_layer(self.layer_index).reuses += 1
         else:
@@ -665,6 +674,45 @@ class LongExposure:
         self.step_index = 0
         for backend in self._sparse_backends:
             backend.reset_schedule()
+
+    def refresh_due(self, seq_len: int) -> bool:
+        """Whether any installed backend will re-derive its masks this step.
+
+        The full-step compiler records probes/oracle exposers *between* ops
+        nowhere — they are Python control flow, not kernel calls — so a step
+        that refreshes any mask must run interpreted.  MLP backends that
+        permanently route to the dense kernel (LoRA inside the MLP) never
+        refresh and are skipped.
+        """
+        for backend in self._sparse_backends:
+            if isinstance(backend, SparseAttentionBackend):
+                if not backend._reusable(seq_len):
+                    return True
+            elif isinstance(backend, SparseMLPBackend):
+                if backend._dense_fallback:
+                    continue
+                if not backend._reusable():
+                    return True
+        return False
+
+    def layout_state(self) -> tuple:
+        """Hashable snapshot of every backend's reused masks.
+
+        The full-step plan closes over layout geometry (gather indices,
+        active-neuron weight slices), so the step capture compares this
+        snapshot after each refresh step and drops the compiled plan when it
+        changed.  Equal signatures mean the closed-over geometry is still
+        exactly the one the masks describe.
+        """
+        state = []
+        for backend in self._sparse_backends:
+            if isinstance(backend, SparseAttentionBackend):
+                layout = backend.last_layout
+                state.append(None if layout is None else layout.signature())
+            elif isinstance(backend, SparseMLPBackend):
+                blocks = backend.last_active_blocks
+                state.append(None if blocks is None else blocks.tobytes())
+        return tuple(state)
 
     # -- reporting -----------------------------------------------------------------
     def mean_predictor_recall(self) -> Dict[str, float]:

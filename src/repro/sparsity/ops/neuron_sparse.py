@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.tensor import Tensor
 from repro.tensor import arena as _arena
+from repro.tensor import plan as _plan
 from repro.tensor.tensor import custom_op
 
 
@@ -148,26 +149,74 @@ def neuron_sparse_linear_pair(x: Tensor,
     d_model = x_data.shape[-1]
     hidden_dim = fc1_weight.data.shape[0]
 
-    if cache is not None:
-        fc1_active, fc2_active_t = cache.gather(active)
-    else:
-        fc1_active = fc1_weight.data[active]
-        fc2_active_t = fc2_weight.data[:, active].T
-    b1_active = fc1_bias.data[active]
+    rec = _plan._RECORDER
+    if rec is not None and not x_data.flags.c_contiguous:
+        # ``reshape`` below would copy per call — no stable replay form.
+        rec.fail("neuron-sparse MLP over a non-contiguous activation")
+        rec = None
+    if rec is not None and any(t.requires_grad for t in
+                               (fc1_weight, fc1_bias, fc2_weight, fc2_bias)):
+        # The replay thunk closes over weight gathers copied at record time;
+        # trainable base weights (full fine-tuning / oracle studies) would go
+        # stale after the first optimizer step.  The compiled regime is PEFT
+        # with a frozen base — degrade to the backward-only replay here.
+        rec.fail("neuron-sparse MLP with trainable base weights")
+        rec = None
 
     x2d = x_data.reshape(-1, d_model)
     n_rows = x2d.shape[0]
     n_active = active.shape[0]
-    pre = np.matmul(x2d, fc1_active.T,
-                    out=_arena.empty((n_rows, n_active), x2d.dtype))
-    pre += b1_active
-    act_mask = pre > 0
-    hidden = np.multiply(pre, act_mask,
-                         out=_arena.empty((n_rows, n_active), pre.dtype))
-    _arena.release(pre)
-    out2d = np.matmul(hidden, fc2_active_t,
-                      out=_arena.empty((n_rows, d_model), hidden.dtype))
-    out2d += fc2_bias.data
+
+    if rec is not None:
+        # Recorded form: the active-neuron set and the frozen weights are
+        # constant for the plan's lifetime (a layout change invalidates the
+        # whole plan), so the weight gathers happen once here at record time
+        # and the replay thunk runs only the two matmuls + ReLU over
+        # plan-owned buffers.
+        fc1_active = fc1_weight.data[active]
+        if cache is not None and cache.coalesced and cache.fc2_weight_t is not None:
+            fc2_active_t = cache.fc2_weight_t[active]
+        else:
+            fc2_active_t = fc2_weight.data[:, active].T
+        b1_active = fc1_bias.data[active]
+        fc1_active_T = fc1_active.T
+        fc2_b = fc2_bias.data
+        pre = np.empty((n_rows, n_active), x2d.dtype)
+        act_mask = np.empty((n_rows, n_active), bool)
+        hidden = np.empty((n_rows, n_active), x2d.dtype)
+        out2d = np.empty((n_rows, d_model), x2d.dtype)
+
+        def run():
+            # nonlocal: the += are in-place ufunc calls rebinding the names
+            # to the very same buffers — keep them free variables.
+            nonlocal pre, out2d
+            np.matmul(x2d, fc1_active_T, out=pre)
+            pre += b1_active
+            np.greater(pre, 0, out=act_mask)
+            np.multiply(pre, act_mask, out=hidden)
+            np.matmul(hidden, fc2_active_t, out=out2d)
+            out2d += fc2_b
+
+        run()
+        rec.record(run, (x_data,), (pre, act_mask, hidden, out2d),
+                   tag="neuron_sparse_mlp")
+    else:
+        if cache is not None:
+            fc1_active, fc2_active_t = cache.gather(active)
+        else:
+            fc1_active = fc1_weight.data[active]
+            fc2_active_t = fc2_weight.data[:, active].T
+        b1_active = fc1_bias.data[active]
+        pre = np.matmul(x2d, fc1_active.T,
+                        out=_arena.empty((n_rows, n_active), x2d.dtype))
+        pre += b1_active
+        act_mask = pre > 0
+        hidden = np.multiply(pre, act_mask,
+                             out=_arena.empty((n_rows, n_active), pre.dtype))
+        _arena.release(pre)
+        out2d = np.matmul(hidden, fc2_active_t,
+                          out=_arena.empty((n_rows, d_model), hidden.dtype))
+        out2d += fc2_bias.data
     out = out2d.reshape(*batch_shape, d_model)
 
     def backward(grad_out: np.ndarray):

@@ -59,9 +59,10 @@ class BufferArena:
 
     __slots__ = ("_free", "_used", "generation", "takes", "hits", "misses",
                  "bytes_allocated", "bytes_held", "releases",
-                 "last_generation_misses", "_gen_misses")
+                 "last_generation_misses", "_gen_misses",
+                 "max_free_per_key", "free_ttl", "evictions", "_last_take_gen")
 
-    def __init__(self) -> None:
+    def __init__(self, max_free_per_key: int = 64, free_ttl: int = 8) -> None:
         self._free: Dict[Tuple, List[np.ndarray]] = {}
         self._used: Dict[int, Tuple[Tuple, np.ndarray]] = {}
         self.generation = 0
@@ -73,6 +74,49 @@ class BufferArena:
         self.bytes_held = 0           # current footprint of the whole pool
         self.last_generation_misses = 0
         self._gen_misses = 0
+        # Size bound per (shape, dtype) class: layout drift (a sparsity
+        # refresh changing block counts, and with them temporary shapes)
+        # retires buffers of stale shapes; without a bound those dead free
+        # lists grow the pool forever.  Eviction runs at generation
+        # boundaries and touches only *idle* keys — keys the finished step
+        # never took from — so a steady-state working set of any size is
+        # never evicted: an idle key's list is trimmed oldest-first to
+        # ``max_free_per_key`` and dropped outright once it has sat unused
+        # for ``free_ttl`` generations.  Both are counted in ``evictions``.
+        self.max_free_per_key = max_free_per_key
+        self.free_ttl = free_ttl
+        self.evictions = 0
+        self._last_take_gen: Dict[Tuple, int] = {}
+
+    def _push_free(self, key: Tuple, buf: np.ndarray) -> None:
+        lst = self._free.get(key)
+        if lst is None:
+            self._free[key] = [buf]
+        else:
+            lst.append(buf)
+
+    def _evict_idle(self) -> None:
+        """Trim/drop free lists of keys the finished generation never used."""
+        dead = []
+        for key, lst in self._free.items():
+            last = self._last_take_gen.get(key, -1)
+            idle = self.generation - last
+            # ``idle < 2`` spares period-2 access patterns (the smallest
+            # predict-interval cadence) from trim thrash.
+            if idle < 2 or not lst:
+                continue
+            if idle >= self.free_ttl:
+                self.evictions += len(lst)
+                self.bytes_held -= sum(buf.nbytes for buf in lst)
+                dead.append(key)
+            elif len(lst) > self.max_free_per_key:
+                excess = len(lst) - self.max_free_per_key
+                self.evictions += excess
+                self.bytes_held -= sum(buf.nbytes for buf in lst[:excess])
+                del lst[:excess]
+        for key in dead:
+            del self._free[key]
+            self._last_take_gen.pop(key, None)
 
     @staticmethod
     def _key(shape, dtype) -> Tuple:
@@ -87,6 +131,7 @@ class BufferArena:
         """
         key = self._key(shape, dtype)
         self.takes += 1
+        self._last_take_gen[key] = self.generation
         free = self._free.get(key)
         if free:
             buf = free.pop()
@@ -113,7 +158,7 @@ class BufferArena:
         if entry is None:
             return False
         key, owned = entry
-        self._free.setdefault(key, []).append(owned)
+        self._push_free(key, owned)
         self.releases += 1
         return True
 
@@ -123,14 +168,10 @@ class BufferArena:
 
     def next_generation(self) -> None:
         """Recycle every outstanding buffer; call at each step boundary."""
-        free = self._free
         for key, buf in self._used.values():
-            lst = free.get(key)
-            if lst is None:
-                free[key] = [buf]
-            else:
-                lst.append(buf)
+            self._push_free(key, buf)
         self._used.clear()
+        self._evict_idle()
         self.generation += 1
         self.last_generation_misses = self._gen_misses
         self._gen_misses = 0
@@ -163,6 +204,7 @@ class BufferArena:
             "bytes_held": float(self.bytes_held),
             "bytes_allocated": float(self.bytes_allocated),
             "last_generation_misses": float(self.last_generation_misses),
+            "evictions": float(self.evictions),
         }
 
 

@@ -45,6 +45,7 @@ from typing import Optional, Tuple, Union
 import numpy as np
 
 from repro.tensor import arena as _arena
+from repro.tensor import plan as _plan
 from repro.tensor.tensor import Tensor, custom_op
 
 __all__ = [
@@ -178,14 +179,40 @@ def masked_softmax(scores: Tensor, mask: Optional[np.ndarray], axis: int = -1,
 def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
     """Layer normalisation over the last dimension with affine parameters."""
     data = x.data
-    mean = data.mean(axis=-1, keepdims=True)
-    normalized = np.subtract(data, mean, out=_arena.empty(data.shape, data.dtype))
-    var = np.square(normalized).mean(axis=-1, keepdims=True)
-    inv_std = 1.0 / np.sqrt(var + eps, out=var)
-    normalized *= inv_std
-    out = np.multiply(normalized, weight.data,
-                      out=_arena.empty(data.shape, data.dtype))
-    out += bias.data
+    rec = _plan._RECORDER
+    if rec is not None:
+        w, b = weight.data, bias.data
+        normalized = np.empty(data.shape, data.dtype)
+        sq = np.empty(data.shape, data.dtype)
+        inv_std = np.empty(data.shape[:-1] + (1,), data.dtype)
+        out = np.empty(data.shape, data.dtype)
+
+        def run(data=data, w=w, b=b, normalized=normalized, sq=sq,
+                inv_std=inv_std, out=out):
+            mean = data.mean(axis=-1, keepdims=True)
+            np.subtract(data, mean, out=normalized)
+            np.square(normalized, out=sq)
+            var = sq.mean(axis=-1, keepdims=True)
+            np.add(var, eps, out=var)
+            np.sqrt(var, out=var)
+            np.divide(1.0, var, out=inv_std)
+            np.multiply(normalized, inv_std, out=normalized)
+            np.multiply(normalized, w, out=out)
+            np.add(out, b, out=out)
+
+        run()
+        rec.record(run, (data, w, b), (normalized, sq, inv_std, out),
+                   tag="layer_norm")
+    else:
+        mean = data.mean(axis=-1, keepdims=True)
+        normalized = np.subtract(data, mean,
+                                 out=_arena.empty(data.shape, data.dtype))
+        var = np.square(normalized).mean(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + eps, out=var)
+        normalized *= inv_std
+        out = np.multiply(normalized, weight.data,
+                          out=_arena.empty(data.shape, data.dtype))
+        out += bias.data
     dim = data.shape[-1]
 
     def backward(grad):
@@ -266,37 +293,94 @@ def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
     x_data = x.data
     in_features = weight.data.shape[1]
     out_features = weight.data.shape[0]
+    if activation not in (None, "none", "relu", "gelu", "tanh", "sigmoid"):
+        raise ValueError(f"unsupported fused activation {activation!r}")
+    rec = _plan._RECORDER
+    if rec is not None and not x_data.flags.c_contiguous:
+        # ``reshape`` below would copy, and the copy would go stale between
+        # replays; fall back to PR-5 backward-only capture for this step.
+        rec.fail("linear over a non-contiguous activation")
+        rec = None
     # Collapse leading dims into one 2D GEMM: NumPy's matmul runs a Python-
     # level batch loop for (batch, m, k) @ (k, n), while the reshape of a
     # C-contiguous activation is free.
     x2d = x_data.reshape(-1, in_features)
-    out = np.matmul(x2d, weight.data.T,
-                    out=_arena.empty((x2d.shape[0], out_features),
-                                     np.result_type(x2d, weight.data)))
-    if bias is not None:
-        out += bias.data
 
     # Per-activation saved state for the backward (all 2D views).
     relu_mask = gelu_pre = gelu_tanh = act_out = None
-    if activation is None or activation == "none":
-        pass
-    elif activation == "relu":
-        relu_mask = out > 0
-        np.multiply(out, relu_mask, out=out)
-    elif activation == "gelu":
-        gelu_pre = out
-        out, gelu_tanh = _gelu_value_and_tanh(gelu_pre)
-    elif activation == "tanh":
-        out = np.tanh(out, out=out)
-        act_out = out
-    elif activation == "sigmoid":
-        np.negative(out, out=out)
-        np.exp(out, out=out)
-        out += 1.0
-        np.reciprocal(out, out=out)
-        act_out = out
+    if rec is not None:
+        # Recorded form: the same instruction stream over plan-owned buffers
+        # (plain allocations — never the arena, whose generation recycling
+        # must not reclaim plan state), replayed as one entry.
+        w = weight.data
+        b = None if bias is None else bias.data
+        pre = np.empty((x2d.shape[0], out_features), np.result_type(x2d, w))
+        out = pre
+        writes = [pre]
+        if activation == "relu":
+            relu_mask = np.empty(pre.shape, bool)
+            writes.append(relu_mask)
+        elif activation == "gelu":
+            gelu_pre = pre
+            gelu_tanh = np.empty(pre.shape, pre.dtype)
+            out = np.empty(pre.shape, pre.dtype)
+            writes += [gelu_tanh, out]
+        elif activation in ("tanh", "sigmoid"):
+            act_out = pre
+
+        def run(x2d=x2d, w=w, b=b, pre=pre, out=out, relu_mask=relu_mask,
+                gelu_tanh=gelu_tanh, activation=activation):
+            np.matmul(x2d, w.T, out=pre)
+            if b is not None:
+                pre += b
+            if activation == "relu":
+                np.greater(pre, 0, out=relu_mask)
+                np.multiply(pre, relu_mask, out=pre)
+            elif activation == "gelu":
+                # Mirrors ``_gelu_value_and_tanh`` with bound buffers.
+                np.multiply(pre, pre, out=gelu_tanh)
+                gelu_tanh *= _GELU_A
+                gelu_tanh += 1.0
+                gelu_tanh *= pre
+                gelu_tanh *= _GELU_C
+                np.tanh(gelu_tanh, out=gelu_tanh)
+                np.add(gelu_tanh, 1.0, out=out)
+                out *= pre
+                out *= 0.5
+            elif activation == "tanh":
+                np.tanh(pre, out=pre)
+            elif activation == "sigmoid":
+                np.negative(pre, out=pre)
+                np.exp(pre, out=pre)
+                pre += 1.0
+                np.reciprocal(pre, out=pre)
+
+        run()
+        reads = (x2d, w) if b is None else (x2d, w, b)
+        rec.record(run, reads, writes, tag=f"linear:{activation or 'none'}")
     else:
-        raise ValueError(f"unsupported fused activation {activation!r}")
+        out = np.matmul(x2d, weight.data.T,
+                        out=_arena.empty((x2d.shape[0], out_features),
+                                         np.result_type(x2d, weight.data)))
+        if bias is not None:
+            out += bias.data
+        if activation is None or activation == "none":
+            pass
+        elif activation == "relu":
+            relu_mask = out > 0
+            np.multiply(out, relu_mask, out=out)
+        elif activation == "gelu":
+            gelu_pre = out
+            out, gelu_tanh = _gelu_value_and_tanh(gelu_pre)
+        elif activation == "tanh":
+            out = np.tanh(out, out=out)
+            act_out = out
+        elif activation == "sigmoid":
+            np.negative(out, out=out)
+            np.exp(out, out=out)
+            out += 1.0
+            np.reciprocal(out, out=out)
+            act_out = out
 
     parents = (x, weight) if bias is None else (x, weight, bias)
 
@@ -378,6 +462,76 @@ def cross_entropy_logits(logits: Tensor, targets: np.ndarray,
         scored = data
     vocab = scored.shape[-1]
     n_rows = int(np.prod(scored.shape[:-1], dtype=np.int64))
+    rows = np.arange(n_rows)
+    rec = _plan._RECORDER
+    if rec is not None:
+        # Recorded form.  The target-derived state (valid mask, safe targets,
+        # valid count) changes with every staged batch, so the replay thunk
+        # recomputes it into ``st`` — shared mutable state the backward
+        # closure reads — while the heavy (rows, vocab) buffers are bound
+        # once.  ``targets`` stays a view of the staged labels buffer.
+        probs = np.empty((n_rows, vocab), data.dtype)
+        loss_buf = np.empty((), np.float32)
+        if shift:
+            flat_logits = np.empty((n_rows, vocab), data.dtype)
+            flat_view = flat_logits.reshape(scored.shape)
+        else:
+            flat_logits = scored.reshape(-1, vocab)
+            flat_view = None
+            if not np.may_share_memory(flat_logits, data):
+                rec.fail("cross entropy over non-contiguous logits")
+        st = {}
+
+        def run(data=data, targets=targets, probs=probs, loss_buf=loss_buf,
+                flat_logits=flat_logits, flat_view=flat_view, st=st):
+            if flat_view is not None:
+                np.copyto(flat_view, scored)
+            flat_targets = targets.reshape(-1)
+            valid = flat_targets != ignore_index
+            n_valid = int(valid.sum())
+            safe_targets = np.where(valid, flat_targets, 0)
+            np.subtract(flat_logits, flat_logits.max(axis=-1, keepdims=True),
+                        out=probs)
+            target_logits = probs[rows, safe_targets]
+            np.exp(probs, out=probs)
+            denom_rows = probs.sum(axis=-1, keepdims=True)
+            picked = target_logits - np.log(denom_rows[:, 0])
+            np.divide(probs, denom_rows, out=probs)
+            denom = max(n_valid, 1)
+            loss_buf[...] = -(picked * valid).sum() / denom
+            st["valid"] = valid
+            st["safe_targets"] = safe_targets
+            st["denom"] = denom
+            st["n_valid"] = n_valid
+
+        run()
+        reads = (data, targets)
+        writes = (probs, loss_buf) if not shift else (probs, loss_buf,
+                                                      flat_logits)
+        rec.record(run, reads, writes, tag="cross_entropy")
+        rec.extras["cross_entropy_state"] = st
+        n_valid = st["n_valid"]
+
+        def backward(grad):
+            grad = np.asarray(grad).reshape(())
+            valid = st["valid"]
+            safe_targets = st["safe_targets"]
+            denom = st["denom"]
+            grad_flat = _arena.empty(probs.shape, probs.dtype)
+            np.copyto(grad_flat, probs)
+            grad_flat[rows, safe_targets] -= 1.0
+            grad_flat *= (valid[:, None] / denom) * grad
+            if not shift:
+                return (grad_flat.reshape(data.shape),)
+            full = _arena.empty(data.shape, data.dtype)
+            full[..., :-1, :] = grad_flat.reshape(scored.shape)
+            full[..., -1:, :] = 0.0
+            _arena.release(grad_flat)
+            return (full,)
+
+        loss = custom_op(loss_buf, (logits,), backward)
+        return loss, n_valid
+
     if shift:
         # The shifted slice is non-contiguous, so reshape would copy anyway;
         # route the copy through the arena instead.
@@ -389,7 +543,6 @@ def cross_entropy_logits(logits: Tensor, targets: np.ndarray,
     valid = flat_targets != ignore_index
     n_valid = int(valid.sum())
     safe_targets = np.where(valid, flat_targets, 0)
-    rows = np.arange(flat_targets.shape[0])
 
     shifted = np.subtract(flat_logits, flat_logits.max(axis=-1, keepdims=True),
                           out=_arena.empty((n_rows, vocab), data.dtype))
@@ -452,19 +605,51 @@ def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor,
         attn_mask = np.asarray(attn_mask, dtype=bool)
 
     score_shape = q.shape[:-1] + (k.shape[-2],)
-    probs = np.matmul(q.data, np.swapaxes(k.data, -1, -2),
-                      out=_arena.empty(score_shape, q.data.dtype))
-    probs *= scale
-    if attn_mask is not None:
-        np.copyto(probs, _NEG_FILL, where=~attn_mask)
-    probs -= probs.max(axis=-1, keepdims=True)
-    np.exp(probs, out=probs)
-    if attn_mask is not None:
-        np.multiply(probs, attn_mask, out=probs)
-    denom = probs.sum(axis=-1, keepdims=True)
-    np.divide(probs, np.where(denom == 0, 1.0, denom), out=probs)
-    out = np.matmul(probs, v.data,
-                    out=_arena.empty(q.shape[:-1] + (v.shape[-1],), q.data.dtype))
+    rec = _plan._RECORDER
+    if rec is not None and return_probs:
+        # The probability snapshot is a per-call copy (predictor collection);
+        # it has no stable replay form.
+        rec.fail("scaled_dot_product_attention with return_probs")
+        rec = None
+    if rec is not None:
+        q_data, k_data, v_data = q.data, k.data, v.data
+        kT = np.swapaxes(k_data, -1, -2)
+        drop_mask = None if attn_mask is None else ~attn_mask
+        probs = np.empty(score_shape, q_data.dtype)
+        out = np.empty(q.shape[:-1] + (v.shape[-1],), q_data.dtype)
+
+        def run(q_data=q_data, kT=kT, v_data=v_data, probs=probs, out=out,
+                attn_mask=attn_mask, drop_mask=drop_mask, scale=scale):
+            np.matmul(q_data, kT, out=probs)
+            probs *= scale
+            if attn_mask is not None:
+                np.copyto(probs, _NEG_FILL, where=drop_mask)
+            probs -= probs.max(axis=-1, keepdims=True)
+            np.exp(probs, out=probs)
+            if attn_mask is not None:
+                np.multiply(probs, attn_mask, out=probs)
+            denom = probs.sum(axis=-1, keepdims=True)
+            np.divide(probs, np.where(denom == 0, 1.0, denom), out=probs)
+            np.matmul(probs, v_data, out=out)
+
+        run()
+        rec.record(run, (q_data, k_data, v_data), (probs, out),
+                   tag="sdpa")
+    else:
+        probs = np.matmul(q.data, np.swapaxes(k.data, -1, -2),
+                          out=_arena.empty(score_shape, q.data.dtype))
+        probs *= scale
+        if attn_mask is not None:
+            np.copyto(probs, _NEG_FILL, where=~attn_mask)
+        probs -= probs.max(axis=-1, keepdims=True)
+        np.exp(probs, out=probs)
+        if attn_mask is not None:
+            np.multiply(probs, attn_mask, out=probs)
+        denom = probs.sum(axis=-1, keepdims=True)
+        np.divide(probs, np.where(denom == 0, 1.0, denom), out=probs)
+        out = np.matmul(probs, v.data,
+                        out=_arena.empty(q.shape[:-1] + (v.shape[-1],),
+                                         q.data.dtype))
 
     def backward(grad_out):
         grad_v = np.matmul(np.swapaxes(probs, -1, -2), grad_out,

@@ -1,0 +1,255 @@
+"""Forward-plan recording: compile one step's kernel calls into a flat plan.
+
+PR 5's :class:`~repro.tensor.tensor.TapePlan` removed the backward pass's
+topological re-sort, but every steady-state step still re-ran the *forward*
+through the Python interpreter — rebuilding ``Tensor`` objects, closures and
+tape appends for shapes that never change.  This module supplies the forward
+half of the full-step compiler:
+
+* :class:`ForwardRecorder` — installed around the capture step's forward via
+  :func:`set_recorder`.  Every instrumented op seam (``_binary_out``,
+  ``_matmul_out``, the fused kernels, the sparse custom ops) *records* a
+  zero-argument replay thunk together with the buffers it reads and writes;
+  pure views (``transpose``, contiguous ``reshape``) are *noted* so the
+  coverage check still balances.  ``Tensor._make`` independently counts every
+  graph node built while a recorder is installed; recording only succeeds
+  when ``created == noted`` — any op the seams do not cover (reference-mode
+  softmax, fancy indexing, vector matmuls) makes the step fall back to the
+  PR-5 backward-only capture instead of silently replaying a partial
+  forward.
+* :class:`ForwardPlan` — the compiled result: a flat tuple of
+  :class:`ForwardEntry` kernel calls over buffers that were bound exactly
+  once, at capture.  ``run(threads=1)`` replays the entries in recorded
+  order, which makes replay bitwise identical to the interpreted forward
+  (same NumPy instruction stream over the same buffers).  For ``threads >
+  1`` the plan derives a buffer-level dependency DAG from the entries'
+  read/write sets (RAW, WAR and WAW hazards over base-array identity),
+  groups entries into topological levels, and dispatches each level across a
+  small thread pool — NumPy releases the GIL inside BLAS, so independent
+  GEMMs genuinely overlap.  Values are identical to the serial order up to
+  floating-point accumulation *between independent entries*, which by
+  construction never read each other's output; the result is therefore
+  value-identical, and the serial mode remains the bitwise contract.
+
+The recorder switch lives here (lowest layer) so ``tensor.py`` and the fused
+kernels can consult it without import cycles; the step-level lifecycle —
+when to record, when to replay, when to invalidate — is owned by
+:class:`repro.runtime.arena.StepCapture`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ForwardEntry",
+    "ForwardRecorder",
+    "ForwardPlan",
+    "recorder",
+    "set_recorder",
+]
+
+
+class ForwardEntry:
+    """One recorded kernel call: a replay thunk plus its buffer footprint."""
+
+    __slots__ = ("run", "reads", "writes", "tag")
+
+    def __init__(self, run: Callable[[], None],
+                 reads: Sequence[np.ndarray],
+                 writes: Sequence[np.ndarray],
+                 tag: str = ""):
+        self.run = run
+        self.reads = tuple(reads)
+        self.writes = tuple(writes)
+        self.tag = tag
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"ForwardEntry({self.tag or 'op'}, reads={len(self.reads)}, "
+                f"writes={len(self.writes)})")
+
+
+class ForwardRecorder:
+    """Collects :class:`ForwardEntry` thunks during one capture forward.
+
+    ``created`` is incremented by ``Tensor._make`` for *every* node built
+    while the recorder is installed (frozen-region ops included — staged
+    inputs change between replays, so even ``requires_grad=False`` compute
+    must be replayed).  ``noted`` is incremented once per op seam that either
+    recorded an entry or declared itself a pure view.  The two must balance
+    for the plan to be trusted; see :meth:`ok`.
+    """
+
+    __slots__ = ("entries", "created", "noted", "extras",
+                 "failed", "fail_reason")
+
+    def __init__(self) -> None:
+        self.entries: List[ForwardEntry] = []
+        self.created = 0
+        self.noted = 0
+        # Op-private side channels (e.g. cross-entropy's per-replay state).
+        self.extras: Dict[str, object] = {}
+        self.failed = False
+        self.fail_reason = ""
+
+    def record(self, run: Callable[[], None],
+               reads: Sequence[np.ndarray],
+               writes: Sequence[np.ndarray],
+               tag: str = "") -> None:
+        """Record one replayable kernel call (counts as one covered node)."""
+        self.entries.append(ForwardEntry(run, reads, writes, tag))
+        self.noted += 1
+
+    def note_view(self, count: int = 1) -> None:
+        """Declare ``count`` nodes as pure views needing no replay work."""
+        self.noted += count
+
+    def fail(self, reason: str) -> None:
+        """Mark the capture as non-replayable (op with no stable thunk)."""
+        if not self.failed:
+            self.failed = True
+            self.fail_reason = reason
+
+    def ok(self) -> bool:
+        """Whether every node built during the forward is covered."""
+        if self.failed:
+            return False
+        if self.created != self.noted:
+            self.fail_reason = (f"forward coverage gap: {self.created} nodes "
+                                f"built, {self.noted} covered")
+            return False
+        return True
+
+
+# ---------------------------------------------------------------------------
+# recorder switch consulted by the op seams
+# ---------------------------------------------------------------------------
+
+_RECORDER: Optional[ForwardRecorder] = None
+
+
+def recorder() -> Optional[ForwardRecorder]:
+    """The recorder currently collecting forward entries (None = off)."""
+    return _RECORDER
+
+
+def set_recorder(rec: Optional[ForwardRecorder]) -> Optional[ForwardRecorder]:
+    """Install ``rec`` as the active recorder; returns the previous one."""
+    global _RECORDER
+    previous = _RECORDER
+    _RECORDER = rec
+    return previous
+
+
+# ---------------------------------------------------------------------------
+# compiled plan + dependency-levelled executor
+# ---------------------------------------------------------------------------
+
+def _base_id(array: np.ndarray) -> int:
+    """Identity of the array's ultimate backing buffer (views collapse)."""
+    base = array
+    while isinstance(getattr(base, "base", None), np.ndarray):
+        base = base.base
+    return id(base)
+
+
+class ForwardPlan:
+    """A flat, replayable sequence of kernel calls over pre-bound buffers.
+
+    ``run(threads=1)`` executes the entries in recorded order — the bitwise
+    contract.  ``run(threads=n)`` for ``n > 1`` executes the dependency
+    levels computed by :meth:`_levelize` with a lazily created thread pool.
+    """
+
+    __slots__ = ("entries", "_levels", "_pool", "_pool_threads")
+
+    def __init__(self, entries: Sequence[ForwardEntry]):
+        self.entries: Tuple[ForwardEntry, ...] = tuple(entries)
+        self._levels: Optional[Tuple[Tuple[ForwardEntry, ...], ...]] = None
+        self._pool = None
+        self._pool_threads = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def _levelize(self) -> Tuple[Tuple[ForwardEntry, ...], ...]:
+        """Group entries into topological levels over buffer hazards.
+
+        An entry depends on the latest writer of each buffer it reads (RAW),
+        the latest writer of each buffer it writes (WAW), and every reader
+        since that write for each buffer it writes (WAR).  Buffer identity is
+        the *base* array, so views of one buffer serialize correctly.
+        """
+        if self._levels is not None:
+            return self._levels
+        last_writer: Dict[int, int] = {}
+        readers_since: Dict[int, List[int]] = {}
+        level = [0] * len(self.entries)
+        for i, entry in enumerate(self.entries):
+            depth = 0
+            for buf in entry.reads:
+                w = last_writer.get(_base_id(buf))
+                if w is not None and level[w] + 1 > depth:
+                    depth = level[w] + 1
+            for buf in entry.writes:
+                bid = _base_id(buf)
+                w = last_writer.get(bid)
+                if w is not None and level[w] + 1 > depth:
+                    depth = level[w] + 1
+                for r in readers_since.get(bid, ()):
+                    if level[r] + 1 > depth:
+                        depth = level[r] + 1
+            level[i] = depth
+            for buf in entry.reads:
+                readers_since.setdefault(_base_id(buf), []).append(i)
+            for buf in entry.writes:
+                bid = _base_id(buf)
+                last_writer[bid] = i
+                readers_since[bid] = []
+        if level:
+            n_levels = max(level) + 1
+            grouped: List[List[ForwardEntry]] = [[] for _ in range(n_levels)]
+            for i, entry in enumerate(self.entries):
+                grouped[level[i]].append(entry)
+            self._levels = tuple(tuple(g) for g in grouped)
+        else:
+            self._levels = ()
+        return self._levels
+
+    def level_sizes(self) -> Tuple[int, ...]:
+        """Entries per dependency level (profiling/bench introspection)."""
+        return tuple(len(lvl) for lvl in self._levelize())
+
+    def run(self, threads: int = 1) -> None:
+        """Replay every entry; serial recorded order when ``threads <= 1``."""
+        if threads <= 1:
+            for entry in self.entries:
+                entry.run()
+            return
+        pool = self._ensure_pool(threads)
+        for lvl in self._levelize():
+            if len(lvl) == 1:
+                lvl[0].run()
+                continue
+            futures = [pool.submit(entry.run) for entry in lvl]
+            for future in futures:
+                future.result()
+
+    def _ensure_pool(self, threads: int):
+        if self._pool is None or self._pool_threads != threads:
+            from concurrent.futures import ThreadPoolExecutor
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+            self._pool = ThreadPoolExecutor(max_workers=threads,
+                                            thread_name_prefix="fwdplan")
+            self._pool_threads = threads
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the executor pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_threads = 0

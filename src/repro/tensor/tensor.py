@@ -21,8 +21,19 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.tensor import arena as _arena
+from repro.tensor import plan as _plan
 
 ArrayLike = Union[np.ndarray, float, int, "Tensor", Sequence]
+
+# Monotonic count of graph-node constructions (``Tensor._make`` calls).  The
+# full-step compiler's contract is that a replayed step builds *zero* nodes;
+# the alloc tests assert it on this counter.
+_NODE_BUILDS = 0
+
+
+def node_build_count() -> int:
+    """Total graph nodes built so far (monotonic; diff across a step)."""
+    return _NODE_BUILDS
 
 # ---------------------------------------------------------------------------
 # global autograd switch (mirrors torch.no_grad)
@@ -85,27 +96,64 @@ def _grad_aliased(buf: np.ndarray, grads: dict) -> bool:
     return False
 
 
-def _binary_out(ufunc, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Apply a binary ufunc, writing into an arena buffer when one is active.
-
-    Values are identical to ``ufunc(a, b)`` — only the output buffer's
-    provenance changes, which is what keeps captured and uncaptured
-    execution bitwise identical.
-    """
-    arena = _arena.active()
-    if arena is None:
-        return ufunc(a, b)
+def _binary_ufunc_key(ufunc, a: np.ndarray, b: np.ndarray):
+    """Output (shape, dtype) for a binary ufunc over ``a`` and ``b``."""
     shape = np.broadcast_shapes(a.shape, b.shape)
     dtype = np.result_type(a, b)
     if ufunc is np.divide and dtype.kind not in "fc":
         # True division promotes integer operands to float64; result_type
         # alone would hand the ufunc an integer out buffer it cannot cast to.
         dtype = np.dtype(np.float64)
+    return shape, dtype
+
+
+def _binary_out(ufunc, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Apply a binary ufunc, writing into an arena buffer when one is active.
+
+    Values are identical to ``ufunc(a, b)`` — only the output buffer's
+    provenance changes, which is what keeps captured and uncaptured
+    execution bitwise identical.  While a forward recorder is installed the
+    output is a plan-owned plain buffer instead (never from the arena, whose
+    generation recycling must not reclaim plan buffers) and the call is
+    recorded as a replay thunk over the same operand buffers.
+    """
+    rec = _plan._RECORDER
+    if rec is not None:
+        shape, dtype = _binary_ufunc_key(ufunc, a, b)
+        out = np.empty(shape, dtype)
+
+        def run(ufunc=ufunc, a=a, b=b, out=out):
+            ufunc(a, b, out=out)
+
+        run()
+        rec.record(run, (a, b), (out,), tag=ufunc.__name__)
+        return out
+    arena = _arena.active()
+    if arena is None:
+        return ufunc(a, b)
+    shape, dtype = _binary_ufunc_key(ufunc, a, b)
     return ufunc(a, b, out=arena.take(shape, dtype))
 
 
 def _matmul_out(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """``np.matmul`` with an arena output buffer for the ndim >= 2 case."""
+    rec = _plan._RECORDER
+    if rec is not None:
+        if a.ndim < 2 or b.ndim < 2:
+            # No stable out-buffer form for the vector cases; the step falls
+            # back to PR-5 backward-only capture.
+            rec.fail("vector matmul has no replayable out-buffer form")
+            return np.matmul(a, b)
+        shape = (np.broadcast_shapes(a.shape[:-2], b.shape[:-2])
+                 + (a.shape[-2], b.shape[-1]))
+        out = np.empty(shape, np.result_type(a, b))
+
+        def run(a=a, b=b, out=out):
+            np.matmul(a, b, out=out)
+
+        run()
+        rec.record(run, (a, b), (out,), tag="matmul")
+        return out
     arena = _arena.active()
     if arena is None or a.ndim < 2 or b.ndim < 2:
         return np.matmul(a, b)
@@ -364,6 +412,15 @@ class Tensor:
     @staticmethod
     def _make(data: np.ndarray, parents: Iterable["Tensor"],
               backward: Optional[Callable[[np.ndarray], None]]) -> "Tensor":
+        global _NODE_BUILDS
+        _NODE_BUILDS += 1
+        rec = _plan._RECORDER
+        if rec is not None:
+            # Every node built during a recorded forward must be covered by a
+            # replay thunk or a view note — frozen-region ops included, since
+            # staged inputs change between replays.  The recorder's coverage
+            # check (created == noted) enforces this at compile time.
+            rec.created += 1
         parents = tuple(parents)
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
@@ -869,6 +926,24 @@ class Tensor:
             shape = tuple(shape[0])
         original = self.data.shape
         data = self.data.reshape(shape)
+        rec = _plan._RECORDER
+        if rec is not None:
+            if np.may_share_memory(data, self.data):
+                # Pure view: the replayed producer rewrites the base buffer,
+                # so the view needs no work of its own.
+                rec.note_view()
+            else:
+                # Non-contiguous source: ``reshape`` produced a C-ordered
+                # copy.  Viewing that copy with the source's shape lets
+                # ``copyto`` re-do the strided copy in place at replay —
+                # identical element order, no per-replay allocation.
+                src = self.data
+                out_view = data.reshape(original)
+
+                def run(out_view=out_view, src=src):
+                    np.copyto(out_view, src)
+
+                rec.record(run, (src,), (data,), tag="reshape_copy")
 
         def backward(grad):
             return (grad.reshape(original),)
@@ -882,6 +957,9 @@ class Tensor:
             axes = tuple(reversed(range(self.data.ndim)))
         data = self.data.transpose(axes)
         inverse = np.argsort(axes)
+        rec = _plan._RECORDER
+        if rec is not None:
+            rec.note_view()          # transpose is always a stride trick
 
         def backward(grad):
             return (grad.transpose(inverse),)
@@ -992,8 +1070,24 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
 def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
     """Gather rows of ``weight`` for integer ``indices`` (token embedding)."""
     indices = np.asarray(indices)
-    data = weight.data[indices]
     vocab, dim = weight.data.shape
+    rec = _plan._RECORDER
+    if rec is not None:
+        # Replayable gather: the flat index array is a *view* of the staged
+        # input buffer when that buffer is contiguous (token ids change per
+        # replay), or a one-off copy for per-step constants (positions).
+        idx_flat = indices.reshape(-1)
+        w = weight.data
+        data = np.empty(indices.shape + (dim,), w.dtype)
+        out2d = data.reshape(-1, dim)
+
+        def run(w=w, idx_flat=idx_flat, out2d=out2d):
+            np.take(w, idx_flat, axis=0, out=out2d)
+
+        run()
+        rec.record(run, (w, idx_flat), (data,), tag="embedding")
+    else:
+        data = weight.data[indices]
 
     def backward(grad):
         full = _arena.zeros((vocab, dim), weight.data.dtype)

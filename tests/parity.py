@@ -325,8 +325,15 @@ CAPTURE_BACKENDS = ("dense", "oracle", "predicted")
 
 
 def run_capture_training(backend: str, fused_enabled: bool, steps: int = 3,
-                         capture: bool = False, seq: int = 32):
-    """Train ``steps`` steps; returns (losses, grad_log, moments, params)."""
+                         capture: bool = False, seq: int = 32,
+                         full: bool = False, threads: int = 1,
+                         predict_interval: int = 2):
+    """Train ``steps`` steps; returns (losses, grad_log, moments, params, stats).
+
+    ``full=True`` enables the full-step compiler (implies capture); ``stats``
+    holds the StepCapture counters (empty dict when capture is off) so
+    callers can assert the compiled path actually engaged.
+    """
     from repro.models import build_model
     from repro.optim import Adam
     from repro.peft import apply_lora
@@ -338,12 +345,28 @@ def run_capture_training(backend: str, fused_enabled: bool, steps: int = 3,
 
         grad_log: List[List[np.ndarray]]
 
-        def step(self):
+        def _log_grads(self):
             log = getattr(self, "grad_log", None)
             if log is None:
                 log = self.grad_log = []
             log.append([p.grad.copy() for p in self.params])
+
+        def step(self):
+            self._log_grads()
             super().step()
+
+        def plan_tail(self):
+            # Compiled full steps run the pre-validated flat tail instead of
+            # step(); wrap it so those steps land in the grad log too.
+            tail = super().plan_tail()
+            if tail is None:
+                return None
+
+            def logging_tail():
+                self._log_grads()
+                tail()
+
+            return logging_tail
 
     model_name = "gpt2-tiny" if backend == "dense" else "opt-tiny"
     with kernels_enabled(fused_enabled):
@@ -354,7 +377,7 @@ def run_capture_training(backend: str, fused_enabled: bool, steps: int = 3,
             calib = rng.integers(0, model.config.vocab_size, size=(2, seq))
             engine = LongExposure(LongExposureConfig(
                 block_size=16, seed=0, oracle_mode=(backend == "oracle"),
-                predictor_epochs=2, predict_interval=2,
+                predictor_epochs=2, predict_interval=predict_interval,
                 calibration_lengths=(seq,)))
             engine.prepare(model, [calib])
         if backend == "predicted":
@@ -362,9 +385,12 @@ def run_capture_training(backend: str, fused_enabled: bool, steps: int = 3,
         if engine is not None:
             engine.install(model)
         optimizer = GradRecordingAdam(model.trainable_parameters(), lr=1e-3)
-        tuner = FineTuner(model, TrainingConfig(), optimizer=optimizer,
-                          engine=engine,
-                          capture=StepCapture() if capture else None)
+        use_capture = capture or full
+        tuner = FineTuner(model,
+                          TrainingConfig(compile_full_step=full,
+                                         executor_threads=threads),
+                          optimizer=optimizer, engine=engine,
+                          capture=StepCapture() if use_capture else None)
         losses = []
         for _ in range(steps):
             ids = rng.integers(0, model.config.vocab_size, size=(2, seq))
@@ -374,15 +400,46 @@ def run_capture_training(backend: str, fused_enabled: bool, steps: int = 3,
         params = [p.data.copy() for p in optimizer.params]
         if engine is not None:
             engine.uninstall(model)
-        if capture:
+        stats = {}
+        if use_capture:
             # The capture must actually have engaged: one capture step and at
             # least one replayed backward.  (Zero-allocation steady state is
             # asserted by the -m alloc tests, which hold the batch fixed;
             # here every step sees a *fresh* batch, so drifting sparse
             # layouts may legitimately allocate new block shapes.)
             assert tuner.capture.captures >= 1, "capture never engaged"
-            assert tuner.capture.replay_steps >= 1, "plan never replayed"
-        return losses, optimizer.grad_log, moments, params
+            # Full-step replays bypass run_backward, so they count in
+            # full_replays, not replay_steps; either means the plan replayed.
+            assert (tuner.capture.replay_steps
+                    + tuner.capture.full_replays) >= 1, "plan never replayed"
+            stats = {
+                "captures": tuner.capture.captures,
+                "replay_steps": tuner.capture.replay_steps,
+                "full_captures": tuner.capture.full_captures,
+                "full_replays": tuner.capture.full_replays,
+                "full_fallbacks": tuner.capture.full_fallbacks,
+                "full_fail_reason": tuner.capture.full_fail_reason,
+            }
+        return losses, optimizer.grad_log, moments, params, stats
+
+
+def _assert_trajectories_equal(tag: str, base, other) -> None:
+    losses_a, grads_a, moments_a, params_a = base[:4]
+    losses_b, grads_b, moments_b, params_b = other[:4]
+    assert losses_a == losses_b, \
+        f"{tag}: losses differ: {losses_a} vs {losses_b}"
+    assert len(grads_a) == len(grads_b), \
+        f"{tag}: grad log lengths differ: {len(grads_a)} vs {len(grads_b)}"
+    for step_index, (ga, gb) in enumerate(zip(grads_a, grads_b)):
+        for param_index, (a, b) in enumerate(zip(ga, gb)):
+            assert np.array_equal(a, b), \
+                f"{tag}: grad mismatch at step {step_index}, param {param_index}"
+    for index, (a, b) in enumerate(zip(moments_a, moments_b)):
+        assert np.array_equal(a, b), \
+            f"{tag}: optimizer state mismatch ({index})"
+    for index, (a, b) in enumerate(zip(params_a, params_b)):
+        assert np.array_equal(a, b), \
+            f"{tag}: parameter mismatch ({index})"
 
 
 def assert_capture_parity(backend: str, fused_enabled: bool,
@@ -390,18 +447,44 @@ def assert_capture_parity(backend: str, fused_enabled: bool,
     """Bitwise-compare captured vs. uncaptured training trajectories."""
     base = run_capture_training(backend, fused_enabled, steps, capture=False)
     captured = run_capture_training(backend, fused_enabled, steps, capture=True)
-    losses_a, grads_a, moments_a, params_a = base
-    losses_b, grads_b, moments_b, params_b = captured
-    assert losses_a == losses_b, \
-        f"{backend}/fused={fused_enabled}: losses differ: {losses_a} vs {losses_b}"
-    for step_index, (ga, gb) in enumerate(zip(grads_a, grads_b)):
-        for param_index, (a, b) in enumerate(zip(ga, gb)):
-            assert np.array_equal(a, b), \
-                f"{backend}/fused={fused_enabled}: grad mismatch at step " \
-                f"{step_index}, param {param_index}"
-    for index, (a, b) in enumerate(zip(moments_a, moments_b)):
-        assert np.array_equal(a, b), \
-            f"{backend}/fused={fused_enabled}: optimizer state mismatch ({index})"
-    for index, (a, b) in enumerate(zip(params_a, params_b)):
-        assert np.array_equal(a, b), \
-            f"{backend}/fused={fused_enabled}: parameter mismatch ({index})"
+    _assert_trajectories_equal(f"{backend}/fused={fused_enabled}",
+                               base, captured)
+
+
+def assert_full_step_parity(backend: str, fused_enabled: bool,
+                            threads: int = 1, steps: int = 4,
+                            predict_interval: int = 3) -> None:
+    """Bitwise-compare full-step-compiled vs. plain interpreted training.
+
+    ``predict_interval=3`` leaves two mask-reuse steps between refreshes, so
+    the plan captured on the first reuse step replays on the second before
+    the next refresh can move the layouts.  With reference kernels the
+    compiler never arms (the forward is not a recordable kernel stream) and
+    the run must degrade gracefully to the PR-5 backward-only replay —
+    still bitwise identical.
+    """
+    tag = f"full/{backend}/fused={fused_enabled}/threads={threads}"
+    base = run_capture_training(backend, fused_enabled, steps, capture=False,
+                                predict_interval=predict_interval)
+    compiled = run_capture_training(backend, fused_enabled, steps,
+                                    full=True, threads=threads,
+                                    predict_interval=predict_interval)
+    _assert_trajectories_equal(tag, base, compiled)
+    stats = compiled[4]
+    if fused_enabled and backend != "oracle":
+        assert stats["full_captures"] >= 1, \
+            f"{tag}: full plan never captured ({stats})"
+        assert stats["full_replays"] >= 1, \
+            f"{tag}: full plan never replayed ({stats})"
+    elif fused_enabled:
+        # Oracle mode fine-tunes the full model; the sparse MLP refuses to
+        # close over trainable base weights, so the compiler must stay cold
+        # (and say why) while the PR-5 backward replay keeps parity.
+        assert stats["full_captures"] == 0, \
+            f"{tag}: full plan captured over trainable base weights ({stats})"
+        assert "trainable base weights" in stats["full_fail_reason"], \
+            f"{tag}: unexpected fail reason ({stats})"
+    else:
+        # Reference kernels: no recorded seams, the compiler must stay cold.
+        assert stats["full_captures"] == 0, \
+            f"{tag}: full plan captured under reference kernels ({stats})"

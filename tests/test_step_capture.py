@@ -319,6 +319,27 @@ def test_captured_steps_bitwise_identical(backend, fused_enabled):
 
 
 # ---------------------------------------------------------------------------
+# full-step compiler: compiled-vs-interpreted bitwise parity
+# ---------------------------------------------------------------------------
+#
+# The full-plan axis: with ``compile_full_step=True`` the steady-state step
+# replays forward + backward + optimizer tail from the compiled plan.  The
+# trajectory (losses, per-step gradients, Adam moments, final parameters)
+# must stay bitwise identical to the plain interpreted run.  Where the
+# compiler cannot engage — reference kernels (no recorded seams) or oracle
+# mode (trainable base weights in the sparse MLP) — it must stay cold and
+# degrade to the PR-5 backward-only replay, still bitwise identical.
+
+@pytest.mark.parity
+@pytest.mark.parametrize("threads", [1, 4], ids=["threads1", "threads4"])
+@pytest.mark.parametrize("fused_enabled", [True, False],
+                         ids=["fused", "reference"])
+@pytest.mark.parametrize("backend", parity.CAPTURE_BACKENDS)
+def test_full_step_bitwise_identical(backend, fused_enabled, threads):
+    parity.assert_full_step_parity(backend, fused_enabled, threads=threads)
+
+
+# ---------------------------------------------------------------------------
 # allocation regression (-m alloc / perf_smoke)
 # ---------------------------------------------------------------------------
 
@@ -365,6 +386,88 @@ def test_zero_allocations_after_capture(backend):
     finally:
         if tuner.engine is not None:
             tuner.engine.uninstall(tuner.model)
+
+
+def _build_full_tuner(backend: str, seq: int = 32, threads: int = 1,
+                      predict_interval: int = 4):
+    """Like :func:`_build_tuner` but with the full-step compiler armed.
+
+    ``predict_interval=4`` leaves reuse steps 2-4 between refreshes: capture
+    plus full compile on step 2, compiled replays on steps 3-4.
+    """
+    model_name = "gpt2-tiny" if backend == "dense" else "opt-tiny"
+    model = build_model(model_name, seed=0)
+    rng = np.random.default_rng(3)
+    engine = None
+    if backend != "dense":
+        calib = rng.integers(0, model.config.vocab_size, size=(2, seq))
+        engine = LongExposure(LongExposureConfig(
+            block_size=16, seed=0, oracle_mode=(backend == "oracle"),
+            predictor_epochs=2, predict_interval=predict_interval,
+            calibration_lengths=(seq,)))
+        engine.prepare(model, [calib])
+    if backend == "predicted":
+        apply_lora(model)
+    if engine is not None:
+        engine.install(model)
+    optimizer = Adam(model.trainable_parameters(), lr=1e-3)
+    capture = StepCapture()
+    tuner = FineTuner(model,
+                      TrainingConfig(compile_full_step=True,
+                                     executor_threads=threads),
+                      optimizer=optimizer, engine=engine, capture=capture)
+    ids = rng.integers(0, model.config.vocab_size, size=(2, seq))
+    return tuner, ids, capture
+
+
+@pytest.mark.perf_smoke
+@pytest.mark.alloc
+@pytest.mark.parametrize("backend", ["dense", "predicted"])
+def test_full_step_zero_graph_builds_and_allocations(backend):
+    # The tentpole gate: once the full plan is compiled, a steady-state step
+    # builds ZERO Python graph nodes (the graph was built exactly once, at
+    # capture) and performs ZERO arena allocations.
+    from repro.tensor.tensor import node_build_count
+
+    tuner, ids, capture = _build_full_tuner(backend)
+    try:
+        tuner.step(ids)                            # warm-up (uncaptured)
+        tuner.step(ids)                            # capture + full compile
+        assert capture.full_captures == 1, capture.full_fail_reason
+        for _ in range(2):                         # steps 3-4: compiled replay
+            before = node_build_count()
+            tuner.step(ids)
+            assert node_build_count() == before, \
+                f"{backend}: compiled step still builds graph nodes"
+            assert capture.last_step_allocations == 0, \
+                f"{backend}: compiled step still allocates"
+        assert capture.full_replays == 2
+        assert capture.full_fallbacks == 0
+    finally:
+        if tuner.engine is not None:
+            tuner.engine.uninstall(tuner.model)
+
+
+@pytest.mark.perf_smoke
+@pytest.mark.alloc
+def test_full_step_refresh_steps_run_interpreted():
+    # Mask-refresh steps cannot replay the compiled forward (probe logic is
+    # Python control flow); they must fall back to the interpreted step +
+    # PR-5 backward replay, then resume compiled replays while the layouts
+    # hold still (the batch is fixed, so they do).
+    tuner, ids, capture = _build_full_tuner("predicted", predict_interval=4)
+    try:
+        for _ in range(4):                         # warm-up, capture, 2 replays
+            tuner.step(ids)
+        assert capture.full_replays == 2
+        tuner.step(ids)                            # step 5: scheduled refresh
+        assert capture.full_replays == 2           # compiled path skipped
+        assert capture.replay_steps >= 1           # PR-5 replay took the step
+        tuner.step(ids)                            # step 6: layouts unchanged
+        assert capture.full_replays == 3           # compiled replay resumed
+        assert capture.full_fallbacks == 0
+    finally:
+        tuner.engine.uninstall(tuner.model)
 
 
 @pytest.mark.perf_smoke
@@ -432,8 +535,10 @@ def test_capture_gauges_reach_profiler():
         tuner.step(ids)
     gauges = tuner.profiler.summary_dict()["gauges"]
     for key in ("arena_allocations_step", "arena_bytes", "arena_hit_rate",
-                "capture_replay_steps", "capture_recaptures",
-                "capture_fallbacks"):
+                "arena_evictions", "capture_replay_steps",
+                "capture_recaptures", "capture_fallbacks",
+                "capture_full_captures", "capture_full_replays",
+                "capture_full_fallbacks"):
         assert key in gauges
     assert gauges["arena_allocations_step"] == 0.0
     assert gauges["arena_bytes"] > 0
