@@ -86,6 +86,12 @@ the compiled steady-state step (flat forward plan + retained backward
 schedule + flat optimizer tail, zero Python graph builds) against the PR-5
 backward-only captured step, with an ``executor_threads`` 1/2/4 curve for
 the dependency-levelled forward executor (flat on a single-core worker).
+Since the streaming-attention pass the ``long_context`` section sweeps
+seq 512..4096 three ways (materializing, streaming, streaming
+block-sparse) and reports ms/token plus the tracemalloc step peak; the
+bar is ``long_context.wall_peak_ratio >= 4`` — the streaming step must
+peak at under a quarter of the materializing step at seq 4096 (the
+O(seq^2) memory wall).
 """
 
 from __future__ import annotations
@@ -345,9 +351,13 @@ def bench_geometry(repeats: int = 50, seq: int = 512,
 
 def pre_pr_block_sparse_attention(q: Tensor, k: Tensor, v: Tensor, layout,
                                   scale: Optional[float] = None,
-                                  cache: Optional[LayoutGeometryCache] = None
-                                  ) -> Tensor:
+                                  cache: Optional[LayoutGeometryCache] = None,
+                                  streaming: Optional[bool] = None) -> Tensor:
     """The PR-1 block-sparse chain, kept verbatim as the fusion baseline.
+
+    ``streaming`` exists only so the engine's call signature (which always
+    forwards the toggle) keeps matching; this rollback predates streaming
+    and only ever runs with it off.
 
     Identical math and identical geometry handling to the current fused op,
     but every softmax stage materialises its own temporary (``np.where``
@@ -355,6 +365,8 @@ def pre_pr_block_sparse_attention(q: Tensor, k: Tensor, v: Tensor, layout,
     out of fresh buffers — exactly what the in-place fusion pass removed.
     ``sparse_chain.speedup`` in the report is measured against this.
     """
+    if streaming:
+        raise ValueError("pre-PR baseline has no streaming path")
     bs = layout.block_size
     batch, n_heads, seq_len, head_dim = q.shape
     scale = scale if scale is not None else 1.0 / np.sqrt(head_dim)
@@ -1291,6 +1303,109 @@ def bench_full_step(repeats: int = 4, batch: int = BATCH,
     return result
 
 
+LONG_CONTEXT_LENGTHS = (512, 1024, 2048, 4096)
+LONG_CONTEXT_TILE = 128
+LONG_CONTEXT_PATTERNS = ["local4+global2", "local2+global1"]
+
+
+def bench_long_context(lengths=LONG_CONTEXT_LENGTHS, batch: int = 1,
+                       tile: int = LONG_CONTEXT_TILE,
+                       repeats: int = 1) -> Dict:
+    """Long-context LoRA step: ms/token and the O(seq^2) memory wall.
+
+    For each sequence length, a one-layer nano model (dim 32, 2 heads — at
+    these lengths the attention buffers dwarf weights and activations)
+    takes LoRA steps three ways:
+
+    * ``materializing`` — dense SDPA holding the full ``(batch, heads,
+      seq, seq)`` probability matrix for the backward;
+    * ``streaming`` — the tiled online-softmax kernel: ``O(seq * tile)``
+      scratch, logsumexp-recompute backward;
+    * ``block_sparse_streaming`` — kernel-level forward+backward of the
+      prefix-scheduled streaming block-sparse op over a local+global
+      layout (the sparse engine's long-context configuration).
+
+    Wall-clock (best of ``repeats``) is measured untraced; the heap peak
+    is a separate tracemalloc-instrumented step, because tracing itself
+    slows NumPy dispatch.  ``peak_ratio`` (materializing / streaming) is
+    the headline figure: it grows with ``seq`` — the memory wall falling —
+    and at short lengths (``seq <= tile``) sits near 1, where the single
+    streaming tile degenerates to the materializing shape.
+    """
+    import tracemalloc
+
+    from repro.models import ModelConfig
+    from repro.peft import apply_lora
+    from repro.runtime import FineTuner, TrainingConfig
+
+    heads = 2
+    results: Dict = {"tile": float(tile), "lengths": {}}
+    try:
+        for seq in lengths:
+            cfg = ModelConfig(name=f"longctx-nano-{seq}", family="gpt2",
+                              vocab_size=128, max_seq_len=seq, dim=32,
+                              num_layers=1, num_heads=heads,
+                              activation="gelu", sparsify_init=False)
+            ids = np.random.default_rng(11).integers(0, cfg.vocab_size,
+                                                     size=(batch, seq))
+            entry: Dict = {}
+            for label, streaming in (("materializing", False),
+                                     ("streaming", True)):
+                # The trainer treats the streaming switch as opt-in sticky
+                # (it never resets the process-global flag), so interleaved
+                # tuners must set it explicitly per variant.
+                fused.set_streaming_attention(streaming, tile=tile)
+                model = build_model(cfg, seed=0)
+                apply_lora(model)
+                tuner = FineTuner(model,
+                                  TrainingConfig(
+                                      streaming_attention=streaming,
+                                      streaming_tile=tile))
+                tuner.step(ids)                        # warm-up
+                step_s = _best_of(lambda: tuner.step(ids), repeats)
+                tracemalloc.start()
+                tuner.step(ids)
+                _, peak = tracemalloc.get_traced_memory()
+                tracemalloc.stop()
+                entry[f"{label}_ms_per_token"] = (step_s * 1000.0
+                                                  / (batch * seq))
+                entry[f"{label}_peak_bytes"] = float(peak)
+
+            layout = _chain_layout(seq, BLOCK_SIZE, heads=heads,
+                                   patterns=LONG_CONTEXT_PATTERNS)
+            rng = np.random.default_rng(7)
+            q, k, v = [rng.normal(size=(batch, heads, seq, 16))
+                       .astype(np.float32) for _ in range(3)]
+            cache = LayoutGeometryCache()
+            cache.lookup(layout, seq)
+
+            def once(q=q, k=k, v=v, layout=layout, cache=cache):
+                qt, kt, vt = [Tensor(a, requires_grad=True)
+                              for a in (q, k, v)]
+                out = block_sparse_attention(qt, kt, vt, layout,
+                                             cache=cache, streaming=True)
+                out.backward(np.ones_like(out.data))
+
+            once()                                      # warm-up
+            kernel_s = _best_of(once, repeats)
+            tracemalloc.start()
+            once()
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            entry["block_sparse_streaming_ms_per_token"] = (
+                kernel_s * 1000.0 / (batch * seq))
+            entry["block_sparse_streaming_peak_bytes"] = float(peak)
+            entry["peak_ratio"] = (entry["materializing_peak_bytes"]
+                                   / entry["streaming_peak_bytes"])
+            results["lengths"][str(seq)] = entry
+    finally:
+        fused.set_streaming_attention(False)
+    results["wall_seq"] = float(max(lengths))
+    results["wall_peak_ratio"] = (
+        results["lengths"][str(max(lengths))]["peak_ratio"])
+    return results
+
+
 def bench_prediction_overhead(repeats: int = 20, batch: int = BATCH,
                               seq: int = SEQ, dim: int = 128, heads: int = 8,
                               rank: int = 8, block_size: int = BLOCK_SIZE,
@@ -1411,6 +1526,7 @@ def run_benchmark(repeats: int = 5, op_repeats: int = 20,
                   predicted_seq: int = PREDICTED_SEQ,
                   predictor_epochs: int = 30,
                   predicted_repeats: int = 3,
+                  long_context_max: int = LONG_CONTEXT_LENGTHS[-1],
                   quick: bool = False) -> Dict:
     if quick:
         # Structural smoke: every section runs, at shapes small enough for a
@@ -1470,6 +1586,12 @@ def run_benchmark(repeats: int = 5, op_repeats: int = 20,
         "embedding_scatter": bench_embedding_scatter(
             op_repeats, vocab=2048 if quick else 50257,
             n_tokens=512 if quick else 8192),
+        "long_context": bench_long_context(
+            lengths=(64, 128) if quick else
+            (tuple(l for l in LONG_CONTEXT_LENGTHS if l <= long_context_max)
+             or (max(BLOCK_SIZE * 2,
+                     long_context_max // BLOCK_SIZE * BLOCK_SIZE),)),
+            repeats=1 if quick else 2),
         "ops": bench_fused_ops(op_repeats),
     }
     return report
@@ -1600,6 +1722,17 @@ def _print_report(report: Dict) -> None:
     print(f"  add.at    {scatter['add_at_s'] * 1e3:8.2f} ms")
     print(f"  scatter   {scatter['scatter_s'] * 1e3:8.2f} ms")
     print(f"  speedup   {scatter['speedup']:8.2f}x")
+    long_ctx = report["long_context"]
+    print(f"long-context LoRA step (1-layer nano, tile "
+          f"{int(long_ctx['tile'])}; peak = tracemalloc bytes):")
+    for seq_key, row in long_ctx["lengths"].items():
+        print(f"  seq {seq_key:>5}: "
+              f"mat {row['materializing_ms_per_token']:6.3f} ms/tok "
+              f"{row['materializing_peak_bytes'] / 1e6:8.1f} MB | "
+              f"stream {row['streaming_ms_per_token']:6.3f} ms/tok "
+              f"{row['streaming_peak_bytes'] / 1e6:8.1f} MB | "
+              f"peak ratio {row['peak_ratio']:5.1f}x | "
+              f"bs-stream {row['block_sparse_streaming_peak_bytes'] / 1e6:6.1f} MB")
     print("fused ops (forward + backward, best-of-N):")
     for name, row in report["ops"].items():
         print(f"  {name:<16} {row['fused_s'] * 1e3:7.2f} ms vs "
@@ -1622,6 +1755,10 @@ def main(argv=None) -> Dict:
                         help="offline probe-training epochs for predicted_step")
     parser.add_argument("--predicted-repeats", type=int, default=3,
                         help="best-of-N repeats for the predicted_step windows")
+    parser.add_argument("--long-context-max", type=int,
+                        default=LONG_CONTEXT_LENGTHS[-1],
+                        help="cap on the long_context sequence-length sweep "
+                             "(lengths above this are skipped)")
     parser.add_argument("--quick", action="store_true",
                         help="structural smoke: run every section at tiny "
                              "shapes with single repeats (timings are "
@@ -1639,6 +1776,7 @@ def main(argv=None) -> Dict:
                            predicted_seq=args.predicted_seq,
                            predictor_epochs=args.predictor_epochs,
                            predicted_repeats=args.predicted_repeats,
+                           long_context_max=args.long_context_max,
                            quick=args.quick)
     _print_report(report)
     if args.json:

@@ -65,10 +65,14 @@ class DenseAttentionBackend:
         scale = 1.0 / np.sqrt(module.head_dim)
         if fused.fused_kernels_enabled():
             if self.capture_scores:
+                # Score capture needs the materialized probability matrix, so
+                # the streaming kernel (which never forms it) does not apply.
                 context, probs = fused.scaled_dot_product_attention(
                     q, k, v, attn_mask, scale=scale, return_probs=True)
                 self.last_scores = probs
                 return context
+            if fused.streaming_attention_enabled():
+                return fused.streaming_attention(q, k, v, attn_mask, scale=scale)
             return fused.scaled_dot_product_attention(q, k, v, attn_mask, scale=scale)
         if self.capture_scores:
             # The taped composition is spelled out only where the intermediate
@@ -78,6 +82,8 @@ class DenseAttentionBackend:
             probs = F.masked_softmax(scores, attn_mask, axis=-1)
             self.last_scores = probs.data.copy()
             return probs.matmul(v)
+        if fused.streaming_attention_enabled():
+            return F.streaming_attention(q, k, v, attn_mask, scale=scale)
         return F.scaled_dot_product_attention(q, k, v, attn_mask, scale=scale)
 
 

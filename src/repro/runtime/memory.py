@@ -72,6 +72,12 @@ class MemoryModel:
     param_bytes: int = 2
     activation_bytes: int = 4
     optimizer_bytes_per_param: int = 8          # two FP32 Adam moments
+    # Streaming tiled attention (repro.tensor.fused.streaming_attention):
+    # forward keeps only an O(s * tile) score scratch plus the per-row
+    # logsumexp, and the backward re-streams the tiles instead of reading a
+    # stored (s, s) probability matrix.
+    streaming: bool = False
+    streaming_tile: int = 128
 
     # -- building blocks ------------------------------------------------------------
     def parameter_bytes(self) -> float:
@@ -99,11 +105,22 @@ class MemoryModel:
 
         Dense attention stores ``batch * heads * s²`` probabilities per layer;
         block-sparse attention stores only the active blocks, i.e. a
-        ``block_density`` fraction of the causal half.
+        ``block_density`` fraction of the causal half.  With
+        :attr:`streaming` enabled the backward recomputes probabilities tile
+        by tile, so only the O(s * tile) score scratch plus the per-row
+        logsumexp survives a layer — independent of ``seq_len²``.  When both
+        streaming and block sparsity are active the cheaper of the two bounds
+        applies (streaming block-sparse keeps one score tile per query-row
+        segment, never more than either bound).
         """
         cfg = self.config
         dense_causal = batch * cfg.num_heads * (seq_len * seq_len) / 2.0
         stored = dense_causal * block_density
+        if self.streaming:
+            tile = min(self.streaming_tile, seq_len)
+            # score scratch (s * tile) + logsumexp/max/sum/corr rows (4 * s)
+            streamed = batch * cfg.num_heads * seq_len * (tile + 4.0)
+            stored = min(stored, streamed)
         return float(stored * self.activation_bytes)
 
     # -- configurations of Figure 8 ----------------------------------------------------

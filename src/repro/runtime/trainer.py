@@ -50,6 +50,14 @@ class TrainingConfig:
     # is due to refresh its masks run interpreted (probe logic is Python
     # control flow, not kernel calls) through the PR-5 backward replay.
     compile_full_step: bool = False
+    # Streaming tiled attention (see repro.tensor.fused.streaming_attention):
+    # the dense-attention path runs the online-softmax kernel over K/V tiles
+    # of ``streaming_tile`` keys, never materialising the (seq, seq) score
+    # matrix — the long-context switch.  Applied process-wide via
+    # ``fused.set_streaming_attention`` when the trainer is constructed, and
+    # part of the capture signature so toggling it forces a re-capture.
+    streaming_attention: bool = False
+    streaming_tile: int = 128
     # Thread count for the dependency-levelled forward executor.  1 replays
     # the recorded kernel order — bitwise identical to the interpreted step.
     # >1 dispatches each dependency level across a thread pool (NumPy
@@ -154,6 +162,8 @@ class FineTuner:
         if capture is True:
             capture = StepCapture(warmup_steps=self.config.capture_warmup)
         self.capture: Optional[StepCapture] = capture or None
+        if self.config.streaming_attention:
+            fused.set_streaming_attention(True, tile=self.config.streaming_tile)
         # Flat-update closure for compiled steps (None -> ordinary step()).
         self._optim_plan_tail = getattr(self.optimizer, "plan_tail",
                                         lambda: None)()
@@ -163,7 +173,9 @@ class FineTuner:
         """Everything that shapes the step's graph; a change forces re-capture."""
         return (input_ids.shape, str(input_ids.dtype),
                 None if labels is None else np.asarray(labels).shape,
-                fused.fused_kernels_enabled(), float(self.scaler.scale))
+                fused.fused_kernels_enabled(),
+                fused.streaming_attention_enabled(), fused.streaming_tile(),
+                float(self.scaler.scale))
 
     # -- single step -------------------------------------------------------------
     def step(self, input_ids: np.ndarray,

@@ -70,6 +70,15 @@ class LongExposureConfig:
     mlp_offload_inactive:
         Whether the memory model assumes inactive neuron blocks stay on the
         host ("LongExposure (optimal)" curve in Figure 8).
+    streaming_attention:
+        Route the sparse attention backends and the oracle exposer through
+        the streaming (online-softmax) kernels: block-sparse attention
+        streams one active block per query-row segment at a time, and the
+        oracle mask derivation computes its block mass with a two-pass
+        K-tile sweep — neither ever materialises a full ``(seq, seq)``
+        score matrix, breaking the O(s²) attention-memory wall for long
+        contexts.  Masks and results match the materializing path up to
+        accumulation order.
     seed:
         RNG seed for predictor initialisation and training shuffles.
     """
@@ -92,6 +101,7 @@ class LongExposureConfig:
     calibration_lengths: Tuple[int, ...] = ()
     predict_interval: int = 1
     mlp_offload_inactive: bool = False
+    streaming_attention: bool = False
     min_active_mlp_blocks: int = 1
     seed: int = 0
 

@@ -80,13 +80,23 @@ class AttentionExposer:
         return reduced
 
     # -- mask derivation -----------------------------------------------------------
-    def head_block_masks(self, probs: np.ndarray) -> Tuple[np.ndarray, List[str]]:
-        """Per-head boolean block masks and their matched atomic pattern names."""
-        block_mass = self.block_reduce(probs)
+    def masks_from_block_mass(self, block_mass: np.ndarray
+                              ) -> Tuple[np.ndarray, List[str]]:
+        """Pattern-snapped masks from an already-reduced per-block mass.
+
+        Split out of :meth:`head_block_masks` so callers that compute the
+        ``(heads, n_blocks, n_blocks)`` mass themselves — the streaming
+        oracle path accumulates it tile by tile without ever holding the
+        full probability matrix — share the exact matching logic.
+        """
         heads, n_blocks, _ = block_mass.shape
         names = self.pattern_pool.match_many(block_mass, coverage=self.coverage)
         masks = np.stack([self.pattern_pool.mask(name, n_blocks) for name in names])
         return masks, names
+
+    def head_block_masks(self, probs: np.ndarray) -> Tuple[np.ndarray, List[str]]:
+        """Per-head boolean block masks and their matched atomic pattern names."""
+        return self.masks_from_block_mass(self.block_reduce(probs))
 
     def raw_block_masks(self, probs: np.ndarray) -> np.ndarray:
         """Coverage-based masks *without* snapping to atomic patterns.

@@ -181,7 +181,7 @@ def dense_attention_reference(q: np.ndarray, k: np.ndarray, v: np.ndarray,
                               mask: Optional[np.ndarray] = None,
                               scale: Optional[float] = None) -> np.ndarray:
     """Plain dense softmax attention used as the comparison baseline."""
-    scale = scale if scale is not None else 1.0 / np.sqrt(q.shape[-1])
+    scale = float(scale) if scale is not None else float(1.0 / np.sqrt(q.shape[-1]))
     scores = np.matmul(q, np.swapaxes(k, -1, -2)) * scale
     if mask is not None:
         scores = np.where(mask, scores, _NEG_INF)
@@ -190,7 +190,7 @@ def dense_attention_reference(q: np.ndarray, k: np.ndarray, v: np.ndarray,
     if mask is not None:
         probs = probs * mask
     denom = probs.sum(axis=-1, keepdims=True)
-    probs = probs / np.where(denom == 0, 1.0, denom)
+    probs = probs / _fused.guard_zero_rows(denom)
     return np.matmul(probs, v)
 
 
@@ -200,7 +200,8 @@ def dense_attention_reference(q: np.ndarray, k: np.ndarray, v: np.ndarray,
 
 def block_sparse_attention(q: Tensor, k: Tensor, v: Tensor, layout: MultiHeadLayout,
                            scale: Optional[float] = None,
-                           cache: Optional[LayoutGeometryCache] = None) -> Tensor:
+                           cache: Optional[LayoutGeometryCache] = None,
+                           streaming: Optional[bool] = None) -> Tensor:
     """Fused block-sparse ``softmax(QK^T) V`` with a block-sparse backward.
 
     Parameters
@@ -218,6 +219,11 @@ def block_sparse_attention(q: Tensor, k: Tensor, v: Tensor, layout: MultiHeadLay
         masks, the column-sorted backward permutation) is looked up instead
         of recomputed — repeated layouts across fine-tuning steps then pay
         zero index-construction cost.  Results are identical either way.
+    streaming:
+        Route through :func:`streaming_block_sparse_attention` (score
+        scratch proportional to the number of query-row segments instead of
+        the number of active blocks).  ``None`` follows the global
+        :func:`repro.tensor.fused.streaming_attention_enabled` switch.
 
     The softmax normalises over the *union of active blocks in each query
     row*, with causal masking inside diagonal blocks.  The backward pass
@@ -244,8 +250,13 @@ def block_sparse_attention(q: Tensor, k: Tensor, v: Tensor, layout: MultiHeadLay
 
     if not _fused.fused_kernels_enabled():
         return _reference.block_sparse_attention(q, k, v, layout, scale=scale)
+    if streaming is None:
+        streaming = _fused.streaming_attention_enabled()
+    if streaming:
+        return streaming_block_sparse_attention(q, k, v, layout, scale=scale,
+                                                cache=cache)
 
-    scale = scale if scale is not None else 1.0 / np.sqrt(head_dim)
+    scale = float(scale) if scale is not None else float(1.0 / np.sqrt(head_dim))
     dtype = q.data.dtype
 
     padded_len = layout.n_blocks * bs
@@ -337,8 +348,7 @@ def block_sparse_attention(q: Tensor, k: Tensor, v: Tensor, layout: MultiHeadLay
             scores.sum(axis=-1, out=block_red)
             _segment_reduce(np.add, block_red, starts, seg_red)
             np.take(seg_red, seg_ids, axis=1, mode="clip", out=row_red)
-            np.equal(row_red, 0.0, out=zero_rows)
-            np.copyto(row_red, 1.0, where=zero_rows)
+            _fused.guard_zero_rows(row_red, scratch=zero_rows)
             scores /= row_red[..., None]
             np.matmul(scores, v_blk, out=ctx_blk)
             _segment_reduce(np.add, ctx_blk, starts, ctx_seg)
@@ -389,7 +399,7 @@ def block_sparse_attention(q: Tensor, k: Tensor, v: Tensor, layout: MultiHeadLay
                                   _arena.empty((batch, n_row_segs, bs), dtype))
         row_sum = np.take(seg_sum, seg_ids, axis=1, mode="clip",  # fresh gather: safe to fix up in place
                           out=_arena.empty((batch, nnz, bs), dtype))
-        np.copyto(row_sum, 1.0, where=row_sum == 0.0)
+        _fused.guard_zero_rows(row_sum)
         scores /= row_sum[..., None]
         _arena.release(block_sum, seg_sum, row_sum)
         probs = scores                                           # (batch, nnz, bs, bs)
@@ -481,6 +491,273 @@ def block_sparse_attention(q: Tensor, k: Tensor, v: Tensor, layout: MultiHeadLay
         # backward run in the very same (cache-hot) buffers.
         _arena.release(dk_contrib, dS, q_blk, k_blk, v_blk, probs)
 
+        return (dq[:, :, :seq_len], dk[:, :, :seq_len], dv[:, :, :seq_len])
+
+    return custom_op(out, (q, k, v), backward)
+
+
+# ---------------------------------------------------------------------------
+# streaming block-sparse attention (prefix-scheduled online softmax)
+# ---------------------------------------------------------------------------
+
+def _stream_bs_forward(q_seg, k_stream, v_stream, neg_mask, mask_f32, scale,
+                       rounds, s_buf, red, corr, m_buf, lse, zero_rows, pv,
+                       acc, out5, out5_flat, seg_heads, seg_rows,
+                       row_uncovered):
+    """Online-softmax sweep over the stream-ordered active blocks.
+
+    Round ``j`` processes the j-th active block of every live segment; the
+    descending-length stream order makes the live set a prefix, so all state
+    updates are prefix-slice operations on the ``(batch, nseg, ...)``
+    buffers.  Shared verbatim by the recorded thunk and the interpreted path
+    (bitwise capture parity).  After the sweep ``lse`` holds the per-row
+    logsumexp for the recompute backward and ``acc`` the normalised
+    per-segment context blocks.
+    """
+    m_buf.fill(-np.inf)
+    lse.fill(0.0)
+    acc.fill(0.0)
+    for p, o0, o1 in rounds:
+        s = s_buf[:, :p]
+        np.matmul(q_seg[:, :p], np.swapaxes(k_stream[:, o0:o1], -1, -2),
+                  out=s)
+        s *= scale
+        np.copyto(s, _NEG_INF, where=neg_mask[None, o0:o1])
+        s.max(axis=-1, out=red[:, :p])
+        np.maximum(m_buf[:, :p], red[:, :p], out=red[:, :p])
+        np.subtract(m_buf[:, :p], red[:, :p], out=corr[:, :p])
+        np.exp(corr[:, :p], out=corr[:, :p])
+        np.copyto(m_buf[:, :p], red[:, :p])
+        s -= m_buf[:, :p, :, None]
+        np.exp(s, out=s)
+        np.multiply(s, mask_f32[None, o0:o1], out=s)
+        lse[:, :p] *= corr[:, :p]
+        s.sum(axis=-1, out=red[:, :p])
+        lse[:, :p] += red[:, :p]
+        acc[:, :p] *= corr[:, :p, :, None]
+        np.matmul(s, v_stream[:, o0:o1], out=pv[:, :p])
+        acc[:, :p] += pv[:, :p]
+    _fused.guard_zero_rows(lse, scratch=zero_rows)
+    acc /= lse[..., None]
+    np.log(lse, out=lse)
+    lse += m_buf
+    out5[:, seg_heads, seg_rows] = acc
+    if row_uncovered.size:
+        out5_flat[:, row_uncovered] = 0.0
+
+
+def streaming_block_sparse_attention(q: Tensor, k: Tensor, v: Tensor,
+                                     layout: MultiHeadLayout,
+                                     scale: Optional[float] = None,
+                                     cache: Optional[LayoutGeometryCache] = None
+                                     ) -> Tensor:
+    """Streaming twin of :func:`block_sparse_attention`.
+
+    Identical math (union-of-active-blocks softmax, causal element masking,
+    :func:`repro.tensor.fused.guard_zero_rows` for zero-active-block rows)
+    but the score workspace is ``(batch, n_segments, block, block)`` instead
+    of ``(batch, nnz, block, block)``: the kernel walks each query-row
+    segment's active blocks one round at a time with online max/sum
+    rescaling (the :class:`~repro.sparsity.ops.geometry_cache.StreamGeometry`
+    prefix schedule), and the recompute backward re-streams the same rounds
+    with the saved per-row logsumexp, writing each block's dK/dV
+    contribution exactly once into a stream-ordered stack that the existing
+    column-sorted segmented reduce then accumulates.  Results differ from
+    the materializing kernel only by accumulation order.
+    """
+    bs = layout.block_size
+    batch, n_heads, seq_len, head_dim = q.shape
+    if n_heads != layout.n_heads:
+        raise ValueError(f"layout has {layout.n_heads} heads, tensors have {n_heads}")
+    if not _fused.fused_kernels_enabled():
+        return _reference.block_sparse_attention(q, k, v, layout, scale=scale)
+
+    scale = float(scale) if scale is not None else float(1.0 / np.sqrt(head_dim))
+    dtype = q.data.dtype
+    geom = (cache.lookup(layout, seq_len) if cache is not None
+            else compute_block_geometry(layout, seq_len))
+    st = geom.stream
+    nnz = layout.nnz
+    n_blocks = layout.n_blocks
+    nseg = st.order.shape[0]
+    padded_len = n_blocks * bs
+    rounds = tuple((int(c), int(st.offsets[i]), int(st.offsets[i + 1]))
+                   for i, c in enumerate(st.counts))
+    neg_mask, mask_f32 = st.neg_mask, st.mask_f32
+    q_gather, kv_gather = st.q_gather, st.kv_gather
+    seg_heads, seg_rows = st.seg_heads, st.seg_rows
+    row_uncovered = geom.row_uncovered
+    out_shape5 = (batch, n_heads, n_blocks, bs, head_dim)
+
+    rec = _plan._RECORDER
+    if rec is not None and seq_len % bs != 0:
+        rec.fail("streaming block-sparse attention over a padded sequence")
+        rec = None
+    if rec is not None:
+        q_data, k_data, v_data = q.data, k.data, v.data
+
+        def _stage(x):
+            if x.flags["C_CONTIGUOUS"]:
+                return x.reshape(batch, n_heads, n_blocks, bs, head_dim), None
+            buf = np.empty((batch, n_heads, n_blocks, bs, head_dim), x.dtype)
+            return buf, buf.reshape(batch, n_heads, seq_len, head_dim)
+
+        q_pad, q_fill = _stage(q_data)
+        k_pad, k_fill = _stage(k_data)
+        v_pad, v_fill = _stage(v_data)
+        copies = tuple((fill, src) for fill, src in
+                       ((q_fill, q_data), (k_fill, k_data), (v_fill, v_data))
+                       if fill is not None)
+        q_flat = q_pad.reshape(batch, n_heads * n_blocks, bs, head_dim)
+        k_flat = k_pad.reshape(batch, n_heads * n_blocks, bs, head_dim)
+        v_flat = v_pad.reshape(batch, n_heads * n_blocks, bs, head_dim)
+        q_seg = np.empty((batch, nseg, bs, head_dim), dtype)
+        k_stream = np.empty((batch, nnz, bs, head_dim), dtype)
+        v_stream = np.empty((batch, nnz, bs, head_dim), dtype)
+        s_buf = np.empty((batch, nseg, bs, bs), dtype)
+        red = np.empty((batch, nseg, bs), dtype)
+        corr = np.empty((batch, nseg, bs), dtype)
+        m_buf = np.empty((batch, nseg, bs), dtype)
+        lse = np.empty((batch, nseg, bs), dtype)
+        zero_rows = np.empty((batch, nseg, bs), bool)
+        pv = np.empty((batch, nseg, bs, head_dim), dtype)
+        acc = np.empty((batch, nseg, bs, head_dim), dtype)
+        out5 = np.empty(out_shape5, dtype)
+        out5_flat = out5.reshape(batch, n_heads * n_blocks, bs, head_dim)
+
+        def run():
+            for fill, src in copies:
+                np.copyto(fill, src)
+            np.take(q_flat, q_gather, axis=1, mode="clip", out=q_seg)
+            np.take(k_flat, kv_gather, axis=1, mode="clip", out=k_stream)
+            np.take(v_flat, kv_gather, axis=1, mode="clip", out=v_stream)
+            _stream_bs_forward(q_seg, k_stream, v_stream, neg_mask, mask_f32,
+                               scale, rounds, s_buf, red, corr, m_buf, lse,
+                               zero_rows, pv, acc, out5, out5_flat,
+                               seg_heads, seg_rows, row_uncovered)
+
+        run()
+        rec.record(run, (q_data, k_data, v_data),
+                   (q_pad, k_pad, v_pad, q_seg, k_stream, v_stream, s_buf,
+                    red, corr, m_buf, lse, zero_rows, pv, acc, out5),
+                   tag="streaming_block_sparse_attention")
+        out = out5.reshape(batch, n_heads, padded_len, head_dim)[:, :, :seq_len]
+    else:
+        q_pad = _blockify_arena(q.data, bs)
+        k_pad = _blockify_arena(k.data, bs)
+        v_pad = _blockify_arena(v.data, bs)
+        q_flat = q_pad.reshape(batch, n_heads * n_blocks, bs, head_dim)
+        k_flat = k_pad.reshape(batch, n_heads * n_blocks, bs, head_dim)
+        v_flat = v_pad.reshape(batch, n_heads * n_blocks, bs, head_dim)
+        q_seg = np.take(q_flat, q_gather, axis=1, mode="clip",
+                        out=_arena.empty((batch, nseg, bs, head_dim), dtype))
+        k_stream = np.take(k_flat, kv_gather, axis=1, mode="clip",
+                           out=_arena.empty((batch, nnz, bs, head_dim), dtype))
+        v_stream = np.take(v_flat, kv_gather, axis=1, mode="clip",
+                           out=_arena.empty((batch, nnz, bs, head_dim), dtype))
+        _arena.release(q_pad, k_pad, v_pad)
+        s_buf = _arena.empty((batch, nseg, bs, bs), dtype)
+        red = _arena.empty((batch, nseg, bs), dtype)
+        corr = _arena.empty((batch, nseg, bs), dtype)
+        m_buf = _arena.empty((batch, nseg, bs), dtype)
+        lse = _arena.empty((batch, nseg, bs), dtype)
+        zero_rows = _arena.empty((batch, nseg, bs), bool)
+        pv = _arena.empty((batch, nseg, bs, head_dim), dtype)
+        acc = _arena.empty((batch, nseg, bs, head_dim), dtype)
+        out5 = _arena.empty(out_shape5, dtype)
+        out5_flat = out5.reshape(batch, n_heads * n_blocks, bs, head_dim)
+        _stream_bs_forward(q_seg, k_stream, v_stream, neg_mask, mask_f32,
+                           scale, rounds, s_buf, red, corr, m_buf, lse,
+                           zero_rows, pv, acc, out5, out5_flat,
+                           seg_heads, seg_rows, row_uncovered)
+        # q_seg/k_stream/v_stream/acc/lse survive for the recompute backward.
+        _arena.release(s_buf, red, corr, m_buf, zero_rows, pv)
+        out = out5.reshape(batch, n_heads, padded_len, head_dim)[:, :, :seq_len]
+
+    col_starts = geom.col_starts
+    col_seg_heads, col_seg_cols = geom.col_seg_heads, geom.col_seg_cols
+    n_col_segs = col_seg_heads.shape[0]
+    stream_col_order = st.col_order
+
+    def _scatter_stream_to_cols(contrib: np.ndarray) -> np.ndarray:
+        """Accumulate stream-ordered contributions onto (head, col) blocks."""
+        contrib_sorted = np.take(contrib, stream_col_order, axis=1,
+                                 mode="clip",
+                                 out=_arena.empty(contrib.shape, contrib.dtype))
+        seg = _segment_reduce(np.add, contrib_sorted, col_starts,
+                              _arena.empty((batch, n_col_segs, bs, head_dim),
+                                           np.float32))
+        _arena.release(contrib_sorted)
+        out_blocks = _arena.empty(out_shape5, np.float32)
+        out_blocks[:, col_seg_heads, col_seg_cols] = seg
+        if geom.col_uncovered.size:
+            out_blocks.reshape(batch, n_heads * n_blocks, bs, head_dim)[
+                :, geom.col_uncovered] = 0.0
+        _arena.release(seg)
+        return out_blocks.reshape(batch, n_heads, padded_len, head_dim)
+
+    def backward(grad_out: np.ndarray):
+        grad_out_pad = _blockify_arena(grad_out, bs)
+        dout_flat = grad_out_pad.reshape(batch, n_heads * n_blocks, bs,
+                                         head_dim)
+        dout_seg = np.take(dout_flat, q_gather, axis=1, mode="clip",
+                           out=_arena.empty((batch, nseg, bs, head_dim),
+                                            dtype))
+        _arena.release(grad_out_pad)
+
+        # delta = rowsum(dOut * Out) per segment row (acc holds the
+        # normalised per-segment output blocks).
+        tmp = np.multiply(dout_seg, acc,
+                          out=_arena.empty((batch, nseg, bs, head_dim), dtype))
+        delta = tmp.sum(axis=-1,
+                        out=_arena.empty((batch, nseg, bs), dtype))
+        _arena.release(tmp)
+
+        sb = _arena.empty((batch, nseg, bs, bs), dtype)
+        dpb = _arena.empty((batch, nseg, bs, bs), dtype)
+        dv_stack = _arena.empty((batch, nnz, bs, head_dim), dtype)
+        dk_stack = _arena.empty((batch, nnz, bs, head_dim), dtype)
+        dq_scratch = _arena.empty((batch, nseg, bs, head_dim), dtype)
+        dq_acc = _arena.zeros((batch, nseg, bs, head_dim), np.float32)
+        for p, o0, o1 in rounds:
+            s = sb[:, :p]
+            # Probability tile from the saved logsumexp — same masked-fill /
+            # exp / re-mask sequence as the forward, minus the running max.
+            np.matmul(q_seg[:, :p], np.swapaxes(k_stream[:, o0:o1], -1, -2),
+                      out=s)
+            s *= scale
+            np.copyto(s, _NEG_INF, where=neg_mask[None, o0:o1])
+            s -= lse[:, :p, :, None]
+            np.exp(s, out=s)
+            np.multiply(s, mask_f32[None, o0:o1], out=s)
+            np.matmul(np.swapaxes(s, -1, -2), dout_seg[:, :p],
+                      out=dv_stack[:, o0:o1])
+            dp = dpb[:, :p]
+            np.matmul(dout_seg[:, :p],
+                      np.swapaxes(v_stream[:, o0:o1], -1, -2), out=dp)
+            dp -= delta[:, :p, :, None]
+            dp *= s
+            dp *= scale
+            np.matmul(dp, k_stream[:, o0:o1], out=dq_scratch[:, :p])
+            dq_acc[:, :p] += dq_scratch[:, :p]
+            np.matmul(np.swapaxes(dp, -1, -2), q_seg[:, :p],
+                      out=dk_stack[:, o0:o1])
+        _arena.release(sb, dpb, dq_scratch, dout_seg, delta)
+
+        dv = _scatter_stream_to_cols(dv_stack)
+        _arena.release(dv_stack)
+        dk = _scatter_stream_to_cols(dk_stack)
+        _arena.release(dk_stack)
+
+        dq5 = _arena.empty(out_shape5, np.float32)
+        dq5[:, seg_heads, seg_rows] = dq_acc
+        if row_uncovered.size:
+            dq5.reshape(batch, n_heads * n_blocks, bs, head_dim)[
+                :, row_uncovered] = 0.0
+        # acc/lse and the gathered streams are plan-owned in the recorded
+        # branch (release ignores them there) and arena buffers otherwise.
+        _arena.release(dq_acc, q_seg, k_stream, v_stream, acc, lse)
+        dq = dq5.reshape(batch, n_heads, padded_len, head_dim)
         return (dq[:, :, :seq_len], dk[:, :, :seq_len], dv[:, :, :seq_len])
 
     return custom_op(out, (q, k, v), backward)

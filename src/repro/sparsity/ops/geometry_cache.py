@@ -38,8 +38,10 @@ from repro.sparsity.ops.layout import MultiHeadLayout
 
 __all__ = [
     "BlockGeometry",
+    "StreamGeometry",
     "LayoutGeometryCache",
     "compute_block_geometry",
+    "compute_stream_geometry",
     "segment_geometry",
     "block_element_mask",
 ]
@@ -71,6 +73,36 @@ def block_element_mask(layout: MultiHeadLayout, seq_len: int) -> np.ndarray:
 
 
 @dataclass(frozen=True)
+class StreamGeometry:
+    """Index geometry for the *streaming* block-sparse kernel.
+
+    The streaming kernel visits each (head, query-row) softmax segment's
+    active blocks one at a time ("rounds"): round ``j`` processes the j-th
+    active block of every segment that has one.  Sorting the segments by
+    descending length (stable, so equal-length segments keep their layout
+    order) makes the set of segments alive in round ``j`` a contiguous
+    *prefix* of the sorted order — every per-round state update (running
+    max/sum, output accumulator) is then a plain prefix-slice operation with
+    no gather/scatter, and the stream visits each active block exactly once.
+
+    All arrays here are precomputed contiguous copies so the kernel's
+    per-round operands are pure views (no per-step index work, which is what
+    lets the recorded replay thunk stay allocation-free).
+    """
+
+    order: np.ndarray           # (nseg,) descending-length stable permutation
+    counts: np.ndarray          # (max_len,) live-segment count per round
+    offsets: np.ndarray         # (max_len + 1,) stream-order round boundaries
+    q_gather: np.ndarray        # (nseg,) linear (head, row) q-block per segment
+    kv_gather: np.ndarray       # (nnz,) linear (head, col) k/v-block, stream order
+    col_order: np.ndarray       # (nnz,) stream position of each col-sorted block
+    neg_mask: np.ndarray        # (nnz, bs, bs) ~element_mask, stream order
+    mask_f32: np.ndarray        # (nnz, bs, bs) float32 element mask, stream order
+    seg_heads: np.ndarray       # (nseg,) segment head, permuted by ``order``
+    seg_rows: np.ndarray        # (nseg,) segment row, permuted by ``order``
+
+
+@dataclass(frozen=True)
 class BlockGeometry:
     """Everything :func:`block_sparse_attention` derives from (layout, seq_len)."""
 
@@ -94,6 +126,48 @@ class BlockGeometry:
     col_gather: np.ndarray = None          # heads * n_blocks + cols (int64)
     row_uncovered: np.ndarray = None       # linear (head, row) slots w/o segment
     col_uncovered: np.ndarray = None       # linear (head, col) slots w/o segment
+    # Streaming-kernel bundle (always derived; the cache hands out one frozen
+    # object per (layout, seq_len) so both kernels share an entry).
+    stream: StreamGeometry = None
+
+
+def compute_stream_geometry(layout: MultiHeadLayout,
+                            seg_heads: np.ndarray, seg_rows: np.ndarray,
+                            element_mask: np.ndarray, col_order: np.ndarray,
+                            row_gather: np.ndarray, col_gather: np.ndarray
+                            ) -> StreamGeometry:
+    """Derive the streaming-order bundle from the base geometry pieces."""
+    starts = layout.row_segment_starts
+    nnz = layout.nnz
+    seg_lengths = np.diff(np.append(starts, nnz))
+    order = np.argsort(-seg_lengths, kind="stable")
+    sorted_lengths = seg_lengths[order]
+    max_len = int(sorted_lengths[0]) if sorted_lengths.size else 0
+    counts = np.array([int(np.count_nonzero(sorted_lengths > j))
+                       for j in range(max_len)], dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    # stream position t -> layout block index: round j takes the j-th block
+    # of the first counts[j] (longest) segments.
+    if max_len:
+        s2l = np.concatenate([starts[order[:counts[j]]] + j
+                              for j in range(max_len)]).astype(np.int64)
+    else:
+        s2l = np.zeros(0, dtype=np.int64)
+    l2s = np.empty(nnz, dtype=np.int64)
+    l2s[s2l] = np.arange(nnz, dtype=np.int64)
+    return StreamGeometry(
+        order=order.astype(np.int64),
+        counts=counts,
+        offsets=offsets,
+        q_gather=row_gather[starts][order],
+        kv_gather=col_gather[s2l],
+        col_order=l2s[col_order],
+        neg_mask=np.ascontiguousarray(~element_mask[s2l]),
+        mask_f32=np.ascontiguousarray(
+            element_mask[s2l].astype(np.float32)),
+        seg_heads=seg_heads[order],
+        seg_rows=seg_rows[order],
+    )
 
 
 def compute_block_geometry(layout: MultiHeadLayout, seq_len: int) -> BlockGeometry:
@@ -103,6 +177,11 @@ def compute_block_geometry(layout: MultiHeadLayout, seq_len: int) -> BlockGeomet
     element_mask = block_element_mask(layout, seq_len)
     n_blocks = np.int64(layout.n_blocks)
     all_slots = np.arange(layout.n_heads * layout.n_blocks, dtype=np.int64)
+    row_gather = layout.heads.astype(np.int64) * n_blocks + layout.rows
+    col_gather = layout.heads.astype(np.int64) * n_blocks + layout.cols
+    stream = compute_stream_geometry(layout, seg_heads, seg_rows,
+                                     element_mask, col_order,
+                                     row_gather, col_gather)
     return BlockGeometry(
         seg_ids=seg_ids, seg_heads=seg_heads, seg_rows=seg_rows,
         element_mask=element_mask,
@@ -110,12 +189,13 @@ def compute_block_geometry(layout: MultiHeadLayout, seq_len: int) -> BlockGeomet
         col_seg_heads=col_seg_heads, col_seg_cols=col_seg_cols,
         neg_element_mask=~element_mask,
         element_mask_f32=element_mask.astype(np.float32),
-        row_gather=layout.heads.astype(np.int64) * n_blocks + layout.rows,
-        col_gather=layout.heads.astype(np.int64) * n_blocks + layout.cols,
+        row_gather=row_gather,
+        col_gather=col_gather,
         row_uncovered=np.setdiff1d(
             all_slots, seg_heads.astype(np.int64) * n_blocks + seg_rows),
         col_uncovered=np.setdiff1d(
             all_slots, col_seg_heads.astype(np.int64) * n_blocks + col_seg_cols),
+        stream=stream,
     )
 
 

@@ -106,6 +106,17 @@ def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor,
                                                 scale=scale)
 
 
+def streaming_attention(q: Tensor, k: Tensor, v: Tensor,
+                        attn_mask: Optional[np.ndarray] = None,
+                        scale: Optional[float] = None,
+                        tile: Optional[int] = None) -> Tensor:
+    """Streaming tiled attention — O(seq * tile) scratch, same math as
+    :func:`scaled_dot_product_attention`.  ``tile`` defaults to the global
+    :func:`repro.tensor.fused.streaming_tile` setting."""
+    return _impl().streaming_attention(q, k, v, attn_mask=attn_mask,
+                                       scale=scale, tile=tile)
+
+
 def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
     """Inverted dropout; identity when ``training`` is False or ``p == 0``."""
     if not training or p <= 0.0:

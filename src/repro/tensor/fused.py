@@ -40,6 +40,7 @@ Derivations (notation: ``g`` is the incoming output gradient):
 from __future__ import annotations
 
 import contextlib
+import functools
 from typing import Optional, Tuple, Union
 
 import numpy as np
@@ -52,6 +53,11 @@ __all__ = [
     "fused_kernels_enabled",
     "set_fused_kernels",
     "reference_kernels",
+    "streaming_attention_enabled",
+    "streaming_tile",
+    "set_streaming_attention",
+    "streaming_kernels",
+    "guard_zero_rows",
     "softmax",
     "log_softmax",
     "masked_softmax",
@@ -59,6 +65,7 @@ __all__ = [
     "linear",
     "cross_entropy_logits",
     "scaled_dot_product_attention",
+    "streaming_attention",
 ]
 
 _NEG_FILL = np.float32(-1e9)
@@ -96,21 +103,121 @@ def reference_kernels():
 
 
 # ---------------------------------------------------------------------------
+# global switch: streaming tiled attention for long contexts
+# ---------------------------------------------------------------------------
+
+_STREAMING_ENABLED = False
+_STREAMING_TILE = 128
+
+
+def streaming_attention_enabled() -> bool:
+    """Whether attention routes through the streaming tiled kernel."""
+    return _STREAMING_ENABLED
+
+
+def streaming_tile() -> int:
+    """Current K/V tile width of the streaming attention kernel."""
+    return _STREAMING_TILE
+
+
+def set_streaming_attention(enabled: bool, tile: Optional[int] = None) -> None:
+    """Globally enable/disable streaming tiled attention.
+
+    With streaming enabled, :class:`repro.nn.attention.DenseAttentionBackend`
+    (and the block-sparse chain, when asked) computes attention over K/V
+    tiles of width ``tile`` with online max/sum rescaling, so only an
+    ``O(seq * tile)`` score scratch ever exists instead of the full
+    ``O(seq²)`` probability matrix.  The backward re-streams the tiles and
+    recomputes probabilities from the saved per-row logsumexp.
+    """
+    global _STREAMING_ENABLED, _STREAMING_TILE
+    if tile is not None:
+        tile = int(tile)
+        if tile <= 0:
+            raise ValueError(f"tile must be positive, got {tile}")
+        _STREAMING_TILE = tile
+    _STREAMING_ENABLED = bool(enabled)
+
+
+@contextlib.contextmanager
+def streaming_kernels(enabled: bool = True, tile: Optional[int] = None):
+    """Context manager scoping the streaming-attention switch (and tile)."""
+    previous = (_STREAMING_ENABLED, _STREAMING_TILE)
+    set_streaming_attention(enabled, tile)
+    try:
+        yield
+    finally:
+        set_streaming_attention(*previous)
+
+
+# ---------------------------------------------------------------------------
+# shared numerical conventions
+# ---------------------------------------------------------------------------
+
+def guard_zero_rows(denom: np.ndarray,
+                    scratch: Optional[np.ndarray] = None) -> np.ndarray:
+    """Replace exactly-zero softmax denominators with one, in place.
+
+    This is the single home of the fully-masked-row convention: rows with no
+    kept position (padded sequences, extreme sparsity, zero active blocks)
+    have an all-zero exp-sum, and dividing by the guarded denominator leaves
+    them as exactly-zero probability rows — in every implementation
+    (``masked_softmax``, fused SDPA, the block-sparse chain, the streaming
+    kernels and the oracle exposer).  Rows with any kept position are
+    untouched bit-for-bit.
+
+    ``scratch`` is an optional boolean buffer of ``denom``'s shape (recorded
+    kernels pass their plan-owned buffer); without it the scratch comes from
+    the arena, so no per-step heap allocation survives either way.
+    """
+    if scratch is None:
+        scratch = _arena.empty(denom.shape, bool)
+        np.equal(denom, 0.0, out=scratch)
+        np.copyto(denom, 1.0, where=scratch)
+        _arena.release(scratch)
+    else:
+        np.equal(denom, 0.0, out=scratch)
+        np.copyto(denom, 1.0, where=scratch)
+    return denom
+
+
+def _reduced_shape(shape: Tuple[int, ...], axis: int) -> Tuple[int, ...]:
+    """The keepdims result shape of a reduction along ``axis``."""
+    axis = axis % len(shape)
+    return shape[:axis] + (1,) + shape[axis + 1:]
+
+
+@functools.lru_cache(maxsize=16)
+def _row_indices(n: int) -> np.ndarray:
+    """Cached read-only ``arange(n)`` — shared row-index vector for fancy
+    indexing, so steady-state steps never re-allocate it."""
+    idx = np.arange(n)
+    idx.setflags(write=False)
+    return idx
+
+
+# ---------------------------------------------------------------------------
 # softmax family
 # ---------------------------------------------------------------------------
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis`` as one fused node."""
     data = x.data
-    probs = np.subtract(data, data.max(axis=axis, keepdims=True),
-                        out=_arena.empty(data.shape, data.dtype))
+    red_shape = _reduced_shape(data.shape, axis)
+    red = data.max(axis=axis, keepdims=True,
+                   out=_arena.empty(red_shape, data.dtype))
+    probs = np.subtract(data, red, out=_arena.empty(data.shape, data.dtype))
     np.exp(probs, out=probs)
-    probs /= probs.sum(axis=axis, keepdims=True)
+    probs.sum(axis=axis, keepdims=True, out=red)
+    probs /= red
+    _arena.release(red)
 
     def backward(grad):
         tmp = np.multiply(grad, probs, out=_arena.empty(probs.shape, probs.dtype))
-        dot = tmp.sum(axis=axis, keepdims=True)
+        dot = tmp.sum(axis=axis, keepdims=True,
+                      out=_arena.empty(red_shape, probs.dtype))
         np.subtract(grad, dot, out=tmp)
+        _arena.release(dot)
         tmp *= probs
         return (tmp,)
 
@@ -120,16 +227,23 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Log-softmax with a fused backward (used by the LM scoring path)."""
     data = x.data
-    out = np.subtract(data, data.max(axis=axis, keepdims=True),
-                      out=_arena.empty(data.shape, data.dtype))
+    red_shape = _reduced_shape(data.shape, axis)
+    red = data.max(axis=axis, keepdims=True,
+                   out=_arena.empty(red_shape, data.dtype))
+    out = np.subtract(data, red, out=_arena.empty(data.shape, data.dtype))
     exp = np.exp(out, out=_arena.empty(out.shape, out.dtype))
-    logsumexp = np.log(exp.sum(axis=axis, keepdims=True))
+    exp.sum(axis=axis, keepdims=True, out=red)
     _arena.release(exp)
+    logsumexp = np.log(red, out=red)
     out -= logsumexp
+    _arena.release(red)
 
     def backward(grad):
         tmp = np.exp(out, out=_arena.empty(out.shape, out.dtype))
-        tmp *= grad.sum(axis=axis, keepdims=True)
+        dot = grad.sum(axis=axis, keepdims=True,
+                       out=_arena.empty(red_shape, out.dtype))
+        tmp *= dot
+        _arena.release(dot)
         np.subtract(grad, tmp, out=tmp)
         return (tmp,)
 
@@ -154,19 +268,26 @@ def masked_softmax(scores: Tensor, mask: Optional[np.ndarray], axis: int = -1,
     probs = _arena.empty(shape, data.dtype)
     probs[...] = np.asarray(neg_fill, dtype=data.dtype)
     np.copyto(probs, np.broadcast_to(data, shape), where=mask)
-    probs -= probs.max(axis=axis, keepdims=True)
+    red_shape = _reduced_shape(shape, axis)
+    red = probs.max(axis=axis, keepdims=True,
+                    out=_arena.empty(red_shape, data.dtype))
+    probs -= red
     np.exp(probs, out=probs)
     np.multiply(probs, mask, out=probs)
-    denom = probs.sum(axis=axis, keepdims=True)
-    np.divide(probs, np.where(denom == 0, 1.0, denom), out=probs)
+    probs.sum(axis=axis, keepdims=True, out=red)
+    guard_zero_rows(red)
+    probs /= red
+    _arena.release(red)
 
     def backward(grad):
         grad = np.multiply(grad, mask, out=_arena.empty(probs.shape, probs.dtype))
         tmp = np.multiply(grad, probs, out=_arena.empty(probs.shape, probs.dtype))
-        dot = tmp.sum(axis=axis, keepdims=True)
+        dot = tmp.sum(axis=axis, keepdims=True,
+                      out=_arena.empty(red_shape, probs.dtype))
         _arena.release(tmp)
         grad -= dot
         grad *= probs
+        _arena.release(dot)
         return (grad,)
 
     return custom_op(probs, (scores,), backward)
@@ -179,36 +300,43 @@ def masked_softmax(scores: Tensor, mask: Optional[np.ndarray], axis: int = -1,
 def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
     """Layer normalisation over the last dimension with affine parameters."""
     data = x.data
+    red_shape = data.shape[:-1] + (1,)
     rec = _plan._RECORDER
     if rec is not None:
         w, b = weight.data, bias.data
         normalized = np.empty(data.shape, data.dtype)
         sq = np.empty(data.shape, data.dtype)
-        inv_std = np.empty(data.shape[:-1] + (1,), data.dtype)
+        mean = np.empty(red_shape, data.dtype)
+        inv_std = np.empty(red_shape, data.dtype)
         out = np.empty(data.shape, data.dtype)
 
         def run(data=data, w=w, b=b, normalized=normalized, sq=sq,
-                inv_std=inv_std, out=out):
-            mean = data.mean(axis=-1, keepdims=True)
+                mean=mean, inv_std=inv_std, out=out):
+            data.mean(axis=-1, keepdims=True, out=mean)
             np.subtract(data, mean, out=normalized)
             np.square(normalized, out=sq)
-            var = sq.mean(axis=-1, keepdims=True)
-            np.add(var, eps, out=var)
-            np.sqrt(var, out=var)
-            np.divide(1.0, var, out=inv_std)
+            sq.mean(axis=-1, keepdims=True, out=inv_std)
+            np.add(inv_std, eps, out=inv_std)
+            np.sqrt(inv_std, out=inv_std)
+            np.divide(1.0, inv_std, out=inv_std)
             np.multiply(normalized, inv_std, out=normalized)
             np.multiply(normalized, w, out=out)
             np.add(out, b, out=out)
 
         run()
-        rec.record(run, (data, w, b), (normalized, sq, inv_std, out),
+        rec.record(run, (data, w, b), (normalized, sq, mean, inv_std, out),
                    tag="layer_norm")
     else:
-        mean = data.mean(axis=-1, keepdims=True)
+        mean = data.mean(axis=-1, keepdims=True,
+                         out=_arena.empty(red_shape, data.dtype))
         normalized = np.subtract(data, mean,
                                  out=_arena.empty(data.shape, data.dtype))
-        var = np.square(normalized).mean(axis=-1, keepdims=True)
-        inv_std = 1.0 / np.sqrt(var + eps, out=var)
+        sq = np.square(normalized, out=_arena.empty(data.shape, data.dtype))
+        var = sq.mean(axis=-1, keepdims=True, out=mean)
+        _arena.release(sq)
+        np.add(var, eps, out=var)
+        np.sqrt(var, out=var)
+        inv_std = np.divide(1.0, var, out=var)
         normalized *= inv_std
         out = np.multiply(normalized, weight.data,
                           out=_arena.empty(data.shape, data.dtype))
@@ -222,19 +350,23 @@ def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Te
         grad_weight = grad_bias = None
         if weight.requires_grad:
             np.multiply(grad, normalized, out=tmp)
-            grad_weight = tmp.reshape(-1, dim).sum(axis=0)
+            grad_weight = tmp.reshape(-1, dim).sum(
+                axis=0, out=_arena.empty((dim,), normalized.dtype))
         if bias.requires_grad:
-            grad_bias = grad.reshape(-1, dim).sum(axis=0)
+            grad_bias = grad.reshape(-1, dim).sum(
+                axis=0, out=_arena.empty((dim,), normalized.dtype))
         # ``tmp`` doubles as the grad_norm buffer once grad_weight is reduced.
         grad_norm = np.multiply(grad, weight.data, out=tmp)
-        grad_x = np.subtract(grad_norm, grad_norm.mean(axis=-1, keepdims=True),
+        inner = grad_norm.mean(axis=-1, keepdims=True,
+                               out=_arena.empty(red_shape, normalized.dtype))
+        grad_x = np.subtract(grad_norm, inner,
                              out=_arena.empty(normalized.shape, normalized.dtype))
         np.multiply(grad_norm, normalized, out=grad_norm)
-        inner_mean = grad_norm.mean(axis=-1, keepdims=True)
-        np.multiply(normalized, inner_mean, out=grad_norm)
+        grad_norm.mean(axis=-1, keepdims=True, out=inner)
+        np.multiply(normalized, inner, out=grad_norm)
         grad_x -= grad_norm
         grad_x *= inv_std
-        _arena.release(tmp, normalized)
+        _arena.release(tmp, normalized, inner, inv_std)
         return grad_x, grad_weight, grad_bias
 
     return custom_op(out, (x, weight, bias), backward)
@@ -274,7 +406,10 @@ def _gelu_local_grad(pre: np.ndarray, tanh_inner: np.ndarray) -> np.ndarray:
     d_inner *= _GELU_C
     local = np.multiply(sech2, d_inner, out=sech2)
     local *= pre
-    local += 1.0 + tanh_inner
+    # ``local += 1.0 + tanh_inner`` staged through scratch: the expression
+    # form materialised a full-size heap temporary on every backward.
+    np.add(tanh_inner, 1.0, out=d_inner)
+    local += d_inner
     local *= 0.5
     _arena.release(d_inner)
     return local
@@ -421,7 +556,8 @@ def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
             grad_w = np.matmul(grad2d.T, x2d,
                                out=_arena.empty((out_features, in_features),
                                                 np.result_type(grad2d, x2d)))
-        grad_b = (grad2d.sum(axis=0)
+        grad_b = (grad2d.sum(axis=0,
+                             out=_arena.empty((out_features,), grad2d.dtype))
                   if bias is not None and bias.requires_grad else None)
         if act_grad is not None:
             _arena.release(act_grad)
@@ -462,65 +598,80 @@ def cross_entropy_logits(logits: Tensor, targets: np.ndarray,
         scored = data
     vocab = scored.shape[-1]
     n_rows = int(np.prod(scored.shape[:-1], dtype=np.int64))
-    rows = np.arange(n_rows)
+    rows = _row_indices(n_rows)
     rec = _plan._RECORDER
     if rec is not None:
-        # Recorded form.  The target-derived state (valid mask, safe targets,
-        # valid count) changes with every staged batch, so the replay thunk
-        # recomputes it into ``st`` — shared mutable state the backward
-        # closure reads — while the heavy (rows, vocab) buffers are bound
-        # once.  ``targets`` stays a view of the staged labels buffer.
+        # Recorded form.  Every target-derived array (valid mask, safe
+        # targets, the per-row reductions) lives in a plan-owned buffer bound
+        # once and refreshed by the replay thunk, so replaying the step heaps
+        # nothing; the per-batch *scalars* (valid count, denominator) go
+        # through ``st`` — shared mutable state the backward closure reads.
         probs = np.empty((n_rows, vocab), data.dtype)
         loss_buf = np.empty((), np.float32)
+        valid = np.empty((n_rows,), bool)
+        safe_targets = np.empty((n_rows,), np.int64)
+        gather_idx = np.empty((n_rows,), np.int64)
+        row_red = np.empty((n_rows, 1), data.dtype)
+        target_logits = np.empty((n_rows,), data.dtype)
+        picked = np.empty((n_rows,), data.dtype)
         if shift:
             flat_logits = np.empty((n_rows, vocab), data.dtype)
             flat_view = flat_logits.reshape(scored.shape)
+            flat_targets = np.empty((n_rows,), np.asarray(targets).dtype)
+            targets_view = flat_targets.reshape(targets.shape)
         else:
             flat_logits = scored.reshape(-1, vocab)
             flat_view = None
+            flat_targets = targets.reshape(-1)
+            targets_view = None
             if not np.may_share_memory(flat_logits, data):
                 rec.fail("cross entropy over non-contiguous logits")
         st = {}
 
         def run(data=data, targets=targets, probs=probs, loss_buf=loss_buf,
-                flat_logits=flat_logits, flat_view=flat_view, st=st):
+                flat_logits=flat_logits, flat_view=flat_view,
+                flat_targets=flat_targets, targets_view=targets_view, st=st):
             if flat_view is not None:
                 np.copyto(flat_view, scored)
-            flat_targets = targets.reshape(-1)
-            valid = flat_targets != ignore_index
+            if targets_view is not None:
+                np.copyto(targets_view, targets)
+            np.not_equal(flat_targets, ignore_index, out=valid)
             n_valid = int(valid.sum())
-            safe_targets = np.where(valid, flat_targets, 0)
-            np.subtract(flat_logits, flat_logits.max(axis=-1, keepdims=True),
-                        out=probs)
-            target_logits = probs[rows, safe_targets]
+            np.multiply(flat_targets, valid, out=safe_targets)
+            flat_logits.max(axis=-1, keepdims=True, out=row_red)
+            np.subtract(flat_logits, row_red, out=probs)
+            np.multiply(rows, vocab, out=gather_idx)
+            np.add(gather_idx, safe_targets, out=gather_idx)
+            np.take(probs.reshape(-1), gather_idx, out=target_logits)
             np.exp(probs, out=probs)
-            denom_rows = probs.sum(axis=-1, keepdims=True)
-            picked = target_logits - np.log(denom_rows[:, 0])
-            np.divide(probs, denom_rows, out=probs)
+            probs.sum(axis=-1, keepdims=True, out=row_red)
+            np.log(row_red[:, 0], out=picked)
+            np.subtract(target_logits, picked, out=picked)
+            np.divide(probs, row_red, out=probs)
             denom = max(n_valid, 1)
-            loss_buf[...] = -(picked * valid).sum() / denom
-            st["valid"] = valid
-            st["safe_targets"] = safe_targets
+            np.multiply(picked, valid, out=picked)
+            loss_buf[...] = -picked.sum() / denom
             st["denom"] = denom
             st["n_valid"] = n_valid
 
         run()
         reads = (data, targets)
-        writes = (probs, loss_buf) if not shift else (probs, loss_buf,
-                                                      flat_logits)
-        rec.record(run, reads, writes, tag="cross_entropy")
+        writes = [probs, loss_buf, valid, safe_targets, gather_idx, row_red,
+                  target_logits, picked]
+        if shift:
+            writes += [flat_logits, flat_targets]
+        rec.record(run, reads, tuple(writes), tag="cross_entropy")
         rec.extras["cross_entropy_state"] = st
         n_valid = st["n_valid"]
 
         def backward(grad):
             grad = np.asarray(grad).reshape(())
-            valid = st["valid"]
-            safe_targets = st["safe_targets"]
             denom = st["denom"]
             grad_flat = _arena.empty(probs.shape, probs.dtype)
             np.copyto(grad_flat, probs)
             grad_flat[rows, safe_targets] -= 1.0
-            grad_flat *= (valid[:, None] / denom) * grad
+            np.multiply(grad_flat, valid[:, None], out=grad_flat)
+            grad_flat *= float(grad) / denom
             if not shift:
                 return (grad_flat.reshape(data.shape),)
             full = _arena.empty(data.shape, data.dtype)
@@ -533,41 +684,59 @@ def cross_entropy_logits(logits: Tensor, targets: np.ndarray,
         return loss, n_valid
 
     if shift:
-        # The shifted slice is non-contiguous, so reshape would copy anyway;
-        # route the copy through the arena instead.
+        # The shifted slices are non-contiguous, so reshape would copy
+        # anyway; route the copies through the arena instead.
         flat_logits = _arena.empty((n_rows, vocab), data.dtype)
         np.copyto(flat_logits.reshape(scored.shape), scored)
+        flat_targets = _arena.empty((n_rows,), np.asarray(targets).dtype)
+        np.copyto(flat_targets.reshape(targets.shape), targets)
     else:
         flat_logits = scored.reshape(-1, vocab)
-    flat_targets = targets.reshape(-1)
-    valid = flat_targets != ignore_index
+        flat_targets = targets.reshape(-1)
+    valid = _arena.empty((n_rows,), bool)
+    np.not_equal(flat_targets, ignore_index, out=valid)
     n_valid = int(valid.sum())
-    safe_targets = np.where(valid, flat_targets, 0)
+    safe_targets = _arena.empty((n_rows,), np.int64)
+    np.multiply(flat_targets, valid, out=safe_targets)
+    if shift:
+        _arena.release(flat_targets)
 
-    shifted = np.subtract(flat_logits, flat_logits.max(axis=-1, keepdims=True),
+    row_red = flat_logits.max(axis=-1, keepdims=True,
+                              out=_arena.empty((n_rows, 1), data.dtype))
+    shifted = np.subtract(flat_logits, row_red,
                           out=_arena.empty((n_rows, vocab), data.dtype))
     if shift:
         _arena.release(flat_logits)
     # Pull the target-token logits out *before* exponentiating in place: the
     # probabilities then reuse the shifted buffer, so the op keeps a single
     # (rows, vocab) array alive for the backward instead of two.
-    target_logits = shifted[rows, safe_targets]
+    gather_idx = _arena.empty((n_rows,), np.int64)
+    np.multiply(rows, vocab, out=gather_idx)
+    gather_idx += safe_targets
+    target_logits = np.take(shifted.reshape(-1), gather_idx,
+                            out=_arena.empty((n_rows,), data.dtype))
+    _arena.release(gather_idx)
     probs = np.exp(shifted, out=shifted)
-    denom_rows = probs.sum(axis=-1, keepdims=True)
+    probs.sum(axis=-1, keepdims=True, out=row_red)
     # log-prob of the target token only — the full log-prob matrix is never
     # materialised; ``probs`` doubles as the saved state for the backward.
-    picked = target_logits - np.log(denom_rows[:, 0])
-    np.divide(probs, denom_rows, out=probs)
+    picked = np.log(row_red[:, 0], out=_arena.empty((n_rows,), data.dtype))
+    np.subtract(target_logits, picked, out=picked)
+    np.divide(probs, row_red, out=probs)
+    _arena.release(row_red, target_logits)
     denom = max(n_valid, 1)
-    loss_value = -(picked * valid).sum() / denom
+    np.multiply(picked, valid, out=picked)
+    loss_value = -picked.sum() / denom
+    _arena.release(picked)
 
     def backward(grad):
         grad = np.asarray(grad).reshape(())
         grad_flat = _arena.empty(probs.shape, probs.dtype)
         np.copyto(grad_flat, probs)
         grad_flat[rows, safe_targets] -= 1.0
-        grad_flat *= (valid[:, None] / denom) * grad
-        _arena.release(probs)
+        np.multiply(grad_flat, valid[:, None], out=grad_flat)
+        grad_flat *= float(grad) / denom
+        _arena.release(probs, valid, safe_targets)
         if not shift:
             return (grad_flat.reshape(data.shape),)
         full = _arena.empty(data.shape, data.dtype)
@@ -600,7 +769,7 @@ def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor,
     With ``return_probs=True`` also returns a copy of the attention
     probabilities (predictor data collection reads them as ground truth).
     """
-    scale = scale if scale is not None else 1.0 / np.sqrt(q.shape[-1])
+    scale = float(scale) if scale is not None else float(1.0 / np.sqrt(q.shape[-1]))
     if attn_mask is not None:
         attn_mask = np.asarray(attn_mask, dtype=bool)
 
@@ -616,37 +785,52 @@ def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor,
         kT = np.swapaxes(k_data, -1, -2)
         drop_mask = None if attn_mask is None else ~attn_mask
         probs = np.empty(score_shape, q_data.dtype)
+        red = np.empty(score_shape[:-1] + (1,), q_data.dtype)
+        zero_rows = np.empty(red.shape, bool)
         out = np.empty(q.shape[:-1] + (v.shape[-1],), q_data.dtype)
 
-        def run(q_data=q_data, kT=kT, v_data=v_data, probs=probs, out=out,
-                attn_mask=attn_mask, drop_mask=drop_mask, scale=scale):
+        def run(q_data=q_data, kT=kT, v_data=v_data, probs=probs, red=red,
+                zero_rows=zero_rows, out=out, attn_mask=attn_mask,
+                drop_mask=drop_mask, scale=scale):
             np.matmul(q_data, kT, out=probs)
             probs *= scale
             if attn_mask is not None:
                 np.copyto(probs, _NEG_FILL, where=drop_mask)
-            probs -= probs.max(axis=-1, keepdims=True)
+            probs.max(axis=-1, keepdims=True, out=red)
+            probs -= red
             np.exp(probs, out=probs)
             if attn_mask is not None:
                 np.multiply(probs, attn_mask, out=probs)
-            denom = probs.sum(axis=-1, keepdims=True)
-            np.divide(probs, np.where(denom == 0, 1.0, denom), out=probs)
+            probs.sum(axis=-1, keepdims=True, out=red)
+            guard_zero_rows(red, scratch=zero_rows)
+            probs /= red
             np.matmul(probs, v_data, out=out)
 
         run()
-        rec.record(run, (q_data, k_data, v_data), (probs, out),
-                   tag="sdpa")
+        rec.record(run, (q_data, k_data, v_data),
+                   (probs, red, zero_rows, out), tag="sdpa")
     else:
         probs = np.matmul(q.data, np.swapaxes(k.data, -1, -2),
                           out=_arena.empty(score_shape, q.data.dtype))
         probs *= scale
         if attn_mask is not None:
-            np.copyto(probs, _NEG_FILL, where=~attn_mask)
-        probs -= probs.max(axis=-1, keepdims=True)
+            # Negate into arena scratch: a bare ``~attn_mask`` is a fresh
+            # O(seq^2)-scale bool allocation on every captured-mode step.
+            drop = np.logical_not(attn_mask,
+                                  out=_arena.empty(attn_mask.shape, bool))
+            np.copyto(probs, _NEG_FILL, where=drop)
+            _arena.release(drop)
+        red = probs.max(axis=-1, keepdims=True,
+                        out=_arena.empty(score_shape[:-1] + (1,),
+                                         q.data.dtype))
+        probs -= red
         np.exp(probs, out=probs)
         if attn_mask is not None:
             np.multiply(probs, attn_mask, out=probs)
-        denom = probs.sum(axis=-1, keepdims=True)
-        np.divide(probs, np.where(denom == 0, 1.0, denom), out=probs)
+        probs.sum(axis=-1, keepdims=True, out=red)
+        guard_zero_rows(red)
+        probs /= red
+        _arena.release(red)
         out = np.matmul(probs, v.data,
                         out=_arena.empty(q.shape[:-1] + (v.shape[-1],),
                                          q.data.dtype))
@@ -658,9 +842,11 @@ def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor,
         dS = np.matmul(grad_out, np.swapaxes(v.data, -1, -2),
                        out=_arena.empty(score_shape, q.data.dtype))
         tmp = np.multiply(dS, probs, out=_arena.empty(score_shape, q.data.dtype))
-        dot = tmp.sum(axis=-1, keepdims=True)
+        dot = tmp.sum(axis=-1, keepdims=True,
+                      out=_arena.empty(score_shape[:-1] + (1,), q.data.dtype))
         _arena.release(tmp)
         dS -= dot
+        _arena.release(dot)
         dS *= probs
         dS *= scale
         grad_q = np.matmul(dS, k.data, out=_arena.empty(q.shape, q.data.dtype))
@@ -673,3 +859,204 @@ def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor,
     if return_probs:
         return result, probs.copy()
     return result
+
+
+# ---------------------------------------------------------------------------
+# streaming tiled attention (FlashAttention-style online softmax)
+# ---------------------------------------------------------------------------
+
+def _stream_attention_forward(q_data, kT, v_data, keep_b, drop_map, scale,
+                              tiles, s_map, red, corr, m_buf, lse,
+                              zero_rows, pv, out):
+    """One online-softmax sweep over the K/V tiles, entirely into the given
+    buffers.  Shared verbatim by the recorded thunk and the interpreted path
+    so captured and uncaptured execution stay bitwise identical.
+
+    ``m_buf``/``lse`` carry the running row max and exp-sum; after the sweep
+    ``lse`` is rewritten in place to the per-row logsumexp the recompute
+    backward needs.  ``s_map`` maps tile width -> score scratch (the final
+    ragged tile gets its own exact-width buffer so every matmul writes a
+    contiguous destination).  ``drop_map`` is the matching bool scratch the
+    masked fill negates each keep tile into — negating per tile keeps the
+    drop mask O(seq * tile); a whole-matrix ``~mask`` would be a fresh
+    O(seq^2) allocation on every call.
+    """
+    m_buf.fill(-np.inf)
+    lse.fill(0.0)
+    out.fill(0.0)
+    for j0, j1 in tiles:
+        s = s_map[j1 - j0]
+        np.matmul(q_data, kT[..., j0:j1], out=s)
+        s *= scale
+        if keep_b is not None:
+            drop = np.logical_not(keep_b[..., j0:j1], out=drop_map[j1 - j0])
+            np.copyto(s, _NEG_FILL, where=drop)
+        s.max(axis=-1, keepdims=True, out=red)
+        np.maximum(m_buf, red, out=red)
+        # corr = exp(m_old - m_new) rescales the running sum/accumulator;
+        # exactly 0.0 on the first tile (m_old = -inf), so the fills above
+        # are what the first rescale multiplies.
+        np.subtract(m_buf, red, out=corr)
+        np.exp(corr, out=corr)
+        np.copyto(m_buf, red)
+        s -= m_buf
+        np.exp(s, out=s)
+        if keep_b is not None:
+            np.multiply(s, keep_b[..., j0:j1], out=s)
+        lse *= corr
+        s.sum(axis=-1, keepdims=True, out=red)
+        lse += red
+        out *= corr
+        np.matmul(s, v_data[..., j0:j1, :], out=pv)
+        out += pv
+    guard_zero_rows(lse, scratch=zero_rows)
+    out /= lse
+    np.log(lse, out=lse)
+    lse += m_buf
+
+
+def streaming_attention(q: Tensor, k: Tensor, v: Tensor,
+                        attn_mask: Optional[np.ndarray] = None,
+                        scale: Optional[float] = None,
+                        tile: Optional[int] = None) -> Tensor:
+    """Streaming tiled ``softmax(Q K^T * scale) V`` — O(seq * tile) scratch.
+
+    Numerically equivalent to :func:`scaled_dot_product_attention` (same
+    masking and fully-masked-row conventions via :func:`guard_zero_rows`)
+    but the full ``(seq, seq)`` score matrix is never materialised: the
+    forward streams K/V tiles with online max/sum rescaling, keeping only a
+    ``(batch, heads, seq, tile)`` score scratch plus per-row running
+    statistics, and saves the per-row logsumexp so the backward can
+    re-stream the same tiles and recompute each probability block on the
+    fly while accumulating dQ/dK/dV.
+
+    Forward results differ from the materializing kernel only by
+    accumulation order (one rescaled partial sum per tile instead of a
+    single row-wide reduction); the parity suite bounds the drift.
+    """
+    scale = float(scale) if scale is not None else float(1.0 / np.sqrt(q.shape[-1]))
+    tile = int(tile) if tile is not None else streaming_tile()
+    if tile <= 0:
+        raise ValueError(f"tile must be positive, got {tile}")
+    if attn_mask is not None:
+        attn_mask = np.asarray(attn_mask, dtype=bool)
+
+    q_data, k_data, v_data = q.data, k.data, v.data
+    sk = k.shape[-2]
+    tile = min(tile, sk)
+    tiles = tuple((j0, min(j0 + tile, sk)) for j0 in range(0, sk, tile))
+    tail = sk % tile
+    red_shape = q.shape[:-1] + (1,)
+    out_shape = q.shape[:-1] + (v.shape[-1],)
+    kT = np.swapaxes(k_data, -1, -2)
+    if attn_mask is not None:
+        full_shape = q.shape[:-1] + (sk,)
+        keep_b = np.broadcast_to(attn_mask, full_shape)
+    else:
+        keep_b = None
+    widths = (tile, tail) if tail else (tile,)
+
+    rec = _plan._RECORDER
+    if rec is not None:
+        s_map = {w: np.empty(q.shape[:-1] + (w,), q_data.dtype)
+                 for w in widths}
+        drop_map = ({w: np.empty(q.shape[:-1] + (w,), bool) for w in widths}
+                    if keep_b is not None else None)
+        red = np.empty(red_shape, q_data.dtype)
+        corr = np.empty(red_shape, q_data.dtype)
+        m_buf = np.empty(red_shape, q_data.dtype)
+        lse = np.empty(red_shape, q_data.dtype)
+        zero_rows = np.empty(red_shape, bool)
+        pv = np.empty(out_shape, q_data.dtype)
+        out = np.empty(out_shape, q_data.dtype)
+
+        def run(q_data=q_data, kT=kT, v_data=v_data, keep_b=keep_b,
+                drop_map=drop_map, scale=scale, tiles=tiles, s_map=s_map,
+                red=red, corr=corr, m_buf=m_buf, lse=lse,
+                zero_rows=zero_rows, pv=pv, out=out):
+            _stream_attention_forward(q_data, kT, v_data, keep_b, drop_map,
+                                      scale, tiles, s_map, red, corr, m_buf,
+                                      lse, zero_rows, pv, out)
+
+        run()
+        writes = tuple(s_map.values()) + (red, corr, m_buf, lse, zero_rows,
+                                          pv, out)
+        if drop_map is not None:
+            writes += tuple(drop_map.values())
+        rec.record(run, (q_data, k_data, v_data), writes,
+                   tag="streaming_attention")
+    else:
+        s_map = {w: _arena.empty(q.shape[:-1] + (w,), q_data.dtype)
+                 for w in widths}
+        drop_map = ({w: _arena.empty(q.shape[:-1] + (w,), bool)
+                     for w in widths}
+                    if keep_b is not None else None)
+        red = _arena.empty(red_shape, q_data.dtype)
+        corr = _arena.empty(red_shape, q_data.dtype)
+        m_buf = _arena.empty(red_shape, q_data.dtype)
+        lse = _arena.empty(red_shape, q_data.dtype)
+        zero_rows = _arena.empty(red_shape, bool)
+        pv = _arena.empty(out_shape, q_data.dtype)
+        out = _arena.empty(out_shape, q_data.dtype)
+        _stream_attention_forward(q_data, kT, v_data, keep_b, drop_map, scale,
+                                  tiles, s_map, red, corr, m_buf, lse,
+                                  zero_rows, pv, out)
+        # lse survives for the recompute backward; out is the op result.
+        _arena.release(*s_map.values())
+        if drop_map is not None:
+            _arena.release(*drop_map.values())
+        _arena.release(red, corr, m_buf, zero_rows, pv)
+
+    def backward(grad_out):
+        dtype = q_data.dtype
+        # delta_i = sum_d dO_id * O_id (the softmax-backward row dot).
+        tmp = np.multiply(grad_out, out, out=_arena.empty(out_shape, dtype))
+        delta = tmp.sum(axis=-1, keepdims=True,
+                        out=_arena.empty(red_shape, dtype))
+        _arena.release(tmp)
+        p_map = {w: _arena.empty(q.shape[:-1] + (w,), dtype) for w in widths}
+        dp_map = {w: _arena.empty(q.shape[:-1] + (w,), dtype) for w in widths}
+        bd_map = ({w: _arena.empty(q.shape[:-1] + (w,), bool) for w in widths}
+                  if keep_b is not None else None)
+        dq_scratch = _arena.empty(q.shape, dtype)
+        grad_q = _arena.zeros(q.shape, dtype)
+        grad_k = _arena.empty(k.shape, k_data.dtype)
+        grad_v = _arena.empty(v.shape, v_data.dtype)
+        for j0, j1 in tiles:
+            w = j1 - j0
+            p = p_map[w]
+            # Recompute the probability tile from the saved logsumexp — no
+            # second max pass needed since lse >= every kept score.
+            np.matmul(q_data, kT[..., j0:j1], out=p)
+            p *= scale
+            if keep_b is not None:
+                drop = np.logical_not(keep_b[..., j0:j1], out=bd_map[w])
+                np.copyto(p, _NEG_FILL, where=drop)
+            p -= lse
+            np.exp(p, out=p)
+            if keep_b is not None:
+                np.multiply(p, keep_b[..., j0:j1], out=p)
+            # Each K/V position lives in exactly one tile, so dK/dV tiles
+            # are written once, directly into their slices.
+            np.matmul(np.swapaxes(p, -1, -2), grad_out,
+                      out=grad_v[..., j0:j1, :])
+            dp = dp_map[w]
+            np.matmul(grad_out, np.swapaxes(v_data[..., j0:j1, :], -1, -2),
+                      out=dp)
+            dp -= delta
+            dp *= p
+            dp *= scale
+            np.matmul(dp, k_data[..., j0:j1, :], out=dq_scratch)
+            grad_q += dq_scratch
+            np.matmul(np.swapaxes(dp, -1, -2), q_data,
+                      out=grad_k[..., j0:j1, :])
+        _arena.release(*p_map.values())
+        _arena.release(*dp_map.values())
+        if bd_map is not None:
+            _arena.release(*bd_map.values())
+        # lse is plan-owned in the recorded branch; release() ignores it
+        # there and frees the arena buffer otherwise.
+        _arena.release(delta, dq_scratch, lse)
+        return grad_q, grad_k, grad_v
+
+    return custom_op(out, (q, k, v), backward)

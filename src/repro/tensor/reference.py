@@ -36,6 +36,7 @@ __all__ = [
     "linear",
     "cross_entropy_logits",
     "scaled_dot_product_attention",
+    "streaming_attention",
     "block_sparse_attention",
 ]
 
@@ -128,10 +129,27 @@ def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor,
                                  attn_mask: Optional[np.ndarray] = None,
                                  scale: Optional[float] = None) -> Tensor:
     """Dense attention as the taped matmul / scale / softmax / matmul chain."""
-    scale = scale if scale is not None else 1.0 / np.sqrt(q.shape[-1])
+    scale = float(scale) if scale is not None else float(1.0 / np.sqrt(q.shape[-1]))
     scores = q.matmul(k.swapaxes(-1, -2)) * scale
     probs = masked_softmax(scores, attn_mask, axis=-1)
     return probs.matmul(v)
+
+
+def streaming_attention(q: Tensor, k: Tensor, v: Tensor,
+                        attn_mask: Optional[np.ndarray] = None,
+                        scale: Optional[float] = None,
+                        tile: Optional[int] = None) -> Tensor:
+    """Composition twin of the streaming tiled kernel.
+
+    Tiling is a memory-layout strategy, not a mathematical one — the exact
+    result is plain attention, so the reference form is the taped dense
+    chain and ``tile`` is accepted only for signature parity.  This is the
+    gradcheck oracle the streaming kernel's online rescaling and recompute
+    backward are checked against.
+    """
+    del tile
+    return scaled_dot_product_attention(q, k, v, attn_mask=attn_mask,
+                                        scale=scale)
 
 
 def block_sparse_attention(q: Tensor, k: Tensor, v: Tensor, layout,

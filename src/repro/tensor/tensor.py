@@ -96,6 +96,29 @@ def _grad_aliased(buf: np.ndarray, grads: dict) -> bool:
     return False
 
 
+def _reshape_through_arena(src: np.ndarray, shape) -> np.ndarray:
+    """Reshape ``src``, sending any unavoidable copy through the arena.
+
+    A C-contiguous source reshapes as a zero-cost view.  When numpy may
+    have to copy (non-contiguous source, e.g. ``merge_heads`` after a
+    transpose) and a buffer arena is active, the data lands in a recycled
+    arena buffer instead of fresh heap — this is what keeps replayed capture
+    steps free of per-step allocations.  (The gate is contiguity, not exact
+    view-compatibility: probing the latter via a ``view().shape =``
+    assignment internally allocates the very copy it is meant to avoid.)
+    While a forward recorder is installed the plain heap copy is kept:
+    recorded outputs are plan-owned and must survive the arena's generation
+    recycling.
+    """
+    if src.flags.c_contiguous:
+        return src.reshape(shape)
+    if _plan._RECORDER is None and _arena.active() is not None:
+        buf = _arena.empty(src.shape, src.dtype)
+        np.copyto(buf, src)
+        return buf.reshape(shape)
+    return src.reshape(shape)
+
+
 def _binary_ufunc_key(ufunc, a: np.ndarray, b: np.ndarray):
     """Output (shape, dtype) for a binary ufunc over ``a`` and ``b``."""
     shape = np.broadcast_shapes(a.shape, b.shape)
@@ -162,6 +185,23 @@ def _matmul_out(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.matmul(a, b, out=arena.take(shape, np.result_type(a, b)))
 
 
+def _gather_add_rows(out: np.ndarray, idx: np.ndarray,
+                     upd: np.ndarray) -> None:
+    """``out[idx] += upd`` for duplicate-free ``idx``, staged via the arena.
+
+    Numerically identical to the fancy in-place add (gather, elementwise
+    add, scatter — the same three steps numpy performs), but the gathered
+    rows land in a recycled arena buffer instead of a fresh heap array.
+    """
+    tmp = _arena.empty(upd.shape, out.dtype)
+    # mode="clip" is the only take mode that honours ``out`` without an
+    # internal full-size temporary; callers have already bounds-checked.
+    np.take(out, idx, axis=0, out=tmp, mode="clip")
+    tmp += upd
+    out[idx] = tmp
+    _arena.release(tmp)
+
+
 def scatter_add_rows(out: np.ndarray, indices: np.ndarray,
                      updates: np.ndarray) -> None:
     """Duplicate-safe ``out[indices] += updates`` along axis 0, vectorised.
@@ -192,31 +232,58 @@ def scatter_add_rows(out: np.ndarray, indices: np.ndarray,
     if indices.min() < 0:
         # Normalise so aliased positive/negative forms land in one segment.
         indices = np.where(indices < 0, indices + out.shape[0], indices)
+    if indices.min() < 0 or indices.max() >= out.shape[0]:
+        # Explicit bounds check: the clip-mode takes below would otherwise
+        # silently clamp where fancy indexing used to raise.
+        raise IndexError("scatter_add_rows: index out of bounds for axis 0 "
+                         f"with size {out.shape[0]}")
     updates = np.asarray(updates).reshape(indices.shape[0], *out.shape[1:])
+    # Row-sized temporaries (the gathered/compacted update blocks and the
+    # segment sums) stage through the arena so replayed capture steps stay
+    # free of per-step heap traffic; only index-sized arrays (argsort,
+    # nonzero) still allocate, and those are seq_len * 8 bytes, not
+    # seq_len * dim.
     order = np.argsort(indices, kind="stable")
     sorted_idx = indices[order]
-    sorted_upd = updates[order]
+    row_shape = updates.shape[1:]
+    sorted_upd = _arena.empty(updates.shape, updates.dtype)
+    np.take(updates, order, axis=0, out=sorted_upd, mode="clip")
     n = sorted_idx.shape[0]
     change = np.empty(n, dtype=bool)
     change[0] = True
-    change[1:] = sorted_idx[1:] != sorted_idx[:-1]
+    np.not_equal(sorted_idx[1:], sorted_idx[:-1], out=change[1:])
     # A position opens a length-1 segment iff it starts one and the next
     # position starts another (or it is the last position).
-    is_single = change & np.append(change[1:], True)
+    is_single = np.empty(n, dtype=bool)
+    is_single[:-1] = change[1:]
+    is_single[-1] = True
+    is_single &= change
     if is_single.all():
-        out[sorted_idx] += sorted_upd
+        _gather_add_rows(out, sorted_idx, sorted_upd)
+        _arena.release(sorted_upd)
         return
     if is_single.any():
-        out[sorted_idx[is_single]] += sorted_upd[is_single]
-        multi = ~is_single
-        sorted_idx = sorted_idx[multi]
-        sorted_upd = sorted_upd[multi]
+        single_rows = np.nonzero(is_single)[0]
+        single_upd = _arena.empty((single_rows.shape[0],) + row_shape,
+                                  sorted_upd.dtype)
+        np.take(sorted_upd, single_rows, axis=0, out=single_upd, mode="clip")
+        _gather_add_rows(out, sorted_idx[single_rows], single_upd)
+        _arena.release(single_upd)
+        multi_rows = np.nonzero(np.logical_not(is_single, out=is_single))[0]
+        multi_upd = _arena.empty((multi_rows.shape[0],) + row_shape,
+                                 sorted_upd.dtype)
+        np.take(sorted_upd, multi_rows, axis=0, out=multi_upd, mode="clip")
+        _arena.release(sorted_upd)
+        sorted_idx = sorted_idx[multi_rows]
+        sorted_upd = multi_upd
         change = np.empty(sorted_idx.shape[0], dtype=bool)
         change[0] = True
-        change[1:] = sorted_idx[1:] != sorted_idx[:-1]
+        np.not_equal(sorted_idx[1:], sorted_idx[:-1], out=change[1:])
     starts = np.nonzero(change)[0]
-    sums = np.add.reduceat(sorted_upd, starts, axis=0)
-    out[sorted_idx[starts]] += sums
+    sums = _arena.empty((starts.shape[0],) + row_shape, sorted_upd.dtype)
+    np.add.reduceat(sorted_upd, starts, axis=0, out=sums)
+    _gather_add_rows(out, sorted_idx[starts], sums)
+    _arena.release(sorted_upd, sums)
 
 
 def _scatter_add_index(out: np.ndarray, index, grad: np.ndarray) -> None:
@@ -925,7 +992,7 @@ class Tensor:
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         original = self.data.shape
-        data = self.data.reshape(shape)
+        data = _reshape_through_arena(self.data, shape)
         rec = _plan._RECORDER
         if rec is not None:
             if np.may_share_memory(data, self.data):
@@ -946,6 +1013,13 @@ class Tensor:
                 rec.record(run, (src,), (data,), tag="reshape_copy")
 
         def backward(grad):
+            # Plain reshape (heap copy when ``grad`` is non-contiguous): the
+            # full-step compiler validates this closure against the buffers
+            # observed at capture time, so routing the copy through the
+            # arena here would hand replays a buffer the validated schedule
+            # never saw.  Backward grads of reshape are almost always
+            # contiguous (zero-cost view) — the arena routing matters for
+            # the forward, where merge_heads-style copies are unavoidable.
             return (grad.reshape(original),)
 
         return Tensor._make(data, (self,), backward)
@@ -1067,9 +1141,33 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     return Tensor._make(data, (a, b), backward)
 
 
+def _check_gather_bounds(indices: np.ndarray, size: int,
+                         lo: int = 0) -> None:
+    """Raise like fancy indexing would for out-of-range gather indices.
+
+    The gather itself runs ``np.take(..., mode="clip")`` — the only mode
+    that honours a preallocated ``out`` without an internal full-size
+    temporary — so the raise-on-out-of-bounds contract lives here.  ``lo``
+    is ``-size`` at entry points that still accept numpy's negative-index
+    form, and 0 on the hot paths where negatives were already normalised
+    (clip mode would silently clamp them).
+    """
+    if indices.size and (int(indices.min()) < lo
+                         or int(indices.max()) >= size):
+        raise IndexError(
+            f"index out of bounds for axis 0 with size {size}")
+
+
 def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
     """Gather rows of ``weight`` for integer ``indices`` (token embedding)."""
     indices = np.asarray(indices)
+    if indices.size and int(indices.min()) < 0:
+        # np.take(mode="clip") clamps negatives to 0; normalise them first
+        # to keep numpy's negative-index semantics.
+        _check_gather_bounds(indices, weight.data.shape[0],
+                             lo=-weight.data.shape[0])
+        indices = np.where(indices < 0, indices + weight.data.shape[0],
+                           indices)
     vocab, dim = weight.data.shape
     rec = _plan._RECORDER
     if rec is not None:
@@ -1081,11 +1179,20 @@ def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
         data = np.empty(indices.shape + (dim,), w.dtype)
         out2d = data.reshape(-1, dim)
 
-        def run(w=w, idx_flat=idx_flat, out2d=out2d):
-            np.take(w, idx_flat, axis=0, out=out2d)
+        def run(w=w, idx_flat=idx_flat, out2d=out2d, vocab=vocab):
+            _check_gather_bounds(idx_flat, vocab)
+            np.take(w, idx_flat, axis=0, out=out2d, mode="clip")
 
         run()
         rec.record(run, (w, idx_flat), (data,), tag="embedding")
+    elif _arena.active() is not None:
+        # Eager step under an active arena (captured-step replay): gather
+        # into a recycled buffer instead of fancy-indexing fresh heap.
+        idx_flat = indices.reshape(-1)
+        _check_gather_bounds(idx_flat, vocab)
+        w = weight.data
+        data = _arena.empty(indices.shape + (dim,), w.dtype)
+        np.take(w, idx_flat, axis=0, out=data.reshape(-1, dim), mode="clip")
     else:
         data = weight.data[indices]
 

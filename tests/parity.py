@@ -280,6 +280,45 @@ def build_cases() -> List[ParityCase]:
                    lambda a, bq, c: reference.scaled_dot_product_attention(a, bq, c, causal7),
                    [q7, k7, v7], tol_ref=2e-4))
 
+    # -- streaming tiled attention -----------------------------------------
+    # The online-softmax kernel rescales per K/V tile, so its accumulation
+    # order differs from the reference single-pass softmax; the tolerance is
+    # the float32 rounding of the two orders (same as the sparse chain).
+    # Tiles are chosen to *not* divide the key length so the exact-width
+    # tail-tile path is gradchecked, plus a tile >= seq degenerate case.
+    rng = np.random.default_rng(21)
+    qs6, ks6, vs6 = _normals(rng, (2, 2, 6, 3), (2, 2, 6, 3), (2, 2, 6, 3))
+    causal6s = _causal(6)
+    add(ParityCase("streaming", "streaming-causal6-tile4",
+                   lambda a, bq, c: F.streaming_attention(a, bq, c, causal6s, tile=4),
+                   lambda a, bq, c: reference.streaming_attention(a, bq, c, causal6s, tile=4),
+                   [qs6, ks6, vs6], tol_ref=5e-4))
+    qo, ko, vo = _normals(rng, (1, 2, 7, 3), (1, 2, 7, 3), (1, 2, 7, 3))
+    add(ParityCase("streaming", "streaming-odd-seq7-nomask-tile3",
+                   lambda a, bq, c: F.streaming_attention(a, bq, c, tile=3),
+                   lambda a, bq, c: reference.streaming_attention(a, bq, c, tile=3),
+                   [qo, ko, vo], tol_ref=5e-4))
+    # Cross sequence lengths (sq=5 queries, sk=8 keys) with one query row
+    # whose keep-mask is empty: the zero-row convention must hold tile-wise.
+    zmask = np.random.default_rng(22).random((5, 8)) < 0.5
+    zmask[2] = False
+    zmask[0, 0] = True                     # every other row keeps something
+    zmask[1, :2] = True
+    zmask[3, 3] = True
+    zmask[4, :5] = True
+    qz, kz, vz = _normals(rng, (1, 2, 5, 3), (1, 2, 8, 3), (1, 2, 8, 3))
+    add(ParityCase("streaming", "streaming-zero-row-sq5-sk8-tile5",
+                   lambda a, bq, c: F.streaming_attention(a, bq, c, zmask, tile=5),
+                   lambda a, bq, c: reference.streaming_attention(a, bq, c, zmask, tile=5),
+                   [qz, kz, vz], tol_ref=5e-4))
+    qw, kw, vw = _normals(rng, (1, 1, 4, 2), (1, 1, 4, 2), (1, 1, 4, 2),
+                          dtype=np.float64)
+    causal4b = _causal(4)
+    add(ParityCase("streaming", "streaming-tile-ge-seq-f64-input",
+                   lambda a, bq, c: F.streaming_attention(a, bq, c, causal4b, tile=64),
+                   lambda a, bq, c: reference.streaming_attention(a, bq, c, causal4b, tile=64),
+                   [qw, kw, vw], tol_ref=5e-4))
+
     # -- fused block-sparse attention chain --------------------------------
     # The reference twin runs dense attention under the layout's expanded
     # element mask; the fused kernel sums in block-segment order, so the
@@ -301,6 +340,36 @@ def build_cases() -> List[ParityCase]:
     sparse_case("random-seq16-f64-input", _random_layout(13, heads=3, n_blocks=2,
                                                    block_size=8), 16, 2, seed=9,
                 dtype=np.float64)
+
+    # -- streaming block-sparse attention ----------------------------------
+    # Same dispatch entry with ``streaming=True``: the prefix-scheduled
+    # online-softmax kernel must match the dense-under-mask reference (and,
+    # with kernels disabled, fall back to it) across ragged lengths and a
+    # layout with a query-block row that keeps zero blocks.
+    def stream_sparse_case(tag, layout, seq, dim, seed):
+        rng = np.random.default_rng(seed)
+        shape = (1, layout.n_heads, seq, dim)
+        qs, ks, vs = _normals(rng, shape, shape, shape)
+        add(ParityCase("stream_sparse", f"stream_sparse-{tag}",
+                       lambda a, bq, c: block_sparse_attention(a, bq, c, layout,
+                                                               streaming=True),
+                       lambda a, bq, c: reference.block_sparse_attention(a, bq, c,
+                                                                         layout),
+                       [qs, ks, vs], tol_ref=5e-4))
+
+    stream_sparse_case("dense-seq12", dense_pool.dense_layout(2, 12), 12, 3,
+                       seed=31)
+    stream_sparse_case("random-ragged-seq21",
+                       _random_layout(11, heads=2, n_blocks=3, block_size=8),
+                       21, 3, seed=32)
+    empty_row_masks = (np.random.default_rng(33).random((2, 3, 3)) < 0.6)
+    empty_row_masks[0, 1, :] = False       # head 0, block row 1: no blocks
+    empty_row_masks[:, 0, 0] = True        # every head keeps its first block
+    empty_row_masks[1, 1, 0] = True
+    empty_row_masks[:, 2, 2] = True
+    stream_sparse_case("zero-block-row-seq24",
+                       layout_from_block_masks(empty_row_masks, 8), 24, 3,
+                       seed=34)
     return cases
 
 

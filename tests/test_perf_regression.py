@@ -277,18 +277,39 @@ def test_bench_geometry_lookup_beats_compute():
     assert result["lookup_s"] < result["compute_s"]
 
 
+def test_bench_long_context_structure():
+    # Miniature lengths keep this structural (64 fits one streaming tile, so
+    # peak_ratio ~ 1 is expected there); the real wall figures come from the
+    # full sweep and the seq-4096 gate in test_step_capture.
+    result = bench.bench_long_context(lengths=(64, 128), repeats=1)
+    assert result["tile"] > 0
+    assert set(result["lengths"]) == {"64", "128"}
+    for row in result["lengths"].values():
+        for key in ("materializing_ms_per_token", "streaming_ms_per_token",
+                    "block_sparse_streaming_ms_per_token",
+                    "materializing_peak_bytes", "streaming_peak_bytes",
+                    "block_sparse_streaming_peak_bytes", "peak_ratio"):
+            assert row[key] > 0, key
+    assert result["wall_seq"] == 128.0
+    # The sweep must leave the process-global streaming switch off.
+    from repro.tensor import fused
+    assert not fused.streaming_attention_enabled()
+
+
 def test_bench_json_flag(tmp_path):
     json_path = tmp_path / "BENCH_perf.json"
     report = bench.main(["--json", str(json_path), "--repeats", "1",
                          "--op-repeats", "1", "--batch", "1", "--seq", "32",
                          "--predicted-seq", "64", "--predictor-epochs", "1",
-                         "--predicted-repeats", "1"])
+                         "--predicted-repeats", "1",
+                         "--long-context-max", "128"])
     assert json_path.exists()
     on_disk = json.loads(json_path.read_text())
     for key in ("meta", "dense_step", "sparse_step", "step_capture",
                 "predicted_step", "predicted_quality", "prediction_overhead",
                 "geometry", "sparse_chain", "crossover", "optimizer_step",
-                "optimizer_regimes", "embedding_scatter", "ops"):
+                "optimizer_regimes", "embedding_scatter", "long_context",
+                "ops"):
         assert key in on_disk and key in report
     assert on_disk["dense_step"]["fused_s"] > 0
     assert on_disk["predicted_step"]["speedup_vs_oracle"] > 0

@@ -124,6 +124,31 @@ class TestMemoryModel:
         d = breakdown.as_dict()
         assert d["total_gb"] == pytest.approx(breakdown.total_gb())
 
+    def test_streaming_attention_buffers_linear_in_sequence(self):
+        streaming = MemoryModel(get_config("opt-1.3b"), streaming=True,
+                                streaming_tile=128)
+        short = streaming.peft_baseline(4, 1024, 2_000_000).attention_buffers
+        long = streaming.peft_baseline(4, 2048, 2_000_000).attention_buffers
+        # O(s * tile): doubling the sequence doubles the footprint instead of
+        # quadrupling it, and it undercuts the materializing model.
+        assert long == pytest.approx(2 * short)
+        dense = self.model.peft_baseline(4, 2048, 2_000_000).attention_buffers
+        assert long < dense
+
+    def test_streaming_takes_cheaper_bound_vs_block_sparse(self):
+        streaming = MemoryModel(get_config("opt-1.3b"), streaming=True,
+                                streaming_tile=128)
+        cfg = streaming.config
+        seq, batch, density = 4096, 4, 0.05
+        got = streaming.attention_buffer_bytes(batch, seq, density)
+        materialized = batch * cfg.num_heads * seq * seq / 2.0 * density * 4
+        streamed = batch * cfg.num_heads * seq * (128 + 4.0) * 4
+        assert got == pytest.approx(min(materialized, streamed))
+        # Short sequences: the streamed bound exceeds the materialized one,
+        # so streaming never *adds* modelled memory.
+        tiny = streaming.attention_buffer_bytes(batch, 64, 1.0)
+        assert tiny == self.model.attention_buffer_bytes(batch, 64, 1.0)
+
 
 class TestPlatformModel:
     def test_platform_registry(self):
