@@ -1,55 +1,86 @@
-"""Strong-scaling study with simulated data-parallel workers (Figure 14 workflow).
+"""Strong-scaling study on the real data-parallel backend (Figure 14 workflow).
 
-Holds the global batch fixed, splits it across 1/2/4 simulated workers, and
-reports the step time, speedup and parallel efficiency of LongExposure-
-accelerated LoRA fine-tuning.  Communication is modelled with a ring
-all-reduce over the (tiny) PEFT gradient volume.
+Holds the global batch fixed and trains the same LongExposure-accelerated
+LoRA model at 1, 2 and 4 worker *processes* using
+:class:`repro.runtime.DataParallelTrainer`: every worker steps its shard of
+each batch, gradients meet in a flat-buffer chunked all-reduce over shared
+memory, and the replicated optimizer tail keeps parameters bitwise-identical
+across ranks (the final table prints the cross-rank parameter digest as the
+replication certificate).
+
+The communication column is the measured per-step gradient-exchange time —
+tiny for PEFT gradient volumes, which is the paper's Figure 14 argument.
+The speedup column only shows near-linear scaling when the host has cores
+to scale over; on a single-core machine the workers time-slice one CPU and
+the script says so rather than pretending.
 
 Usage::
 
-    python examples/multi_gpu_scaling.py
+    PYTHONPATH=src python examples/multi_gpu_scaling.py
 """
 
-from repro import LongExposure, LongExposureConfig, build_model, get_peft_method
+import functools
+import os
+
+from repro import (FineTuner, LongExposure, LongExposureConfig,
+                   TrainingConfig, build_model, get_peft_method)
 from repro.analysis import format_table
 from repro.data import E2EDatasetGenerator
 from repro.optim import Adam
-from repro.runtime import DataParallelSimulator
+from repro.runtime import DataParallelTrainer
+
+SEQ_LEN, GLOBAL_BATCH, STEPS = 128, 4, 6
+
+
+def make_tuner(seq_len: int = SEQ_LEN) -> FineTuner:
+    """Runs inside every worker process; must be deterministic across ranks."""
+    model = build_model("opt-tiny", seed=0)
+    generator = E2EDatasetGenerator(seed=0)
+    calibration = generator.token_batches(1, GLOBAL_BATCH, seq_len,
+                                          vocab_size=model.config.vocab_size)
+    engine = LongExposure(LongExposureConfig(block_size=16, predictor_epochs=4))
+    engine.prepare(model, calibration)
+    model, _ = get_peft_method("lora")(model)
+    engine.install(model)
+    optimizer = Adam(model.trainable_parameters(), lr=1e-4)
+    return FineTuner(model, TrainingConfig(capture_steps=True),
+                     optimizer=optimizer, engine=engine)
 
 
 def main() -> None:
-    seq_len, global_batch = 128, 4
-    model = build_model("opt-tiny", seed=0)
     generator = E2EDatasetGenerator(seed=0)
-    batches = generator.token_batches(1, global_batch, seq_len,
-                                      vocab_size=model.config.vocab_size)
+    vocab = build_model("opt-tiny").config.vocab_size
+    data = generator.token_batches(STEPS, GLOBAL_BATCH, SEQ_LEN,
+                                   vocab_size=vocab)
 
-    engine = LongExposure(LongExposureConfig(block_size=16, predictor_epochs=4))
-    engine.prepare(model, batches)
-    model, result = get_peft_method("lora")(model)
-    engine.install(model)
-    optimizer = Adam(model.trainable_parameters(), lr=1e-4)
+    factory = functools.partial(make_tuner, SEQ_LEN)
+    rows, base = [], None
+    for workers in (1, 2, 4):
+        with DataParallelTrainer(factory, workers=workers,
+                                 step_timeout_s=300.0) as trainer:
+            report = trainer.train(data)
+        steps_per_s = report.steps_per_second()
+        base = base or steps_per_s
+        rows.append([workers, f"{1000.0 / steps_per_s:.1f}",
+                     f"{report.mean_comm_ms():.2f}",
+                     f"{steps_per_s / base:.2f}x",
+                     f"{steps_per_s / base / workers:.0%}",
+                     report.param_digest[:12]])
 
-    def step(shard):
-        loss, _ = model.loss(shard)
-        loss.backward()
-        optimizer.step()
-        optimizer.zero_grad()
-        model.zero_grad()
-
-    simulator = DataParallelSimulator(step_fn=step,
-                                      gradient_bytes=result.trainable_parameters * 4)
-    results = simulator.run(batches[0], worker_counts=[1, 2, 4], repeats=2)
-    engine.uninstall(model)
-
-    rows = [[r.num_workers, f"{r.step_time_s * 1e3:.1f}", f"{r.compute_time_s * 1e3:.1f}",
-             f"{r.communication_time_s * 1e6:.1f}", f"{r.speedup_vs_single:.2f}x",
-             f"{r.efficiency:.0%}"] for r in results]
     print(format_table(
-        ["workers", "step ms", "compute ms", "all-reduce us", "speedup", "efficiency"],
-        rows, title="Strong scaling of LongExposure + LoRA (simulated data parallelism)"))
-    print("\nPEFT gradients are tiny, so the all-reduce cost is negligible and the "
-          "scaling stays near-linear — the paper's Figure 14 conclusion.")
+        ["workers", "step ms", "comm ms", "speedup", "efficiency", "digest"],
+        rows, title="Strong scaling of LongExposure + LoRA "
+                    "(shared-memory data parallelism)"))
+    cores = os.cpu_count() or 1
+    if cores <= 1:
+        print("\nThis host has a single CPU: the worker processes time-slice "
+              "one core, so no wall-clock speedup is possible — the comm "
+              "column still shows the (tiny) PEFT all-reduce cost the paper's "
+              "Figure 14 argument rests on.")
+    else:
+        print(f"\n{cores} CPUs available; PEFT gradients are tiny, so the "
+              "all-reduce cost stays negligible and scaling tracks the core "
+              "count — the paper's Figure 14 conclusion.")
 
 
 if __name__ == "__main__":

@@ -190,6 +190,68 @@ class Adam(Optimizer):
                 continue
             self._step_param(index, param, bias1, bias2)
 
+    # -- flat gradient access (data-parallel exchange) --------------------------
+    #
+    # The distributed trainer exchanges gradients as ONE contiguous buffer per
+    # step (see repro.runtime.comms.GradientAllReducer) — the flat layout this
+    # optimizer already maintains for its own update is exactly the transport
+    # format, so the gather/scatter below reuse the flat-path offsets when
+    # they exist and derive the same layout otherwise (big-matrix regimes keep
+    # per-parameter moment state but still exchange through one buffer).
+
+    def _grad_offsets(self) -> np.ndarray:
+        offsets = getattr(self, "_grad_offset_cache", None)
+        if offsets is None:
+            sizes = [int(p.data.size) for p in self.params]
+            offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+            self._grad_offset_cache = offsets
+        return offsets
+
+    def grad_layout(self):
+        """``(total_elements, dtype)`` of the flat gradient population.
+
+        Raises ``ValueError`` for mixed-dtype parameter sets: the shared
+        gradient segment is a single typed buffer.
+        """
+        dtypes = {p.data.dtype for p in self.params}
+        if len(dtypes) != 1:
+            raise ValueError("data-parallel gradient exchange requires a "
+                             f"uniform parameter dtype, got {sorted(map(str, dtypes))}")
+        return int(self._grad_offsets()[-1]), dtypes.pop()
+
+    def gather_flat_grad(self, out: np.ndarray) -> None:
+        """Copy every ``param.grad`` into the flat buffer ``out`` in place.
+
+        Parameters without a gradient contribute zeros (their reduced mean is
+        then exactly the mean of the ranks that did produce one, scaled by
+        the participating fraction — in practice every trainable parameter
+        receives a gradient each step).
+        """
+        offsets = self._grad_offsets()
+        flat = out.reshape(-1)
+        for index, param in enumerate(self.params):
+            view = flat[offsets[index]:offsets[index + 1]]
+            if param.grad is None:
+                view[:] = 0
+            else:
+                np.copyto(view.reshape(param.data.shape), param.grad)
+
+    def scatter_flat_grad(self, flat: np.ndarray) -> None:
+        """Copy the flat buffer back into every ``param.grad``, in place.
+
+        In-place (``np.copyto``) so captured/compiled steps keep their
+        recorded gradient buffers; a parameter whose gradient is missing gets
+        a fresh array.
+        """
+        offsets = self._grad_offsets()
+        flat = flat.reshape(-1)
+        for index, param in enumerate(self.params):
+            view = flat[offsets[index]:offsets[index + 1]].reshape(param.data.shape)
+            if param.grad is None:
+                param.grad = view.copy()
+            else:
+                np.copyto(param.grad, view)
+
     def plan_tail(self):
         """Pre-validated flat update for the full-step compiler's tail.
 

@@ -9,7 +9,8 @@ This package is the harness the paper's evaluation is built on:
 * :mod:`repro.runtime.memory` — analytic memory model for Figure 8;
 * :mod:`repro.runtime.platform` — A100 / A6000 specifications and roofline
   estimates used to contextualise the measured CPU numbers;
-* :mod:`repro.runtime.distributed` — simulated data-parallel workers for the
+* :mod:`repro.runtime.distributed` — real shared-memory data parallelism
+  (sharded worker processes + flat-buffer chunked all-reduce) for the
   strong-scaling study of Figure 14.
 """
 
@@ -18,7 +19,9 @@ from repro.runtime.trainer import FineTuner, PhaseTimings, TrainingConfig, Train
 from repro.runtime.profiler import PhaseProfiler
 from repro.runtime.memory import MemoryModel, MemoryBreakdown
 from repro.runtime.platform import PlatformSpec, PLATFORMS, roofline_step_time
-from repro.runtime.distributed import DataParallelSimulator, ScalingResult
+from repro.runtime.comms import DistributedError, GradientAllReducer, chunk_schedule
+from repro.runtime.distributed import (DataParallelTrainer, DistributedReport,
+                                       train_data_parallel)
 
 __all__ = [
     "BufferArena",
@@ -33,6 +36,10 @@ __all__ = [
     "PlatformSpec",
     "PLATFORMS",
     "roofline_step_time",
-    "DataParallelSimulator",
-    "ScalingResult",
+    "DistributedError",
+    "GradientAllReducer",
+    "chunk_schedule",
+    "DataParallelTrainer",
+    "DistributedReport",
+    "train_data_parallel",
 ]

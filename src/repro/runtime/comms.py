@@ -1,0 +1,366 @@
+"""Shared-memory communication substrate for data-parallel training.
+
+This module owns everything three-or-more processes have to agree on:
+
+* **Segment lifecycle** — the parent process creates two named
+  ``multiprocessing.shared_memory`` segments (a *boot* segment whose size is
+  known up front, and a *data* segment sized from the gradient population the
+  workers report during the boot handshake), and is the only process that
+  ever ``unlink()``\\ s them.  Workers attach by name and only ``close()``;
+  on this interpreter (CPython 3.11) attaching does not register with the
+  resource tracker, so creator-unlinks is the whole protocol and a clean run
+  leaves nothing in ``/dev/shm``.
+* **Chunk schedule** — :func:`chunk_schedule` partitions the flat gradient
+  buffer into fixed-size chunks striped round-robin across ranks.  Each rank
+  reduces *its* chunks by summing the per-rank slots in rank order
+  ``0..world-1`` — the summation order is a function of the chunk alone,
+  never of which rank happens to execute it, so the reduced values are
+  bitwise-reproducible for a given worker count.
+* **Barrier/epoch protocol** — a :class:`BarrierSet` carries the rendezvous
+  points of one step: ``step_begin``/``step_end`` include the parent
+  (commands and results cross there), ``grads``/``reduced`` are
+  workers-only (the two halves of the all-reduce), and ``masks`` orders the
+  rank-0 layout broadcast at sparsity-refresh steps.  Every wait carries a
+  timeout; a worker that dies mid-step breaks its peers' barrier within that
+  timeout, survivors abort the remaining barriers, and the parent turns the
+  broken rendezvous into a :class:`DistributedError` instead of a hang.
+
+The gradient exchange itself is :class:`GradientAllReducer`: one contiguous
+gather of the optimizer's flat gradient population into the rank's slot, a
+fixed-order chunked reduce-scatter into the shared ``reduced`` buffer, and a
+scatter back into ``param.grad`` — a single message per step regardless of
+parameter count, which is exactly what the flat optimizer layout exists to
+enable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class DistributedError(RuntimeError):
+    """A data-parallel run failed (worker death, divergence, protocol error)."""
+
+
+# -- protocol constants ---------------------------------------------------------
+
+CMD_IDLE, CMD_STEP, CMD_PARAMS, CMD_STOP = 0, 1, 2, 3
+
+ST_BOOTING, ST_READY, ST_STEPPED, ST_ERROR = 0, 1, 2, 3
+
+# ctl slot indices (int64 array in the boot segment)
+CTL_COMMAND = 0
+CTL_STEP_ID = 1
+CTL_NDIM = 2
+CTL_SHAPE = 3          # 3..6: up to 4 batch dimensions
+CTL_DTYPE = 7
+CTL_GRAD_ELEMS = 8     # written by the parent after the boot handshake
+CTL_BLOB_CAP = 9
+CTL_PARAM_BLOB_LEN = 10
+CTL_MASK_BLOB_LEN = 11
+CTL_SLOTS = 16
+
+_DTYPE_CODES = {"int32": 1, "int64": 2, "float32": 3, "float64": 4}
+_CODE_DTYPES = {code: np.dtype(name) for name, code in _DTYPE_CODES.items()}
+
+# per-rank float64 stats slots written after every step
+STAT_COMM = 0
+STAT_FORWARD = 1
+STAT_BACKWARD = 2
+STAT_OPTIMIZER = 3
+STAT_RECAPTURES = 4
+STAT_REPLAY_STEPS = 5
+STAT_FULL_REPLAYS = 6
+STAT_MASK_SYNCS = 7
+STATS_SLOTS = 8
+
+STAT_NAMES = ("comm_s", "forward_s", "backward_s", "optimizer_s",
+              "recaptures", "replay_steps", "full_replays", "mask_syncs")
+
+DIGEST_BYTES = 32
+ERROR_BYTES = 4096
+
+_ALIGN = 64
+
+BrokenBarrier = threading.BrokenBarrierError
+
+
+def _layout(regions: Sequence[Tuple[str, int]]) -> Tuple[Dict[str, int], int]:
+    """Cache-line-aligned offsets for named byte regions; returns total size."""
+    offsets: Dict[str, int] = {}
+    cursor = 0
+    for name, nbytes in regions:
+        cursor = (cursor + _ALIGN - 1) // _ALIGN * _ALIGN
+        offsets[name] = cursor
+        cursor += int(nbytes)
+    return offsets, cursor
+
+
+def boot_regions(world: int, batch_capacity: int) -> Tuple[Dict[str, int], int]:
+    return _layout([
+        ("ctl", CTL_SLOTS * 8),
+        ("status", world * 8),
+        ("meta", world * 2 * 8),          # (grad_elems, dtype_code) per rank
+        ("err_len", world * 8),
+        ("loss", world * 8),
+        ("stats", world * STATS_SLOTS * 8),
+        ("digest", world * DIGEST_BYTES),
+        ("errors", world * ERROR_BYTES),
+        ("batch", batch_capacity),
+    ])
+
+
+def data_regions(world: int, grad_elems: int, itemsize: int,
+                 blob_capacity: int) -> Tuple[Dict[str, int], int]:
+    return _layout([
+        ("grad", world * grad_elems * itemsize),
+        ("reduced", grad_elems * itemsize),
+        ("blob", blob_capacity),
+    ])
+
+
+def chunk_schedule(total_elems: int, world: int,
+                   chunk_elems: int) -> List[Tuple[int, int, int]]:
+    """``(start, end, owner_rank)`` chunks striped round-robin across ranks.
+
+    The owner only decides *who computes* a chunk; the reduction order inside
+    each chunk is always rank ``0..world-1``, so ownership never affects the
+    reduced bits.
+    """
+    if total_elems <= 0:
+        return []
+    chunk_elems = max(1, int(chunk_elems))
+    starts = list(range(0, total_elems, chunk_elems))
+    return [(start, min(start + chunk_elems, total_elems), index % world)
+            for index, start in enumerate(starts)]
+
+
+class BarrierSet:
+    """The rendezvous points of the step protocol (see module docstring)."""
+
+    _WORKER_NAMES = ("grads", "reduced", "masks")
+    _ALL_NAMES = ("boot", "setup", "step_begin", "step_end") + _WORKER_NAMES
+
+    def __init__(self, ctx, world: int):
+        self.boot = ctx.Barrier(world + 1)
+        self.setup = ctx.Barrier(world + 1)
+        self.step_begin = ctx.Barrier(world + 1)
+        self.step_end = ctx.Barrier(world + 1)
+        self.grads = ctx.Barrier(world)
+        self.reduced = ctx.Barrier(world)
+        self.masks = ctx.Barrier(world)
+
+    def abort_all(self) -> None:
+        """Break every barrier so no process can block on this session again."""
+        for name in self._ALL_NAMES:
+            try:
+                getattr(self, name).abort()
+            except Exception:
+                pass
+
+
+@dataclass
+class CommSpec:
+    """Everything a worker needs to find and speak the session's segments."""
+
+    session: str                 # shm name prefix; segments are <session>-boot/-data
+    world: int
+    batch_capacity: int
+    step_timeout_s: float
+    chunk_elems: int
+    mask_broadcast: bool
+
+    @property
+    def boot_name(self) -> str:
+        return f"{self.session}-boot"
+
+    @property
+    def data_name(self) -> str:
+        return f"{self.session}-data"
+
+
+class BootViews:
+    """Typed NumPy views over the boot segment's regions."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, world: int,
+                 batch_capacity: int):
+        offsets, _ = boot_regions(world, batch_capacity)
+        buf = shm.buf
+        self._batch_offset = offsets["batch"]
+        self._batch_capacity = batch_capacity
+        self._shm = shm
+        self.ctl = np.ndarray((CTL_SLOTS,), np.int64, buf, offsets["ctl"])
+        self.status = np.ndarray((world,), np.int64, buf, offsets["status"])
+        self.meta = np.ndarray((world, 2), np.int64, buf, offsets["meta"])
+        self.err_len = np.ndarray((world,), np.int64, buf, offsets["err_len"])
+        self.loss = np.ndarray((world,), np.float64, buf, offsets["loss"])
+        self.stats = np.ndarray((world, STATS_SLOTS), np.float64, buf,
+                                offsets["stats"])
+        self.digest = np.ndarray((world, DIGEST_BYTES), np.uint8, buf,
+                                 offsets["digest"])
+        self.errors = np.ndarray((world, ERROR_BYTES), np.uint8, buf,
+                                 offsets["errors"])
+
+    # -- batch publication -----------------------------------------------------
+    def publish_batch(self, step_id: int, batch: np.ndarray) -> None:
+        batch = np.ascontiguousarray(batch)
+        if batch.ndim > 4:
+            raise DistributedError(f"batches of ndim {batch.ndim} > 4 are not "
+                                   f"supported by the comms header")
+        code = _DTYPE_CODES.get(batch.dtype.name)
+        if code is None:
+            raise DistributedError(f"unsupported batch dtype {batch.dtype}")
+        if batch.nbytes > self._batch_capacity:
+            raise DistributedError(
+                f"batch of {batch.nbytes} bytes exceeds the shared batch "
+                f"capacity of {self._batch_capacity} bytes (sized from the "
+                f"first published batch; pass batch_capacity= to raise it)")
+        ctl = self.ctl
+        ctl[CTL_STEP_ID] = step_id
+        ctl[CTL_NDIM] = batch.ndim
+        ctl[CTL_SHAPE:CTL_SHAPE + 4] = 0
+        ctl[CTL_SHAPE:CTL_SHAPE + batch.ndim] = batch.shape
+        ctl[CTL_DTYPE] = code
+        view = np.ndarray(batch.shape, batch.dtype, self._shm.buf,
+                          self._batch_offset)
+        np.copyto(view, batch)
+
+    def read_batch(self) -> np.ndarray:
+        """A *copy* of the published batch (the region is reused next step)."""
+        ctl = self.ctl
+        ndim = int(ctl[CTL_NDIM])
+        shape = tuple(int(d) for d in ctl[CTL_SHAPE:CTL_SHAPE + ndim])
+        dtype = _CODE_DTYPES[int(ctl[CTL_DTYPE])]
+        view = np.ndarray(shape, dtype, self._shm.buf, self._batch_offset)
+        return view.copy()
+
+    # -- error slots -----------------------------------------------------------
+    def write_error(self, rank: int, message: str) -> None:
+        data = message.encode("utf-8", errors="replace")[:ERROR_BYTES]
+        self.errors[rank, :len(data)] = np.frombuffer(data, np.uint8)
+        self.err_len[rank] = len(data)
+        self.status[rank] = ST_ERROR
+
+    def read_error(self, rank: int) -> str:
+        length = int(self.err_len[rank])
+        if length <= 0:
+            return ""
+        return bytes(self.errors[rank, :length]).decode("utf-8",
+                                                        errors="replace")
+
+    def release(self) -> None:
+        """Drop every exported view so the segment can be closed."""
+        self.__dict__ = {"_shm": None}
+
+
+class DataViews:
+    """Typed views over the data segment: grad slots, reduced buffer, blob."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, world: int,
+                 grad_elems: int, dtype: np.dtype, blob_capacity: int):
+        offsets, _ = data_regions(world, grad_elems, dtype.itemsize,
+                                  blob_capacity)
+        self._shm = shm
+        self._blob_offset = offsets["blob"]
+        self.blob_capacity = blob_capacity
+        self.grad = np.ndarray((world, grad_elems), dtype, shm.buf,
+                               offsets["grad"])
+        self.reduced = np.ndarray((grad_elems,), dtype, shm.buf,
+                                  offsets["reduced"])
+
+    def write_blob(self, payload: bytes) -> int:
+        if len(payload) > self.blob_capacity:
+            raise DistributedError(
+                f"blob of {len(payload)} bytes exceeds the shared blob "
+                f"capacity of {self.blob_capacity} bytes")
+        view = np.ndarray((len(payload),), np.uint8, self._shm.buf,
+                          self._blob_offset)
+        view[:] = np.frombuffer(payload, np.uint8)
+        return len(payload)
+
+    def read_blob(self, length: int) -> bytes:
+        view = np.ndarray((int(length),), np.uint8, self._shm.buf,
+                          self._blob_offset)
+        return bytes(view)
+
+    def release(self) -> None:
+        self.__dict__ = {"_shm": None}
+
+
+def wait_barrier(barrier, timeout: Optional[float], what: str) -> None:
+    """Barrier wait that converts breakage/timeout into DistributedError."""
+    try:
+        barrier.wait(timeout=timeout)
+    except BrokenBarrier as exc:
+        raise DistributedError(
+            f"barrier {what!r} broken or timed out after {timeout}s — a peer "
+            f"likely died or errored mid-step") from exc
+
+
+class GradientAllReducer:
+    """Flat-buffer chunked all-reduce over a shared-memory segment.
+
+    Installed on a worker's :class:`~repro.runtime.trainer.FineTuner` as its
+    ``grad_reducer``; called once per step between the backward pass and the
+    optimizer update.  The three phases:
+
+    1. *gather* — :meth:`repro.optim.Adam.gather_flat_grad` copies every
+       ``param.grad`` into this rank's contiguous slot (one buffer, not one
+       message per parameter);
+    2. *reduce* — after the ``grads`` barrier, each rank sums its scheduled
+       chunks across all slots in rank order and divides by the worker count
+       (the mean matches the single-process full-batch gradient up to float
+       rounding; for ``world == 1`` the copy is exact, keeping the one-worker
+       trainer bitwise-identical to the single-process trainer);
+    3. *scatter* — after the ``reduced`` barrier,
+       :meth:`~repro.optim.Adam.scatter_flat_grad` copies the reduced buffer
+       back into every ``param.grad`` in place.
+
+    A ``pre_reduce`` callback (set by the worker harness on rank 0 at
+    sparsity-refresh steps) runs first, inside the timed window, so the mask
+    broadcast is accounted as communication time.
+    """
+
+    def __init__(self, optimizer, data: DataViews, rank: int, world: int,
+                 barriers: BarrierSet, timeout_s: float, chunk_elems: int):
+        self.optimizer = optimizer
+        self.data = data
+        self.rank = rank
+        self.world = world
+        self.barriers = barriers
+        self.timeout_s = timeout_s
+        self.schedule = chunk_schedule(data.reduced.size, world, chunk_elems)
+        self.pre_reduce: Optional[Callable[[], None]] = None
+        self.comm_seconds = 0.0
+        self.steps = 0
+
+    def __call__(self, params) -> float:
+        start = time.perf_counter()
+        if self.pre_reduce is not None:
+            callback, self.pre_reduce = self.pre_reduce, None
+            callback()
+        slot = self.data.grad[self.rank]
+        self.optimizer.gather_flat_grad(slot)
+        wait_barrier(self.barriers.grads, self.timeout_s, "grads")
+        grad, reduced, world = self.data.grad, self.data.reduced, self.world
+        for chunk_start, chunk_end, owner in self.schedule:
+            if owner != self.rank:
+                continue
+            segment = reduced[chunk_start:chunk_end]
+            np.copyto(segment, grad[0, chunk_start:chunk_end])
+            for other in range(1, world):
+                segment += grad[other, chunk_start:chunk_end]
+            if world > 1:
+                segment /= world
+        wait_barrier(self.barriers.reduced, self.timeout_s, "reduced")
+        self.optimizer.scatter_flat_grad(reduced)
+        elapsed = time.perf_counter() - start
+        self.comm_seconds += elapsed
+        self.steps += 1
+        return elapsed

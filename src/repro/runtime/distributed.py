@@ -1,107 +1,627 @@
-"""Simulated data-parallel scaling (reproduces Figure 14).
+"""Real shared-memory data parallelism: sharded workers + flat all-reduce.
 
-The paper's strong-scaling study holds the global batch fixed and spreads it
-over 1/2/4 GPUs; because every LongExposure optimisation is local to the
-model computation, no extra communication is introduced and scaling is
-linear.  Without multiple GPUs, the reproduction simulates data parallelism:
+This module replaces the original analytic scaling *simulator* with a working
+data-parallel trainer on one box.  ``N`` worker processes each build an
+identical :class:`~repro.runtime.trainer.FineTuner` (same factory, same
+seeds), run the captured/compiled training step on their contiguous shard of
+every global batch, and exchange gradients through a single flat contiguous
+buffer in ``multiprocessing.shared_memory`` — a chunked fixed-order
+reduce-scatter over the PR-2 flat gradient population (one message per step,
+no per-parameter storm), followed by a *replicated* flat optimizer tail so
+parameters stay bitwise-identical across workers without ever being
+broadcast.
 
-* the global batch is split into per-worker shards;
-* each worker's compute time is *measured* by running its shard through the
-  real model (sequentially, but timed per shard);
-* the step time of the simulated N-worker system is the maximum shard time
-  (workers run concurrently in the real system) plus an all-reduce term from
-  a simple latency/bandwidth communication model over the gradient volume —
-  which is tiny under PEFT, preserving the paper's "no extra communication
-  overhead" conclusion.
+Determinism contract
+--------------------
+* For a fixed seed **and fixed worker count**, losses and parameters are
+  bitwise-reproducible run to run: shards are contiguous fixed splits, the
+  chunk reduction always sums rank slots in rank order, and every worker
+  applies the same optimizer arithmetic to the same reduced gradient.
+* With ``workers=1`` the trainer is bitwise-identical to the single-process
+  :class:`FineTuner` on the same batches (the one-slot reduce is an exact
+  copy and the division by ``world`` is skipped).
+* Across *different* worker counts results agree to float tolerance only:
+  shard-shaped GEMMs take different BLAS blocking paths, so the per-shard
+  gradients — and hence their fixed-order mean — differ in final bits from
+  the full-batch gradient.
+
+Failure contract
+----------------
+Every barrier wait carries a timeout.  A worker that dies mid-step breaks
+its peers' rendezvous within that timeout; survivors abort the remaining
+barriers and exit, and the parent raises :class:`DistributedError` with a
+per-rank diagnostic (status, exit codes, worker tracebacks) after
+terminating stragglers and unlinking both shared-memory segments — never a
+hang, never an orphaned ``/dev/shm`` entry.
+
+Predictor-refresh amortization
+------------------------------
+When workers carry a :class:`~repro.sparsity.LongExposure` engine, sparsity
+masks would ordinarily be re-derived *per worker shard* at every refresh
+step.  Instead, on steps where the schedule is due, rank 0 refreshes from
+its shard and broadcasts the resulting layouts (tiny per-head block masks)
+through the shared blob region; the other ranks adopt them before their
+forward pass.  All workers therefore compute with identical layouts, and the
+probe/oracle cost is paid once per refresh instead of once per worker.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
 import time
+import traceback
+import uuid
+import weakref
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from multiprocessing import shared_memory
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import multiprocessing as mp
 
 import numpy as np
 
-from repro.nn import Module
+from repro.runtime.comms import (
+    BarrierSet, BootViews, CommSpec, DataViews, DistributedError,
+    GradientAllReducer, boot_regions, data_regions, wait_barrier,
+    CMD_IDLE, CMD_PARAMS, CMD_STEP, CMD_STOP,
+    CTL_BLOB_CAP, CTL_COMMAND, CTL_GRAD_ELEMS, CTL_MASK_BLOB_LEN,
+    CTL_PARAM_BLOB_LEN, CTL_STEP_ID,
+    ST_ERROR, ST_READY, ST_STEPPED,
+    STAT_BACKWARD, STAT_COMM, STAT_FORWARD, STAT_MASK_SYNCS,
+    STAT_NAMES, STAT_OPTIMIZER, STAT_RECAPTURES, STAT_REPLAY_STEPS,
+    STAT_FULL_REPLAYS, STATS_SLOTS,
+    _CODE_DTYPES, _DTYPE_CODES,
+)
+from repro.runtime.trainer import (FineTuner, PhaseTimings, TrainingConfig,
+                                   TrainingReport)
 
+__all__ = [
+    "DistributedError",
+    "DistributedReport",
+    "DataParallelTrainer",
+    "train_data_parallel",
+]
+
+_PICKLE = pickle.HIGHEST_PROTOCOL
+
+
+# ---------------------------------------------------------------------------
+# worker process
+# ---------------------------------------------------------------------------
+
+def _param_digest(params) -> bytes:
+    digest = hashlib.sha256()
+    for param in params:
+        digest.update(np.ascontiguousarray(param.data).tobytes())
+    return digest.digest()
+
+
+def _worker_fail(views: Optional[BootViews], rank: int,
+                 barriers: BarrierSet, exc: BaseException) -> None:
+    """Record the failure for the parent and wake every blocked peer."""
+    try:
+        if views is not None:
+            views.write_error(rank, "".join(traceback.format_exception(exc)))
+    except Exception:
+        pass
+    barriers.abort_all()
+
+
+def _worker_main(spec: CommSpec, rank: int,
+                 tuner_factory: Callable[[], FineTuner],
+                 barriers: BarrierSet, step_delay_s: float = 0.0) -> None:
+    """Entry point of one data-parallel worker process."""
+    boot_shm = data_shm = None
+    views = data_views = None
+    try:
+        boot_shm = shared_memory.SharedMemory(name=spec.boot_name)
+        views = BootViews(boot_shm, spec.world, spec.batch_capacity)
+    except BaseException as exc:                      # cannot even report
+        _worker_fail(None, rank, barriers, exc)
+        return
+    try:
+        tuner = tuner_factory()
+        if not isinstance(tuner, FineTuner):
+            raise DistributedError(
+                f"tuner_factory must return a FineTuner, got {type(tuner)!r}")
+        optimizer = tuner.optimizer
+        if not hasattr(optimizer, "gather_flat_grad"):
+            raise DistributedError(
+                f"optimizer {type(optimizer).__name__} does not expose the "
+                f"flat gradient buffer (gather_flat_grad/scatter_flat_grad)")
+        grad_elems, grad_dtype = optimizer.grad_layout()
+        params_bytes = sum(int(p.data.nbytes) for p in optimizer.params)
+        blob_capacity = max(4 * params_bytes + (1 << 16), 1 << 20)
+        views.meta[rank] = (grad_elems, _DTYPE_CODES[grad_dtype.name])
+        if rank == 0:
+            views.ctl[CTL_GRAD_ELEMS] = grad_elems
+            views.ctl[CTL_BLOB_CAP] = blob_capacity
+        views.status[rank] = ST_READY
+
+        boot_timeout = max(spec.step_timeout_s * 4, 60.0)
+        wait_barrier(barriers.boot, boot_timeout, "boot")
+        wait_barrier(barriers.setup, boot_timeout, "setup")
+
+        data_shm = shared_memory.SharedMemory(name=spec.data_name)
+        data_views = DataViews(data_shm, spec.world,
+                               int(views.ctl[CTL_GRAD_ELEMS]), grad_dtype,
+                               int(views.ctl[CTL_BLOB_CAP]))
+        reducer = GradientAllReducer(optimizer, data_views, rank, spec.world,
+                                     barriers, spec.step_timeout_s,
+                                     spec.chunk_elems)
+        tuner.grad_reducer = reducer
+        engine = tuner.engine
+        mask_syncs = 0
+
+        while True:
+            # Between train() calls the parent may stay away arbitrarily
+            # long, so this wait is unbounded; workers are daemons (they die
+            # with the parent) and a failing peer aborts the barrier, which
+            # wakes this wait with BrokenBarrierError.
+            barriers.step_begin.wait()
+            command = int(views.ctl[CTL_COMMAND])
+            if command == CMD_STOP:
+                break
+            if command == CMD_PARAMS:
+                views.digest[rank] = np.frombuffer(
+                    _param_digest(optimizer.params), np.uint8)
+                if rank == 0:
+                    blob = pickle.dumps(
+                        [np.ascontiguousarray(p.data) for p in optimizer.params],
+                        protocol=_PICKLE)
+                    views.ctl[CTL_PARAM_BLOB_LEN] = data_views.write_blob(blob)
+                wait_barrier(barriers.step_end, spec.step_timeout_s, "step_end")
+                continue
+            if command != CMD_STEP:
+                raise DistributedError(f"unknown command {command}")
+
+            if step_delay_s > 0.0:      # test seam: slow the compute window
+                time.sleep(step_delay_s)
+            batch = views.read_batch()
+            shard_rows = batch.shape[0] // spec.world
+            shard = np.ascontiguousarray(
+                batch[rank * shard_rows:(rank + 1) * shard_rows])
+
+            mask_wait_s = 0.0
+            refresh_due = (engine is not None and spec.world > 1
+                           and spec.mask_broadcast
+                           and engine.refresh_due_next(shard.shape[-1]))
+            if refresh_due:
+                mask_syncs += 1
+                if rank == 0:
+                    def _broadcast_masks() -> None:
+                        # Runs inside the reducer (post-backward, so the
+                        # refreshed layouts exist) while the other ranks are
+                        # still waiting to start their forward pass.
+                        blob = pickle.dumps(engine.export_layouts(),
+                                            protocol=_PICKLE)
+                        views.ctl[CTL_MASK_BLOB_LEN] = data_views.write_blob(blob)
+                        wait_barrier(barriers.masks, spec.step_timeout_s,
+                                     "masks")
+                    reducer.pre_reduce = _broadcast_masks
+                else:
+                    mask_start = time.perf_counter()
+                    wait_barrier(barriers.masks, spec.step_timeout_s, "masks")
+                    blob = data_views.read_blob(
+                        int(views.ctl[CTL_MASK_BLOB_LEN]))
+                    engine.adopt_layouts(pickle.loads(blob),
+                                         refresh_step=engine.step_index + 1)
+                    mask_wait_s = time.perf_counter() - mask_start
+
+            loss, timing = tuner.step(shard)
+            views.loss[rank] = loss
+            stats = views.stats[rank]
+            stats[STAT_COMM] = timing.comm + mask_wait_s
+            stats[STAT_FORWARD] = timing.forward
+            stats[STAT_BACKWARD] = timing.backward
+            stats[STAT_OPTIMIZER] = timing.optimizer
+            capture = tuner.capture
+            if capture is not None:
+                stats[STAT_RECAPTURES] = capture.recaptures
+                stats[STAT_REPLAY_STEPS] = capture.replay_steps
+                stats[STAT_FULL_REPLAYS] = capture.full_replays
+            stats[STAT_MASK_SYNCS] = mask_syncs
+            views.status[rank] = ST_STEPPED
+            wait_barrier(barriers.step_end, spec.step_timeout_s, "step_end")
+    except BaseException as exc:
+        _worker_fail(views, rank, barriers, exc)
+    finally:
+        # Drop every exported view before closing; only the parent unlinks.
+        if data_views is not None:
+            data_views.release()
+        if views is not None:
+            views.release()
+        for shm in (data_shm, boot_shm):
+            if shm is not None:
+                try:
+                    shm.close()
+                except Exception:
+                    pass
+
+
+# ---------------------------------------------------------------------------
+# parent-side trainer
+# ---------------------------------------------------------------------------
 
 @dataclass
-class CommunicationModel:
-    """Ring all-reduce cost model: latency + volume / bandwidth per step."""
+class DistributedReport(TrainingReport):
+    """A :class:`TrainingReport` plus data-parallel evidence.
 
-    latency_s: float = 5e-5
-    bandwidth_gbps: float = 300.0        # NVLink-class interconnect
+    ``step_timings`` aggregate each phase as the **max over ranks** (the
+    critical path of the concurrent step); ``step_wall_s`` is the parent's
+    wall clock per step, which is what throughput claims should use.
+    """
 
-    def allreduce_time(self, gradient_bytes: float, num_workers: int) -> float:
-        if num_workers <= 1:
-            return 0.0
-        volume = 2.0 * gradient_bytes * (num_workers - 1) / num_workers
-        return self.latency_s * np.log2(num_workers) + volume / (self.bandwidth_gbps * 1e9)
+    workers: int = 1
+    step_wall_s: List[float] = field(default_factory=list)
+    comm_s_per_step: List[float] = field(default_factory=list)
+    worker_stats: List[Dict[str, float]] = field(default_factory=list)
+    param_digest: str = ""
+    final_params: List[np.ndarray] = field(default_factory=list)
+
+    def mean_comm_ms(self, skip_warmup: int = 1) -> float:
+        values = self.comm_s_per_step[skip_warmup:] or self.comm_s_per_step
+        return float(np.mean(values) * 1000.0) if values else 0.0
+
+    def steps_per_second(self, skip_warmup: int = 1) -> float:
+        walls = self.step_wall_s[skip_warmup:] or self.step_wall_s
+        total = float(np.sum(walls))
+        return len(walls) / total if total > 0 else float("inf")
 
 
-@dataclass
-class ScalingResult:
-    """Outcome of a strong-scaling measurement for one worker count."""
+def _static_cleanup(state: dict) -> None:
+    """Last-resort teardown shared by close(), _fail() and the finalizer."""
+    for process in state.get("processes", ()):
+        try:
+            if process.is_alive():
+                process.terminate()
+        except Exception:
+            pass
+    for process in state.get("processes", ()):
+        try:
+            process.join(timeout=2.0)
+        except Exception:
+            pass
+    for key in ("boot_views", "data_views"):
+        views = state.pop(key, None)
+        if views is not None:
+            try:
+                views.release()
+            except Exception:
+                pass
+    for key in ("boot_shm", "data_shm"):
+        shm = state.pop(key, None)
+        if shm is not None:
+            try:
+                shm.close()
+            except Exception:
+                pass
+            try:
+                shm.unlink()
+            except Exception:
+                pass
+    state["processes"] = []
 
-    num_workers: int
-    step_time_s: float
-    compute_time_s: float
-    communication_time_s: float
-    speedup_vs_single: float = 1.0
-    efficiency: float = 1.0
 
+class DataParallelTrainer:
+    """Drives N sharded worker processes through the shared-memory protocol.
 
-class DataParallelSimulator:
-    """Simulates strong scaling of fine-tuning across data-parallel workers."""
+    Parameters
+    ----------
+    tuner_factory:
+        Zero-argument callable, run *inside every worker*, returning the
+        :class:`FineTuner` to train.  It must be deterministic (same seeds →
+        bitwise-identical models in every rank) and, under the ``spawn``
+        start method, picklable (a module-level function or
+        ``functools.partial`` over one).
+    config:
+        The :class:`TrainingConfig`; ``config.data_parallel_workers`` sets
+        the worker count unless ``workers`` overrides it.
+    workers:
+        Explicit worker count override.
+    start_method:
+        ``multiprocessing`` start method; default ``fork`` where available
+        (no pickling constraints, instant startup), else ``spawn``.
+    step_timeout_s:
+        Bound on every intra-step barrier wait; a worker death surfaces as
+        :class:`DistributedError` within a small multiple of this.
+    chunk_elems:
+        Chunk size (elements) of the fixed-order reduce schedule.
+    mask_broadcast:
+        Broadcast rank 0's sparsity layouts at refresh steps instead of
+        letting every worker probe its own shard (requires an engine).
+    batch_capacity:
+        Size in bytes of the shared batch region; default 4x the first
+        published batch.
+    """
 
-    def __init__(self, step_fn: Callable[[np.ndarray], float],
-                 gradient_bytes: float,
-                 comm: Optional[CommunicationModel] = None):
+    def __init__(self, tuner_factory: Callable[[], FineTuner],
+                 config: Optional[TrainingConfig] = None,
+                 workers: Optional[int] = None, *,
+                 start_method: Optional[str] = None,
+                 step_timeout_s: float = 60.0,
+                 chunk_elems: int = 1 << 16,
+                 mask_broadcast: bool = True,
+                 batch_capacity: Optional[int] = None,
+                 _test_step_delay_s: float = 0.0):
+        config = config or TrainingConfig()
+        world = int(workers if workers is not None
+                    else config.data_parallel_workers)
+        if world < 1:
+            raise ValueError(f"need at least one worker, got {world}")
+        self.tuner_factory = tuner_factory
+        self.config = config
+        self.world = world
+        self.step_timeout_s = float(step_timeout_s)
+        self.chunk_elems = int(chunk_elems)
+        self.mask_broadcast = bool(mask_broadcast)
+        self.batch_capacity = batch_capacity
+        self._test_step_delay_s = float(_test_step_delay_s)
+        if start_method is None:
+            start_method = ("fork" if "fork" in mp.get_all_start_methods()
+                            else "spawn")
+        self._ctx = mp.get_context(start_method)
+        self.session = f"lexdp-{os.getpid():x}-{uuid.uuid4().hex[:8]}"
+        self._state: dict = {"processes": []}
+        self._finalizer = weakref.finalize(self, _static_cleanup, self._state)
+        self._started = False
+        self._closed = False
+        self._step_id = 0
+        self._spec: Optional[CommSpec] = None
+        self._barriers: Optional[BarrierSet] = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def _parent_timeout(self) -> float:
+        return self.step_timeout_s * 2 + 5.0
+
+    def _ensure_started(self, first_batch: np.ndarray) -> None:
+        if self._closed:
+            raise DistributedError("trainer is closed")
+        if self._started:
+            return
+        capacity = self.batch_capacity
+        if capacity is None:
+            capacity = max(4 * int(first_batch.nbytes), 1 << 20)
+        spec = CommSpec(session=self.session, world=self.world,
+                        batch_capacity=int(capacity),
+                        step_timeout_s=self.step_timeout_s,
+                        chunk_elems=self.chunk_elems,
+                        mask_broadcast=self.mask_broadcast)
+        _, boot_bytes = boot_regions(self.world, spec.batch_capacity)
+        boot_shm = shared_memory.SharedMemory(name=spec.boot_name, create=True,
+                                              size=boot_bytes)
+        self._state["boot_shm"] = boot_shm
+        boot_views = BootViews(boot_shm, self.world, spec.batch_capacity)
+        # Shared memory arrives zeroed on Linux, but make the protocol fields
+        # explicit rather than rely on it.
+        boot_views.ctl[:] = 0
+        boot_views.status[:] = 0
+        self._state["boot_views"] = boot_views
+        barriers = BarrierSet(self._ctx, self.world)
+        processes = []
+        for rank in range(self.world):
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(spec, rank, self.tuner_factory, barriers,
+                      self._test_step_delay_s),
+                name=f"{self.session}-rank{rank}", daemon=True)
+            process.start()
+            processes.append(process)
+        self._state["processes"] = processes
+        self._spec = spec
+        self._barriers = barriers
+        self._boot_views = boot_views
+        boot_timeout = max(self.step_timeout_s * 4, 60.0)
+        self._guarded_wait(barriers.boot, "boot", timeout=boot_timeout)
+
+        # Workers reported their flat gradient population; they must agree.
+        meta = boot_views.meta.copy()
+        if np.any(boot_views.status.copy() == ST_ERROR):
+            self._fail("a worker failed during startup")
+        if len({tuple(row) for row in meta.tolist()}) != 1:
+            self._fail(f"workers disagree on the gradient layout: "
+                       f"{meta.tolist()} — the tuner factory is not "
+                       f"deterministic across ranks")
+        grad_elems = int(meta[0, 0])
+        grad_dtype = _CODE_DTYPES[int(meta[0, 1])]
+        blob_capacity = int(boot_views.ctl[CTL_BLOB_CAP])
+        _, data_bytes = data_regions(self.world, grad_elems,
+                                     grad_dtype.itemsize, blob_capacity)
+        data_shm = shared_memory.SharedMemory(name=spec.data_name, create=True,
+                                              size=data_bytes)
+        self._state["data_shm"] = data_shm
+        data_views = DataViews(data_shm, self.world, grad_elems, grad_dtype,
+                               blob_capacity)
+        self._state["data_views"] = data_views
+        self._data_views = data_views
+        self._grad_dtype = grad_dtype
+        self._grad_elems = grad_elems
+        self._guarded_wait(barriers.setup, "setup", timeout=boot_timeout)
+        self._started = True
+
+    def worker_pids(self) -> List[int]:
+        return [process.pid for process in self._state["processes"]]
+
+    def segment_names(self) -> List[str]:
+        if self._spec is None:
+            return []
+        return [self._spec.boot_name, self._spec.data_name]
+
+    def close(self) -> None:
+        """Stop the workers and unlink both segments; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._started:
+            try:
+                self._boot_views.ctl[CTL_COMMAND] = CMD_STOP
+                self._barriers.step_begin.wait(timeout=min(
+                    self.step_timeout_s, 10.0))
+                for process in self._state["processes"]:
+                    process.join(timeout=min(self.step_timeout_s, 10.0))
+            except Exception:
+                pass
+        if self._barriers is not None:
+            self._barriers.abort_all()
+        _static_cleanup(self._state)
+        self._finalizer.detach()
+
+    def __enter__(self) -> "DataParallelTrainer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- failure handling --------------------------------------------------------
+
+    def _guarded_wait(self, barrier, what: str,
+                      timeout: Optional[float] = None) -> None:
+        try:
+            wait_barrier(barrier, timeout if timeout is not None
+                         else self._parent_timeout, what)
+        except DistributedError:
+            self._fail(f"rendezvous {what!r} broke or timed out")
+
+    def _fail(self, reason: str) -> None:
+        diagnostic = [f"data-parallel run failed: {reason}"]
+        views = self._state.get("boot_views")
+        processes = self._state.get("processes", [])
+        statuses = (views.status.copy().tolist()
+                    if views is not None else [])
+        for rank, process in enumerate(processes):
+            line = (f"  rank {rank}: pid={process.pid} "
+                    f"alive={process.is_alive()} exitcode={process.exitcode}")
+            if rank < len(statuses):
+                line += f" status={statuses[rank]}"
+            diagnostic.append(line)
+            if views is not None:
+                error = views.read_error(rank)
+                if error:
+                    indented = "\n".join("    " + l
+                                         for l in error.strip().splitlines())
+                    diagnostic.append(indented)
+        if self._barriers is not None:
+            self._barriers.abort_all()
+        self._closed = True
+        _static_cleanup(self._state)
+        self._finalizer.detach()
+        raise DistributedError("\n".join(diagnostic))
+
+    def _check_worker_errors(self) -> None:
+        status = self._boot_views.status.copy()
+        if np.any(status == ST_ERROR):
+            failed = [rank for rank, value in enumerate(status.tolist())
+                      if value == ST_ERROR]
+            self._fail(f"rank(s) {failed} reported an error")
+
+    # -- stepping ----------------------------------------------------------------
+
+    def step(self, batch: np.ndarray) -> (float, PhaseTimings):
+        """Run one global step; returns (global mean loss, max-phase timings)."""
+        batch = np.asarray(batch)
+        if batch.shape[0] % self.world != 0:
+            raise ValueError(f"global batch of {batch.shape[0]} sequences "
+                             f"cannot be split over {self.world} workers")
+        self._ensure_started(batch)
+        views = self._boot_views
+        self._step_id += 1
+        views.publish_batch(self._step_id, batch)
+        views.ctl[CTL_COMMAND] = CMD_STEP
+        wall_start = time.perf_counter()
+        self._guarded_wait(self._barriers.step_begin, "step_begin")
+        self._guarded_wait(self._barriers.step_end, "step_end")
+        wall = time.perf_counter() - wall_start
+        self._check_worker_errors()
+        losses = views.loss.copy()
+        stats = views.stats.copy()
+        # Fixed-order mean over equal shards: for world == 1 this is exactly
+        # the worker's loss (sum of one element over 1).
+        loss = float(losses.sum() / self.world)
+        timing = PhaseTimings(
+            forward=float(stats[:, STAT_FORWARD].max()),
+            backward=float(stats[:, STAT_BACKWARD].max()),
+            optimizer=float(stats[:, STAT_OPTIMIZER].max()),
+            comm=float(stats[:, STAT_COMM].max()),
+        )
+        self._last_wall_s = wall
+        self._last_stats = stats
+        return loss, timing
+
+    def fetch_params(self) -> (List[np.ndarray], str):
+        """Final trainable parameters (rank 0) + the cross-rank digest.
+
+        Raises :class:`DistributedError` if any rank's parameter bytes
+        diverged — the bitwise-replication invariant of the replicated
+        optimizer tail failed.
         """
-        Parameters
-        ----------
-        step_fn:
-            Callable executing one fine-tuning step on a batch shard and
-            returning nothing of interest; it is timed with ``perf_counter``.
-        gradient_bytes:
-            Bytes of gradients that would be all-reduced per step (trainable
-            parameters x 4 for FP32 gradients) — tiny under PEFT.
-        comm:
-            Communication model; defaults to an NVLink-class ring all-reduce.
-        """
-        self.step_fn = step_fn
-        self.gradient_bytes = float(gradient_bytes)
-        self.comm = comm or CommunicationModel()
+        if not self._started:
+            raise DistributedError("no step has run yet")
+        views = self._boot_views
+        views.ctl[CTL_COMMAND] = CMD_PARAMS
+        self._guarded_wait(self._barriers.step_begin, "step_begin")
+        self._guarded_wait(self._barriers.step_end, "step_end")
+        self._check_worker_errors()
+        digests = views.digest.copy()
+        unique = {bytes(digests[rank]) for rank in range(self.world)}
+        if len(unique) != 1:
+            self._fail("parameters diverged across workers: "
+                       + ", ".join(f"rank{r}={bytes(digests[r]).hex()[:12]}"
+                                   for r in range(self.world)))
+        blob = self._data_views.read_blob(
+            int(views.ctl[CTL_PARAM_BLOB_LEN]))
+        return pickle.loads(blob), unique.pop().hex()
 
-    def _measure_shard(self, shard: np.ndarray, repeats: int = 1) -> float:
-        best = float("inf")
-        for _ in range(max(1, repeats)):
-            start = time.perf_counter()
-            self.step_fn(shard)
-            best = min(best, time.perf_counter() - start)
-        return best
+    # -- full loop ---------------------------------------------------------------
 
-    def run(self, global_batch: np.ndarray, worker_counts: Sequence[int],
-            repeats: int = 1) -> List[ScalingResult]:
-        """Measure simulated step time for each worker count (strong scaling)."""
-        global_batch = np.asarray(global_batch)
-        results: List[ScalingResult] = []
-        single_time = None
-        for workers in worker_counts:
-            if global_batch.shape[0] % workers != 0:
-                raise ValueError(f"global batch of {global_batch.shape[0]} sequences "
-                                 f"cannot be split over {workers} workers")
-            shards = np.split(global_batch, workers, axis=0)
-            shard_times = [self._measure_shard(shard, repeats) for shard in shards]
-            compute = max(shard_times)
-            communication = self.comm.allreduce_time(self.gradient_bytes, workers)
-            step_time = compute + communication
-            if single_time is None:
-                single_time = step_time
-            speedup = single_time / step_time if step_time > 0 else float("inf")
-            results.append(ScalingResult(
-                num_workers=workers, step_time_s=step_time, compute_time_s=compute,
-                communication_time_s=communication, speedup_vs_single=speedup,
-                efficiency=speedup / workers))
-        return results
+    def train(self, batches: Iterable[np.ndarray],
+              max_steps: Optional[int] = None,
+              fetch_params: bool = True) -> DistributedReport:
+        """Train over an iterable of global token-id batches."""
+        max_steps = (max_steps if max_steps is not None
+                     else self.config.max_steps)
+        losses: List[float] = []
+        timings: List[PhaseTimings] = []
+        walls: List[float] = []
+        comms: List[float] = []
+        tokens = 0
+        for step_index, batch in enumerate(batches):
+            if max_steps is not None and step_index >= max_steps:
+                break
+            batch = np.asarray(batch)
+            loss, timing = self.step(batch)
+            losses.append(loss)
+            timings.append(timing)
+            walls.append(self._last_wall_s)
+            comms.append(timing.comm)
+            tokens += int(batch.size)
+            if self.config.log_every and (step_index + 1) % self.config.log_every == 0:
+                print(f"step {step_index + 1}: loss={loss:.4f} "
+                      f"wall={self._last_wall_s * 1000:.1f}ms "
+                      f"comm={timing.comm * 1000:.1f}ms")
+        worker_stats = []
+        stats = getattr(self, "_last_stats", None)
+        if stats is not None:
+            worker_stats = [dict(zip(STAT_NAMES, stats[rank].tolist()))
+                            for rank in range(self.world)]
+        params: List[np.ndarray] = []
+        digest = ""
+        if fetch_params and losses:
+            params, digest = self.fetch_params()
+        return DistributedReport(
+            steps=len(losses), losses=losses, step_timings=timings,
+            tokens_processed=tokens, workers=self.world, step_wall_s=walls,
+            comm_s_per_step=comms, worker_stats=worker_stats,
+            param_digest=digest, final_params=params)
+
+
+def train_data_parallel(tuner_factory: Callable[[], FineTuner],
+                        batches: Sequence[np.ndarray],
+                        config: Optional[TrainingConfig] = None,
+                        **trainer_kwargs) -> DistributedReport:
+    """One-shot convenience wrapper: spawn, train, tear down."""
+    with DataParallelTrainer(tuner_factory, config, **trainer_kwargs) as trainer:
+        return trainer.train(batches)

@@ -53,11 +53,21 @@ class TrainingConfig:
     # Streaming tiled attention (see repro.tensor.fused.streaming_attention):
     # the dense-attention path runs the online-softmax kernel over K/V tiles
     # of ``streaming_tile`` keys, never materialising the (seq, seq) score
-    # matrix — the long-context switch.  Applied process-wide via
-    # ``fused.set_streaming_attention`` when the trainer is constructed, and
-    # part of the capture signature so toggling it forces a re-capture.
-    streaming_attention: bool = False
+    # matrix — the long-context switch.  Scoped *per tuner, per step*: an
+    # explicit True/False is applied via ``fused.streaming_kernels`` around
+    # each step and restored afterwards, so interleaved tuners never inherit
+    # another tuner's setting; the default None leaves the process-global
+    # switch alone.  Part of the capture signature, so a differing ambient
+    # setting forces a re-capture rather than a silent kernel mismatch.
+    streaming_attention: Optional[bool] = None
     streaming_tile: int = 128
+    # Data parallelism: with N > 1,
+    # :class:`repro.runtime.distributed.DataParallelTrainer` runs N worker
+    # processes over this config, each stepping its batch shard and
+    # exchanging gradients through a shared-memory flat-buffer all-reduce.
+    # FineTuner itself always runs one process; the knob tells the
+    # distributed front-end how wide to go.
+    data_parallel_workers: int = 1
     # Thread count for the dependency-levelled forward executor.  1 replays
     # the recorded kernel order — bitwise identical to the interpreted step.
     # >1 dispatches each dependency level across a thread pool (NumPy
@@ -70,16 +80,23 @@ class TrainingConfig:
 
 @dataclass
 class PhaseTimings:
-    """Per-phase timing of one training step (seconds)."""
+    """Per-phase timing of one training step (seconds).
+
+    ``comm`` is the data-parallel gradient-exchange time (barrier waits +
+    chunked reduce + mask broadcast); it is zero for single-process training
+    and broken out of the optimizer phase so scaling regressions are
+    attributable from the step breakdown alone.
+    """
 
     forward: float
     backward: float
     optimizer: float
     prediction: float = 0.0
+    comm: float = 0.0
 
     @property
     def total(self) -> float:
-        return self.forward + self.backward + self.optimizer
+        return self.forward + self.backward + self.optimizer + self.comm
 
     def as_milliseconds(self) -> dict:
         return {
@@ -87,6 +104,7 @@ class PhaseTimings:
             "backward_ms": self.backward * 1000,
             "optimizer_ms": self.optimizer * 1000,
             "prediction_ms": self.prediction * 1000,
+            "comm_ms": self.comm * 1000,
             "total_ms": self.total * 1000,
         }
 
@@ -112,6 +130,7 @@ class TrainingReport:
             backward=float(np.mean([t.backward for t in timings])),
             optimizer=float(np.mean([t.optimizer for t in timings])),
             prediction=float(np.mean([t.prediction for t in timings])),
+            comm=float(np.mean([t.comm for t in timings])),
         )
 
     def mean_step_ms(self, skip_warmup: int = 1) -> float:
@@ -141,11 +160,20 @@ class FineTuner:
     engine:
         Optional :class:`repro.sparsity.LongExposure` whose prediction
         overhead should be read out per step.
+    grad_reducer:
+        Optional callable ``(params) -> seconds`` run between the backward
+        pass and the optimizer update — the data-parallel gradient exchange
+        (see :class:`repro.runtime.comms.GradientAllReducer`).  It must
+        mutate every ``param.grad`` in place with the globally-reduced
+        gradient and return the seconds it spent; the trainer reports that
+        as the ``comm`` phase.  May also be assigned after construction
+        (``tuner.grad_reducer = ...``), which is how the worker harness
+        wires it.
     """
 
     def __init__(self, model: Module, config: Optional[TrainingConfig] = None,
                  optimizer: Optional[Optimizer] = None, engine=None,
-                 capture=None):
+                 capture=None, grad_reducer=None):
         self.model = model
         self.config = config or TrainingConfig()
         trainable = model.trainable_parameters()
@@ -162,8 +190,15 @@ class FineTuner:
         if capture is True:
             capture = StepCapture(warmup_steps=self.config.capture_warmup)
         self.capture: Optional[StepCapture] = capture or None
-        if self.config.streaming_attention:
-            fused.set_streaming_attention(True, tile=self.config.streaming_tile)
+        self.grad_reducer = grad_reducer
+        # Streaming scope: an explicit config value is applied around each
+        # step and restored afterwards (never left set process-wide), so
+        # interleaved tuners cannot inherit each other's setting; None means
+        # "inherit whatever is ambient".
+        self._streaming_scope = (
+            None if self.config.streaming_attention is None
+            else (bool(self.config.streaming_attention),
+                  self.config.streaming_tile))
         # Flat-update closure for compiled steps (None -> ordinary step()).
         self._optim_plan_tail = getattr(self.optimizer, "plan_tail",
                                         lambda: None)()
@@ -181,6 +216,14 @@ class FineTuner:
     def step(self, input_ids: np.ndarray,
              labels: Optional[np.ndarray] = None) -> (float, PhaseTimings):
         """One fine-tuning step; returns (loss value, phase timings)."""
+        if self._streaming_scope is not None:
+            enabled, tile = self._streaming_scope
+            with fused.streaming_kernels(enabled, tile):
+                return self._step_inner(input_ids, labels)
+        return self._step_inner(input_ids, labels)
+
+    def _step_inner(self, input_ids: np.ndarray,
+                    labels: Optional[np.ndarray] = None) -> (float, PhaseTimings):
         if self.engine is not None:
             # Drive the prediction scheduler: with predict_interval=K the
             # sparse backends re-derive their masks every K-th step and reuse
@@ -266,6 +309,15 @@ class FineTuner:
                 loss_value = float(loss.data)
 
             start = time.perf_counter()
+            comm_s = 0.0
+            if self.grad_reducer is not None:
+                # Data-parallel gradient exchange: every worker's shard
+                # gradients are reduced to their fixed-order mean before the
+                # (replicated) optimizer tail, so parameters stay bitwise
+                # identical across workers.  The reducer times itself —
+                # barrier waits included — and that time is reported as the
+                # ``comm`` phase, not as optimizer time.
+                comm_s = float(self.grad_reducer(self.optimizer.params))
             finite = self.scaler.unscale_and_check(self.optimizer.params)
             if self.config.grad_clip > 0:
                 clip_grad_norm(self.optimizer.params, self.config.grad_clip)
@@ -277,7 +329,7 @@ class FineTuner:
             self.scaler.update(found_overflow=not finite)
             self.optimizer.zero_grad()
             self.model.zero_grad()
-            optimizer_s = time.perf_counter() - start
+            optimizer_s = time.perf_counter() - start - comm_s
         finally:
             if capture is not None:
                 capture.end_step()
@@ -289,6 +341,8 @@ class FineTuner:
         self.profiler.add("forward", forward_s)
         self.profiler.add("backward", backward_s)
         self.profiler.add("optimizer", optimizer_s)
+        if self.grad_reducer is not None:
+            self.profiler.add("comm", comm_s)
         if self.engine is not None:
             self.profiler.add("prediction", prediction_s)
             # Derived scheduler health metrics ride along with the phase
@@ -315,7 +369,8 @@ class FineTuner:
                 self.profiler.set_gauge(name, value)
 
         timing = PhaseTimings(forward=forward_s, backward=backward_s,
-                              optimizer=optimizer_s, prediction=prediction_s)
+                              optimizer=optimizer_s, prediction=prediction_s,
+                              comm=comm_s)
         return loss_value, timing
 
     # -- full loop ------------------------------------------------------------------

@@ -791,6 +791,75 @@ class LongExposure:
                     return True
         return False
 
+    def refresh_due_next(self, seq_len: int) -> bool:
+        """Whether :meth:`refresh_due` will hold on the *next* step.
+
+        The data-parallel worker harness decides before calling
+        ``FineTuner.step`` (which advances the scheduler itself) whether the
+        coming step re-derives masks — on such steps rank 0 refreshes and
+        broadcasts its layouts while the other ranks adopt them instead of
+        probing their own shards.  Computed by evaluating the schedule one
+        step ahead; backend state is untouched.
+        """
+        self.step_index += 1
+        try:
+            return self.refresh_due(seq_len)
+        finally:
+            self.step_index -= 1
+
+    def export_layouts(self) -> list:
+        """Picklable snapshot of every backend's current masks.
+
+        Entries mirror the backend order of :meth:`layout_state`; attention
+        backends export ``("attn", layout, seq_len)`` and MLP backends
+        ``("mlp", active_blocks)``.  The masks are tiny (per-head block
+        patterns and block-index vectors), which is what makes broadcasting
+        them from rank 0 cheaper than letting every worker probe its own
+        shard — and keeps all workers computing with the *same* layouts.
+        """
+        state = []
+        for backend in self._sparse_backends:
+            if isinstance(backend, SparseAttentionBackend):
+                state.append(("attn", backend.last_layout,
+                              backend._layout_seq_len))
+            elif isinstance(backend, SparseMLPBackend):
+                state.append(("mlp", backend.last_active_blocks))
+        return state
+
+    def adopt_layouts(self, state: list, refresh_step: Optional[int] = None) -> None:
+        """Install layouts exported by another engine replica (rank 0).
+
+        Marks every backend as freshly refreshed at ``refresh_step`` (default
+        the current step index), so the scheduled reuse window restarts
+        exactly as if the backend had derived the masks itself; drift against
+        the previously reused masks is recorded per layer as usual.
+        """
+        if len(state) != len(self._sparse_backends):
+            raise ValueError(f"layout snapshot covers {len(state)} backends, "
+                             f"engine has {len(self._sparse_backends)}")
+        step = self.step_index if refresh_step is None else int(refresh_step)
+        for backend, entry in zip(self._sparse_backends, state):
+            if isinstance(backend, SparseAttentionBackend):
+                kind, layout, seq_len = entry
+                if kind != "attn":
+                    raise ValueError(f"expected attention entry, got {kind!r}")
+                if layout is not None:
+                    self.stats.attention_layer(backend.layer_index).record_refresh(
+                        _layout_drift(backend.last_layout, layout))
+                backend.last_layout = layout
+                backend._layout_seq_len = seq_len
+                backend._last_refresh_step = step
+            elif isinstance(backend, SparseMLPBackend):
+                kind, active_blocks = entry
+                if kind != "mlp":
+                    raise ValueError(f"expected mlp entry, got {kind!r}")
+                if active_blocks is not None:
+                    self.stats.mlp_layer(backend.layer_index).record_refresh(
+                        _active_block_drift(backend.last_active_blocks,
+                                            active_blocks))
+                backend.last_active_blocks = active_blocks
+                backend._last_refresh_step = step
+
     def layout_state(self) -> tuple:
         """Hashable snapshot of every backend's reused masks.
 
