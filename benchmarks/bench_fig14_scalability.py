@@ -22,7 +22,8 @@ import os
 
 import pytest
 
-from repro import FineTuner, TrainingConfig, build_model, get_peft_method
+from repro import (CaptureConfig, FineTuner, TrainingConfig, build_model,
+                   get_peft_method)
 from repro.analysis import format_table
 from repro.optim import Adam
 from repro.runtime import DataParallelTrainer
@@ -43,7 +44,8 @@ def _fig14_tuner(method: str):
     adapted, _ = get_peft_method(method)(model)
     engine.install(adapted)
     optimizer = Adam(adapted.trainable_parameters(), lr=1e-4)
-    return FineTuner(adapted, TrainingConfig(capture_steps=True),
+    return FineTuner(adapted,
+                     TrainingConfig(capture=CaptureConfig(enabled=True)),
                      optimizer=optimizer, engine=engine)
 
 

@@ -1105,7 +1105,8 @@ def bench_step_capture(repeats: int = 4, batch: int = BATCH, seq: int = SEQ,
     > 1`` in-run, and ``predicted.captured_allocs_per_step == 0``.
     """
     from repro.peft import apply_lora
-    from repro.runtime import FineTuner, StepCapture, TrainingConfig
+    from repro.runtime import (AttentionConfig, CaptureConfig, FineTuner,
+                               StepCapture, TrainingConfig)
 
     def dense_factory(captured: bool):
         model = build_model(dense_model, seed=0)
@@ -1246,7 +1247,8 @@ def bench_full_step(repeats: int = 4, batch: int = BATCH,
     single-core worker — NumPy only releases the GIL inside BLAS).
     """
     from repro.peft import apply_lora
-    from repro.runtime import FineTuner, StepCapture, TrainingConfig
+    from repro.runtime import (AttentionConfig, CaptureConfig, FineTuner,
+                               StepCapture, TrainingConfig)
 
     def factory(compiled: bool, threads: int = 1, capture: bool = True):
         model = build_model(sparse_model, seed=0)
@@ -1263,8 +1265,9 @@ def bench_full_step(repeats: int = 4, batch: int = BATCH,
         engine.install(model)
         optimizer = Adam(model.trainable_parameters(), lr=1e-4)
         tuner = FineTuner(model,
-                          TrainingConfig(compile_full_step=compiled,
-                                         executor_threads=threads),
+                          TrainingConfig(capture=CaptureConfig(
+                              compile_full_step=compiled,
+                              executor_threads=threads)),
                           optimizer=optimizer, engine=engine,
                           capture=StepCapture() if capture else None)
         return tuner, ids
@@ -1322,11 +1325,11 @@ SCALING_WORKER_COUNTS = (1, 2, 4)
 def _scaling_tuner(model_name: str, seed: int = 0):
     """Module-level tuner factory (picklable under the spawn start method)."""
     from repro.peft import apply_lora
-    from repro.runtime import FineTuner, TrainingConfig
+    from repro.runtime import CaptureConfig, FineTuner, TrainingConfig
 
     model = build_model(model_name, seed=seed)
     apply_lora(model)
-    return FineTuner(model, TrainingConfig(capture_steps=True))
+    return FineTuner(model, TrainingConfig(capture=CaptureConfig(enabled=True)))
 
 
 def bench_scaling(worker_counts=SCALING_WORKER_COUNTS, steps: int = 6,
@@ -1424,7 +1427,7 @@ def bench_long_context(lengths=LONG_CONTEXT_LENGTHS, batch: int = 1,
 
     from repro.models import ModelConfig
     from repro.peft import apply_lora
-    from repro.runtime import FineTuner, TrainingConfig
+    from repro.runtime import AttentionConfig, FineTuner, TrainingConfig
 
     heads = 2
     results: Dict = {"tile": float(tile), "lengths": {}}
@@ -1449,8 +1452,9 @@ def bench_long_context(lengths=LONG_CONTEXT_LENGTHS, batch: int = 1,
                 apply_lora(model)
                 tuner = FineTuner(model,
                                   TrainingConfig(
-                                      streaming_attention=streaming,
-                                      streaming_tile=tile))
+                                      attention=AttentionConfig(
+                                          streaming=streaming,
+                                          streaming_tile=tile)))
                 tuner.step(ids)                        # warm-up
                 step_s = _best_of(lambda: tuner.step(ids), repeats)
                 tracemalloc.start()
@@ -1611,6 +1615,22 @@ def bench_fused_ops(repeats: int = 20) -> Dict[str, Dict[str, float]]:
     return results
 
 
+def bench_serve(quick: bool = False) -> Dict:
+    """Multi-tenant serving traffic (delegates to bench_serve_traffic.py)."""
+    import sys
+    from pathlib import Path
+
+    bench_dir = str(Path(__file__).resolve().parent)
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    from bench_serve_traffic import bench_serve_traffic
+
+    if quick:
+        return bench_serve_traffic(tenants=4, requests=16, seq_buckets=(16,),
+                                   max_resident=2)
+    return bench_serve_traffic()
+
+
 def run_benchmark(repeats: int = 5, op_repeats: int = 20,
                   batch: int = BATCH, seq: int = SEQ,
                   predicted_seq: int = PREDICTED_SEQ,
@@ -1684,6 +1704,7 @@ def run_benchmark(repeats: int = 5, op_repeats: int = 20,
             repeats=1 if quick else 2),
         "scaling": bench_scaling(steps=3 if quick else 6,
                                  seq=32 if quick else 128),
+        "serve": bench_serve(quick=quick),
         "ops": bench_fused_ops(op_repeats),
     }
     return report
@@ -1836,6 +1857,15 @@ def _print_report(report: Dict) -> None:
               f"comm {row['comm_ms_per_step']:6.1f} ms  "
               f"speedup {row['speedup_vs_1']:.2f}x  "
               f"eff {row['efficiency']:.2f}")
+    serve = report["serve"]
+    print(f"multi-tenant serving ({serve['model']}, "
+          f"{int(serve['tenants'])} Zipf tenants, "
+          f"{int(serve['requests'])} requests):")
+    print(f"  {serve['steps_per_s']:8.2f} steps/s  "
+          f"p50 {serve['p50_latency_ms']:6.1f} ms  "
+          f"p99 {serve['p99_latency_ms']:6.1f} ms  "
+          f"warm hit rate {serve['warm_capture_hit_rate']:.3f}  "
+          f"evictions {int(serve['tenant_evictions'])}")
     print("fused ops (forward + backward, best-of-N):")
     for name, row in report["ops"].items():
         print(f"  {name:<16} {row['fused_s'] * 1e3:7.2f} ms vs "

@@ -1,0 +1,172 @@
+"""Traffic simulation for the multi-tenant fine-tuning service.
+
+Drives :class:`repro.serve.FineTuningService` with a Zipf-distributed tenant
+load — the canonical fleet shape: a few hot tenants dominate, a long tail
+trickles — over one shared frozen base, and reports the serving metrics that
+matter at fleet scale:
+
+* **steps/sec** — served training-step throughput;
+* **p50/p99 step latency** — wall-clock from ``submit`` to step completion
+  (queue wait included), the tenant-visible number;
+* **capture-hit rate** — fraction of steps that replayed a compiled plan
+  (the signature-bucketing payoff; ``warm`` excludes each bucket's one
+  unavoidable capture step);
+* **evictions / page-ins** — adapter-state churn when the resident-tenant
+  budget is smaller than the tenant population.
+
+The run also self-checks the isolation contract: the shared base digest must
+be unchanged and every tenant's adapter digest distinct (different data ⇒
+different adapters — any collision would mean cross-tenant state bleed).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_serve_traffic.py --json serve.json
+
+or consume the ``serve`` section of ``bench_perf_regression.py --json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.serve import FineTuningService, ServiceConfig
+
+TENANTS = 8
+REQUESTS = 64
+ZIPF_A = 1.2
+
+
+def zipf_probabilities(tenants: int, a: float = ZIPF_A) -> np.ndarray:
+    """Zipf rank weights ``p_i ∝ 1 / i**a`` over ``tenants`` ranks."""
+    ranks = np.arange(1, tenants + 1, dtype=np.float64)
+    weights = 1.0 / ranks ** a
+    return weights / weights.sum()
+
+
+def bench_serve_traffic(tenants: int = TENANTS, requests: int = REQUESTS,
+                        batch: int = 2,
+                        seq_buckets: Sequence[int] = (16, 32),
+                        zipf_a: float = ZIPF_A,
+                        max_resident: int = 4,
+                        max_plan_cache: int = 4,
+                        model: str = "opt-tiny",
+                        submit_chunk: int = 8,
+                        seed: int = 0) -> Dict:
+    """Run the Zipf traffic simulation; returns the serving metrics dict.
+
+    ``max_resident < tenants`` by default, so the run exercises tenant
+    eviction/page-in churn, not just the happy resident path.
+    """
+    service = FineTuningService(ServiceConfig(
+        model=model, adapters=("lora",), seq_buckets=tuple(seq_buckets),
+        max_resident_tenants=max_resident, max_plan_cache=max_plan_cache))
+    base_digest = service.base_digest()
+    rng = np.random.default_rng(seed)
+    probabilities = zipf_probabilities(tenants, zipf_a)
+    buckets = tuple(int(b) for b in seq_buckets)
+
+    results = []
+    submitted = 0
+    start = time.perf_counter()
+    while submitted < requests:
+        # Open-loop arrivals in chunks: a burst of submissions, then the
+        # service drains — queue wait shows up in the latency percentiles.
+        chunk = min(submit_chunk, requests - submitted)
+        for _ in range(chunk):
+            tenant = int(rng.choice(tenants, p=probabilities))
+            seq = int(rng.choice(buckets))
+            ids = rng.integers(0, 100, size=(batch, seq))
+            service.submit(f"tenant-{tenant}", ids)
+        submitted += chunk
+        results.extend(service.flush())
+    wall_s = time.perf_counter() - start
+
+    latencies_ms = np.sort([r.latency_seconds * 1000.0 for r in results])
+    gauges = service.gauges()
+    tenant_digests = {t: service.tenant_digest(t)
+                      for t in sorted({r.tenant for r in results})}
+    return {
+        "model": model,
+        "tenants": float(tenants),
+        "tenants_seen": float(len(tenant_digests)),
+        "requests": float(len(results)),
+        "zipf_a": float(zipf_a),
+        "seq_buckets": [float(b) for b in buckets],
+        "max_resident_tenants": float(max_resident),
+        "wall_s": wall_s,
+        "steps_per_s": len(results) / wall_s if wall_s else 0.0,
+        "p50_latency_ms": float(np.percentile(latencies_ms, 50)),
+        "p99_latency_ms": float(np.percentile(latencies_ms, 99)),
+        "capture_hit_rate": gauges["capture_hit_rate"],
+        "warm_capture_hit_rate": gauges["warm_capture_hit_rate"],
+        "buckets_captured": float(len({r.bucket for r in results})),
+        "tenant_evictions": gauges["tenant_evictions"],
+        "tenant_pageins": gauges["tenant_pageins"],
+        "resident_tenants": gauges["resident_tenants"],
+        "tenant_state_bytes": gauges["tenant_state_bytes"],
+        # Isolation self-checks (both must hold on every run).
+        "base_digest_stable": float(service.base_digest() == base_digest),
+        "distinct_tenant_digests": float(
+            len(set(tenant_digests.values())) == len(tenant_digests)),
+    }
+
+
+def _print_report(report: Dict) -> None:
+    print(f"serve traffic ({report['model']}, "
+          f"{int(report['tenants'])} Zipf(a={report['zipf_a']}) tenants, "
+          f"{int(report['requests'])} requests, seq buckets "
+          f"{[int(b) for b in report['seq_buckets']]}):")
+    print(f"  throughput  {report['steps_per_s']:8.2f} steps/s")
+    print(f"  latency     p50 {report['p50_latency_ms']:7.1f} ms   "
+          f"p99 {report['p99_latency_ms']:7.1f} ms")
+    print(f"  capture     hit rate {report['capture_hit_rate']:.3f} "
+          f"(warm {report['warm_capture_hit_rate']:.3f}, "
+          f"{int(report['buckets_captured'])} buckets)")
+    print(f"  paging      {int(report['tenant_evictions'])} evictions, "
+          f"{int(report['tenant_pageins'])} page-ins, "
+          f"{int(report['resident_tenants'])} resident "
+          f"(cap {int(report['max_resident_tenants'])}), "
+          f"{report['tenant_state_bytes'] / 1e6:.1f} MB adapter state")
+    print(f"  isolation   base stable: {bool(report['base_digest_stable'])}, "
+          f"tenant digests distinct: "
+          f"{bool(report['distinct_tenant_digests'])}")
+
+
+def main(argv=None) -> Dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the report as JSON")
+    parser.add_argument("--tenants", type=int, default=TENANTS)
+    parser.add_argument("--requests", type=int, default=REQUESTS)
+    parser.add_argument("--zipf-a", type=float, default=ZIPF_A)
+    parser.add_argument("--max-resident", type=int, default=4)
+    parser.add_argument("--model", default="opt-tiny")
+    parser.add_argument("--quick", action="store_true",
+                        help="miniature run (structural smoke)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        report = bench_serve_traffic(tenants=max(2, args.tenants // 2),
+                                     requests=16, seq_buckets=(16,),
+                                     max_resident=2, model=args.model)
+    else:
+        report = bench_serve_traffic(tenants=args.tenants,
+                                     requests=args.requests,
+                                     zipf_a=args.zipf_a,
+                                     max_resident=args.max_resident,
+                                     model=args.model)
+    _print_report(report)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote {args.json}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -22,8 +22,9 @@ Usage::
 import functools
 import os
 
-from repro import (FineTuner, LongExposure, LongExposureConfig,
-                   TrainingConfig, build_model, get_peft_method)
+from repro import (CaptureConfig, FineTuner, LongExposure,
+                   LongExposureConfig, TrainingConfig, build_model,
+                   get_peft_method)
 from repro.analysis import format_table
 from repro.data import E2EDatasetGenerator
 from repro.optim import Adam
@@ -43,7 +44,8 @@ def make_tuner(seq_len: int = SEQ_LEN) -> FineTuner:
     model, _ = get_peft_method("lora")(model)
     engine.install(model)
     optimizer = Adam(model.trainable_parameters(), lr=1e-4)
-    return FineTuner(model, TrainingConfig(capture_steps=True),
+    return FineTuner(model,
+                     TrainingConfig(capture=CaptureConfig(enabled=True)),
                      optimizer=optimizer, engine=engine)
 
 

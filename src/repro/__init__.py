@@ -1,9 +1,25 @@
 """LongExposure reproduction: accelerating parameter-efficient fine-tuning
 for LLMs under shadowy sparsity (SC 2024).
 
-Top-level convenience imports::
+This module is the supported public surface — import from here, not from the
+deep module paths (which keep working, but are implementation layout)::
 
-    from repro import build_model, get_peft_method, LongExposure, LongExposureConfig, FineTuner
+    from repro import (create_model, apply_lora, FineTuner, TrainingConfig,
+                       FineTuningService, ServiceConfig)
+
+* **Models** — :func:`create_model` (alias :func:`build_model`),
+  :func:`get_config`, :func:`list_configs`.
+* **PEFT** — :func:`apply_lora`, :func:`apply_adapter`, :func:`apply_bitfit`,
+  :func:`apply_prefix_tuning`, :func:`apply_full_finetuning`, or name-based
+  dispatch via :func:`get_peft_method`.
+* **Training** — :class:`FineTuner` with :class:`TrainingConfig` (capture and
+  attention knobs grouped in :class:`CaptureConfig` /
+  :class:`AttentionConfig`), :func:`train_data_parallel` for multi-process
+  data parallelism.
+* **Sparsity** — :class:`LongExposure` / :class:`LongExposureConfig`.
+* **Serving** — :class:`FineTuningService` / :class:`ServiceConfig`: many
+  tenants' adapters time-sharing one frozen base through signature-bucketed
+  continuous batching (see ``repro.serve``).
 
 See ``README.md`` for the quickstart, ``DESIGN.md`` for the system inventory
 and ``EXPERIMENTS.md`` for the paper-vs-measured record of every table and
@@ -11,20 +27,47 @@ figure.
 """
 
 from repro.models import build_model, get_config, list_configs
-from repro.peft import get_peft_method
+from repro.peft import (apply_adapter, apply_bitfit, apply_full_finetuning,
+                        apply_lora, apply_prefix_tuning, get_peft_method)
+from repro.runtime import (AttentionConfig, CaptureConfig, FineTuner,
+                           TrainingConfig, TrainingReport, train_data_parallel)
+from repro.serve import (AdapterRegistry, FineTuningService, ServiceConfig,
+                         StepResult)
 from repro.sparsity import LongExposure, LongExposureConfig
-from repro.runtime import FineTuner, TrainingConfig
 
-__version__ = "0.1.0"
+# Public alias: the facade's model constructor.  ``build_model`` remains as
+# the original name.
+create_model = build_model
+
+__version__ = "0.2.0"
 
 __all__ = [
+    # models
+    "create_model",
     "build_model",
     "get_config",
     "list_configs",
+    # peft
+    "apply_lora",
+    "apply_adapter",
+    "apply_bitfit",
+    "apply_prefix_tuning",
+    "apply_full_finetuning",
     "get_peft_method",
-    "LongExposure",
-    "LongExposureConfig",
+    # training
     "FineTuner",
     "TrainingConfig",
+    "CaptureConfig",
+    "AttentionConfig",
+    "TrainingReport",
+    "train_data_parallel",
+    # sparsity
+    "LongExposure",
+    "LongExposureConfig",
+    # serving
+    "FineTuningService",
+    "ServiceConfig",
+    "StepResult",
+    "AdapterRegistry",
     "__version__",
 ]

@@ -252,6 +252,57 @@ class Adam(Optimizer):
             else:
                 np.copyto(param.grad, view)
 
+    # -- detachable per-tenant state (serving) ---------------------------------
+    #
+    # The multi-tenant service pages whole optimizer states in and out as it
+    # switches adapters: parameters and the m/v moments travel as flat slabs
+    # in the same offset layout as the gradient exchange above.  Everything is
+    # ``np.copyto``-based so the live parameter/moment buffers keep their
+    # identity — compiled plans recorded against them stay valid.
+
+    def gather_flat_params(self, out: np.ndarray) -> None:
+        """Copy every ``param.data`` into the flat buffer ``out`` in place."""
+        offsets = self._grad_offsets()
+        flat = out.reshape(-1)
+        for index, param in enumerate(self.params):
+            np.copyto(flat[offsets[index]:offsets[index + 1]]
+                      .reshape(param.data.shape), param.data)
+
+    def scatter_flat_params(self, flat: np.ndarray) -> None:
+        """Copy the flat buffer back into every ``param.data``, in place."""
+        offsets = self._grad_offsets()
+        flat = flat.reshape(-1)
+        for index, param in enumerate(self.params):
+            np.copyto(param.data,
+                      flat[offsets[index]:offsets[index + 1]]
+                      .reshape(param.data.shape))
+
+    def gather_flat_state(self, out_m: np.ndarray, out_v: np.ndarray) -> None:
+        """Copy the m/v moment buffers into flat slabs, in place."""
+        if self._flat_m is not None:
+            np.copyto(out_m.reshape(-1), self._flat_m)
+            np.copyto(out_v.reshape(-1), self._flat_v)
+            return
+        offsets = self._grad_offsets()
+        fm, fv = out_m.reshape(-1), out_v.reshape(-1)
+        for index, param in enumerate(self.params):
+            lo, hi = offsets[index], offsets[index + 1]
+            np.copyto(fm[lo:hi].reshape(param.data.shape), self._m[index])
+            np.copyto(fv[lo:hi].reshape(param.data.shape), self._v[index])
+
+    def scatter_flat_state(self, m: np.ndarray, v: np.ndarray) -> None:
+        """Copy flat m/v slabs back into the live moment buffers, in place."""
+        if self._flat_m is not None:
+            np.copyto(self._flat_m, m.reshape(-1))
+            np.copyto(self._flat_v, v.reshape(-1))
+            return
+        offsets = self._grad_offsets()
+        fm, fv = m.reshape(-1), v.reshape(-1)
+        for index, param in enumerate(self.params):
+            lo, hi = offsets[index], offsets[index + 1]
+            np.copyto(self._m[index], fm[lo:hi].reshape(param.data.shape))
+            np.copyto(self._v[index], fv[lo:hi].reshape(param.data.shape))
+
     def plan_tail(self):
         """Pre-validated flat update for the full-step compiler's tail.
 

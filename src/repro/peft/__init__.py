@@ -21,7 +21,8 @@ in-place (freeze backbone, add trainable parameters) and returns a
 provides name-based dispatch for the benchmark harness.
 """
 
-from repro.peft.base import PEFTResult, count_trainable, describe_trainable
+from repro.peft.base import (PEFTResult, adapter_state_dict, count_trainable,
+                             describe_trainable, load_adapter_state)
 from repro.peft.lora import LoRAConfig, LoRALinear, apply_lora
 from repro.peft.adapter import AdapterConfig, BottleneckAdapter, apply_adapter
 from repro.peft.bitfit import BitFitConfig, apply_bitfit
@@ -31,6 +32,8 @@ from repro.peft.registry import PEFT_METHODS, get_peft_method
 
 __all__ = [
     "PEFTResult",
+    "adapter_state_dict",
+    "load_adapter_state",
     "count_trainable",
     "describe_trainable",
     "LoRAConfig",

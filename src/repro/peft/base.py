@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+import numpy as np
+
 from repro.nn import Module
 
 
@@ -56,6 +58,36 @@ def count_trainable(model: Module) -> int:
 def describe_trainable(model: Module) -> List[str]:
     """Names of trainable parameters (sorted for deterministic output)."""
     return sorted(name for name, p in model.named_parameters() if p.requires_grad)
+
+
+def adapter_state_dict(model: Module) -> Dict[str, np.ndarray]:
+    """Copies of the model's *trainable* (adapter) parameters, by name.
+
+    The frozen backbone is excluded — this is the whole per-tenant state the
+    serving layer ships around, and for the PEFT regime it is tiny compared
+    with the shared base model.
+    """
+    return {name: p.data.copy()
+            for name, p in model.named_parameters() if p.requires_grad}
+
+
+def load_adapter_state(model: Module, state: Dict[str, np.ndarray]) -> None:
+    """Write ``state`` back into the model's trainable parameters, in place.
+
+    Values are copied into the existing parameter buffers (``np.copyto``),
+    never rebound — compiled/captured plans recorded against those buffers
+    stay valid, which is what lets the service hot-swap tenant adapters
+    without recapturing.  Raises ``KeyError`` on a missing entry and
+    ``ValueError`` on a shape mismatch.
+    """
+    for name, param in model.named_parameters():
+        if not param.requires_grad:
+            continue
+        value = state[name]
+        if tuple(value.shape) != tuple(param.data.shape):
+            raise ValueError(f"adapter state {name!r}: shape {value.shape} "
+                             f"does not match parameter {param.data.shape}")
+        np.copyto(param.data, value)
 
 
 def make_result(model: Module, method: str, injected: int, extra: Dict) -> PEFTResult:

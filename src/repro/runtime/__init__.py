@@ -15,7 +15,8 @@ This package is the harness the paper's evaluation is built on:
 """
 
 from repro.runtime.arena import BufferArena, StepCapture
-from repro.runtime.trainer import FineTuner, PhaseTimings, TrainingConfig, TrainingReport
+from repro.runtime.trainer import (AttentionConfig, CaptureConfig, FineTuner,
+                                   PhaseTimings, TrainingConfig, TrainingReport)
 from repro.runtime.profiler import PhaseProfiler
 from repro.runtime.memory import MemoryModel, MemoryBreakdown
 from repro.runtime.platform import PlatformSpec, PLATFORMS, roofline_step_time
@@ -26,6 +27,8 @@ from repro.runtime.distributed import (DataParallelTrainer, DistributedReport,
 __all__ = [
     "BufferArena",
     "StepCapture",
+    "AttentionConfig",
+    "CaptureConfig",
     "FineTuner",
     "PhaseTimings",
     "TrainingConfig",

@@ -418,6 +418,21 @@ class StepCapture:
         if fallback:
             self.full_fallbacks += 1
 
+    def retire(self) -> None:
+        """Drop every plan and release the arena pool (terminal).
+
+        The serving layer keeps one capture per signature bucket in a bounded
+        plan cache; evicting a bucket must reclaim its whole working set —
+        the compiled plan's buffers, the retained backward schedule, and the
+        arena pool they came from — not just forget the plan object.
+        """
+        self.drop_full_plan()
+        self.plan = None
+        self.tape = None
+        self.signature = None
+        self.state = self.OFF
+        self.arena = BufferArena()
+
     # -- reporting -----------------------------------------------------------
     def gauges(self) -> Dict[str, float]:
         """Point-in-time metrics for :meth:`PhaseProfiler.set_gauge`."""

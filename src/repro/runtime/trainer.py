@@ -10,7 +10,9 @@ of the forward/backward wall-clock, shown separately for the breakdown).
 
 from __future__ import annotations
 
+import contextlib
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
@@ -25,8 +27,93 @@ from repro.tensor import fused
 
 
 @dataclass
+class CaptureConfig:
+    """Steady-state step capture and full-step compilation knobs.
+
+    * ``enabled`` — after ``warmup`` uncaptured steps, record the tape's
+      execution schedule and buffer population, then replay subsequent steps
+      through recycled buffers with the topological re-sort skipped (see
+      :mod:`repro.runtime.arena`).  Bitwise identical to the uncaptured
+      path; a shape change triggers exactly one re-capture.
+    * ``compile_full_step`` — requires capture: during a captured step the
+      forward's kernel calls are additionally recorded into a flat
+      ForwardPlan and the backward schedule is retained, so steady-state
+      steps replay forward + backward + optimizer tail without building a
+      single Python graph node.  Steps where the sparsity engine is due to
+      refresh its masks run interpreted through the backward-only replay.
+    * ``executor_threads`` — thread count for the dependency-levelled
+      forward executor.  1 replays the recorded kernel order — bitwise
+      identical to the interpreted step.  >1 dispatches each dependency
+      level across a thread pool (NumPy releases the GIL inside BLAS);
+      entries on one level never read each other's output, so results are
+      value-identical, but cross-entry accumulation order is not pinned —
+      the bitwise contract holds only at ``executor_threads=1``.
+    """
+
+    enabled: bool = False
+    warmup: int = 1
+    compile_full_step: bool = False
+    executor_threads: int = 1
+
+
+@dataclass
+class AttentionConfig:
+    """Attention-kernel routing, scoped per tuner.
+
+    * ``streaming`` / ``streaming_tile`` — streaming tiled attention (see
+      :func:`repro.tensor.fused.streaming_attention`): the dense-attention
+      path runs the online-softmax kernel over K/V tiles of
+      ``streaming_tile`` keys, never materialising the quadratic score
+      matrix — the long-context switch.
+    * ``fused_kernels`` — route through the fused single-node kernels
+      (True) or the primitive-composition reference tape (False).
+
+    Both switches are process globals in :mod:`repro.tensor.fused`; an
+    explicit (non-``None``) value here is applied via a scoping context
+    around each step and restored afterwards, so interleaved tuners — and
+    the multi-tenant service's lanes — never inherit another tuner's
+    setting.  ``None`` leaves the ambient global alone.  The effective
+    values are part of the capture signature, so a differing ambient
+    setting forces a re-capture rather than a silent kernel mismatch.
+    """
+
+    streaming: Optional[bool] = None
+    streaming_tile: int = 128
+    fused_kernels: Optional[bool] = None
+
+
+# Legacy flat TrainingConfig kwargs -> (nested group, attribute).  Kept
+# working through the compat constructor and the property aliases installed
+# below; new code should set the nested dataclasses directly.
+_LEGACY_TRAINING_KWARGS = {
+    "capture_steps": ("capture", "enabled"),
+    "capture_warmup": ("capture", "warmup"),
+    "compile_full_step": ("capture", "compile_full_step"),
+    "executor_threads": ("capture", "executor_threads"),
+    "streaming_attention": ("attention", "streaming"),
+    "streaming_tile": ("attention", "streaming_tile"),
+    "fused_kernels": ("attention", "fused_kernels"),
+}
+
+
+@dataclass
 class TrainingConfig:
-    """Hyper-parameters of the fine-tuning loop."""
+    """Hyper-parameters of the fine-tuning loop.
+
+    The capture/compiler and attention-routing toggles live in the nested
+    :class:`CaptureConfig` and :class:`AttentionConfig` groups::
+
+        TrainingConfig(capture=CaptureConfig(enabled=True,
+                                             compile_full_step=True),
+                       attention=AttentionConfig(streaming=True))
+
+    The pre-grouping flat keyword arguments (``capture_steps``,
+    ``capture_warmup``, ``compile_full_step``, ``executor_threads``,
+    ``streaming_attention``, ``streaming_tile``) are still accepted — they
+    are forwarded into the nested groups with a :class:`DeprecationWarning`
+    — and remain readable/assignable through property aliases, so existing
+    code keeps working unchanged.
+    """
 
     learning_rate: float = 1e-3
     weight_decay: float = 0.0
@@ -35,32 +122,8 @@ class TrainingConfig:
     mixed_precision: bool = False
     log_every: int = 0
     seed: int = 0
-    # Steady-state step capture (see repro.runtime.arena): after a warm-up
-    # step, record the tape's execution schedule and buffer population, then
-    # replay subsequent steps through recycled buffers with the topological
-    # re-sort skipped.  Bitwise identical to the uncaptured path; a shape
-    # change triggers exactly one re-capture.
-    capture_steps: bool = False
-    capture_warmup: int = 1
-    # Full-step compilation (requires capture): during a captured step the
-    # forward's kernel calls are additionally recorded into a flat
-    # ForwardPlan and the backward schedule is retained, so subsequent
-    # steady-state steps replay forward + backward + optimizer tail without
-    # building a single Python graph node.  Steps where the sparsity engine
-    # is due to refresh its masks run interpreted (probe logic is Python
-    # control flow, not kernel calls) through the PR-5 backward replay.
-    compile_full_step: bool = False
-    # Streaming tiled attention (see repro.tensor.fused.streaming_attention):
-    # the dense-attention path runs the online-softmax kernel over K/V tiles
-    # of ``streaming_tile`` keys, never materialising the (seq, seq) score
-    # matrix — the long-context switch.  Scoped *per tuner, per step*: an
-    # explicit True/False is applied via ``fused.streaming_kernels`` around
-    # each step and restored afterwards, so interleaved tuners never inherit
-    # another tuner's setting; the default None leaves the process-global
-    # switch alone.  Part of the capture signature, so a differing ambient
-    # setting forces a re-capture rather than a silent kernel mismatch.
-    streaming_attention: Optional[bool] = None
-    streaming_tile: int = 128
+    capture: CaptureConfig = field(default_factory=CaptureConfig)
+    attention: AttentionConfig = field(default_factory=AttentionConfig)
     # Data parallelism: with N > 1,
     # :class:`repro.runtime.distributed.DataParallelTrainer` runs N worker
     # processes over this config, each stepping its batch shard and
@@ -68,14 +131,43 @@ class TrainingConfig:
     # FineTuner itself always runs one process; the knob tells the
     # distributed front-end how wide to go.
     data_parallel_workers: int = 1
-    # Thread count for the dependency-levelled forward executor.  1 replays
-    # the recorded kernel order — bitwise identical to the interpreted step.
-    # >1 dispatches each dependency level across a thread pool (NumPy
-    # releases the GIL inside BLAS); entries on one level never read each
-    # other's output, so results are value-identical, but cross-entry
-    # accumulation order is not pinned — the bitwise contract holds only at
-    # executor_threads=1.
-    executor_threads: int = 1
+
+
+_TRAINING_CONFIG_INIT = TrainingConfig.__init__
+
+
+def _training_config_compat_init(self, *args, **kwargs):
+    legacy = {key: kwargs.pop(key)
+              for key in tuple(kwargs) if key in _LEGACY_TRAINING_KWARGS}
+    _TRAINING_CONFIG_INIT(self, *args, **kwargs)
+    if legacy:
+        warnings.warn(
+            "flat TrainingConfig kwargs "
+            f"({', '.join(sorted(legacy))}) are deprecated; use the nested "
+            "capture=CaptureConfig(...) / attention=AttentionConfig(...) "
+            "groups instead", DeprecationWarning, stacklevel=2)
+        for key, value in legacy.items():
+            group, attr = _LEGACY_TRAINING_KWARGS[key]
+            setattr(getattr(self, group), attr, value)
+
+
+TrainingConfig.__init__ = _training_config_compat_init
+
+
+def _legacy_alias(group: str, attr: str) -> property:
+    def _get(self):
+        return getattr(getattr(self, group), attr)
+
+    def _set(self, value):
+        setattr(getattr(self, group), attr, value)
+
+    return property(_get, _set, doc=f"Alias of ``{group}.{attr}`` "
+                                    "(legacy flat TrainingConfig field).")
+
+
+for _name, (_group, _attr) in _LEGACY_TRAINING_KWARGS.items():
+    setattr(TrainingConfig, _name, _legacy_alias(_group, _attr))
+del _name, _group, _attr
 
 
 @dataclass
@@ -186,19 +278,27 @@ class FineTuner:
         self.profiler = PhaseProfiler()
         # Step capture: pass a StepCapture, True, or enable via the config.
         if capture is None:
-            capture = self.config.capture_steps
+            capture = self.config.capture.enabled
         if capture is True:
-            capture = StepCapture(warmup_steps=self.config.capture_warmup)
+            capture = StepCapture(warmup_steps=self.config.capture.warmup)
         self.capture: Optional[StepCapture] = capture or None
         self.grad_reducer = grad_reducer
-        # Streaming scope: an explicit config value is applied around each
-        # step and restored afterwards (never left set process-wide), so
-        # interleaved tuners cannot inherit each other's setting; None means
-        # "inherit whatever is ambient".
+        # Kernel-routing scopes: an explicit config value is applied around
+        # each step and restored afterwards (never left set process-wide),
+        # so interleaved tuners cannot inherit each other's setting; None
+        # means "inherit whatever is ambient".  This is the audited list of
+        # process globals a step consults: the fused-kernel switch, the
+        # streaming-attention switch + tile (both scoped here), the active
+        # arena and tape and the forward recorder (set and restored by
+        # StepCapture's begin/end machinery inside the step), and the
+        # content-keyed geometry/causal-mask caches (value caches, safe to
+        # share across tuners and tenants).
+        attention = self.config.attention
         self._streaming_scope = (
-            None if self.config.streaming_attention is None
-            else (bool(self.config.streaming_attention),
-                  self.config.streaming_tile))
+            None if attention.streaming is None
+            else (bool(attention.streaming), attention.streaming_tile))
+        self._fused_scope = (None if attention.fused_kernels is None
+                             else bool(attention.fused_kernels))
         # Flat-update closure for compiled steps (None -> ordinary step()).
         self._optim_plan_tail = getattr(self.optimizer, "plan_tail",
                                         lambda: None)()
@@ -212,15 +312,34 @@ class FineTuner:
                 fused.streaming_attention_enabled(), fused.streaming_tile(),
                 float(self.scaler.scale))
 
+    def _kernel_scopes(self) -> contextlib.ExitStack:
+        """Enter the tuner's explicit kernel-routing scopes (see __init__)."""
+        stack = contextlib.ExitStack()
+        if self._fused_scope is not None:
+            stack.enter_context(fused.fused_kernel_state(self._fused_scope))
+        if self._streaming_scope is not None:
+            enabled, tile = self._streaming_scope
+            stack.enter_context(fused.streaming_kernels(enabled, tile))
+        return stack
+
+    def step_signature(self, input_ids: np.ndarray,
+                       labels: Optional[np.ndarray] = None):
+        """The capture signature :meth:`step` would see for this batch.
+
+        Evaluated under the tuner's own kernel scopes, so the answer does not
+        depend on whatever some other caller left in the process globals.
+        The multi-tenant service buckets requests by this key: requests with
+        equal signatures replay one compiled plan.
+        """
+        with self._kernel_scopes():
+            return self._capture_signature(np.asarray(input_ids), labels)
+
     # -- single step -------------------------------------------------------------
     def step(self, input_ids: np.ndarray,
              labels: Optional[np.ndarray] = None) -> (float, PhaseTimings):
         """One fine-tuning step; returns (loss value, phase timings)."""
-        if self._streaming_scope is not None:
-            enabled, tile = self._streaming_scope
-            with fused.streaming_kernels(enabled, tile):
-                return self._step_inner(input_ids, labels)
-        return self._step_inner(input_ids, labels)
+        with self._kernel_scopes():
+            return self._step_inner(input_ids, labels)
 
     def _step_inner(self, input_ids: np.ndarray,
                     labels: Optional[np.ndarray] = None) -> (float, PhaseTimings):
@@ -243,7 +362,8 @@ class FineTuner:
             # pure kernel calls: fused kernels on, and no sparsity-mask
             # refresh due (probe/oracle logic runs between ops and cannot be
             # recorded — those steps run interpreted via the PR-5 replay).
-            full = (capture is not None and self.config.compile_full_step
+            full = (capture is not None
+                    and self.config.capture.compile_full_step
                     and fused.fused_kernels_enabled()
                     and (self.engine is None
                          or not self.engine.refresh_due(input_ids.shape[-1])))
@@ -258,7 +378,8 @@ class FineTuner:
                     capture.stage("labels", labels)
                 start = time.perf_counter()
                 try:
-                    capture.replay_full_forward(self.config.executor_threads)
+                    capture.replay_full_forward(
+                        self.config.capture.executor_threads)
                     forward_s = time.perf_counter() - start
                     start = time.perf_counter()
                     capture.replay_full_backward()

@@ -1,0 +1,28 @@
+"""Multi-tenant fine-tuning service over one shared frozen base model.
+
+Public surface:
+
+* :class:`FineTuningService` / :class:`ServiceConfig` — the serving facade:
+  ``submit`` per-tenant step requests, ``step``/``flush`` to serve them
+  through signature-bucketed continuous batching, ``fetch_adapter`` to copy
+  a tenant's trained adapter out.
+* :class:`AdapterRegistry` — per-tenant adapter + optimizer state paging
+  (LRU-resident over a buffer arena, cold storage beyond that).
+* :class:`SignatureBucketQueue` / :class:`StepRequest` — the request queue
+  with the max-wait anti-starvation policy.
+"""
+
+from repro.serve.queue import SignatureBucketQueue, StepRequest
+from repro.serve.registry import AdapterRegistry, AdapterSnapshot, TenantState
+from repro.serve.service import FineTuningService, ServiceConfig, StepResult
+
+__all__ = [
+    "AdapterRegistry",
+    "AdapterSnapshot",
+    "FineTuningService",
+    "ServiceConfig",
+    "SignatureBucketQueue",
+    "StepRequest",
+    "StepResult",
+    "TenantState",
+]

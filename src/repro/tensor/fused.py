@@ -102,6 +102,26 @@ def reference_kernels():
         _FUSED_ENABLED = previous
 
 
+@contextlib.contextmanager
+def fused_kernel_state(enabled: bool):
+    """Context manager pinning the fused-kernel switch to ``enabled``.
+
+    The per-tuner counterpart of :func:`streaming_kernels`: a
+    :class:`~repro.runtime.trainer.FineTuner` with an explicit
+    ``AttentionConfig.fused_kernels`` setting applies it around each step and
+    restores the ambient value afterwards, so interleaved tuners (and the
+    multi-tenant service's lanes) never observe another caller's flip of the
+    process-global switch.
+    """
+    global _FUSED_ENABLED
+    previous = _FUSED_ENABLED
+    _FUSED_ENABLED = bool(enabled)
+    try:
+        yield
+    finally:
+        _FUSED_ENABLED = previous
+
+
 # ---------------------------------------------------------------------------
 # global switch: streaming tiled attention for long contexts
 # ---------------------------------------------------------------------------

@@ -406,7 +406,8 @@ def run_capture_training(backend: str, fused_enabled: bool, steps: int = 3,
     from repro.models import build_model
     from repro.optim import Adam
     from repro.peft import apply_lora
-    from repro.runtime import FineTuner, StepCapture, TrainingConfig
+    from repro.runtime import (CaptureConfig, FineTuner, StepCapture,
+                               TrainingConfig)
     from repro.sparsity import LongExposure, LongExposureConfig
 
     class GradRecordingAdam(Adam):
@@ -456,8 +457,9 @@ def run_capture_training(backend: str, fused_enabled: bool, steps: int = 3,
         optimizer = GradRecordingAdam(model.trainable_parameters(), lr=1e-3)
         use_capture = capture or full
         tuner = FineTuner(model,
-                          TrainingConfig(compile_full_step=full,
-                                         executor_threads=threads),
+                          TrainingConfig(capture=CaptureConfig(
+                              compile_full_step=full,
+                              executor_threads=threads)),
                           optimizer=optimizer, engine=engine,
                           capture=StepCapture() if use_capture else None)
         losses = []

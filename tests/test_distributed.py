@@ -25,8 +25,9 @@ import pytest
 
 from repro.models import ModelConfig, build_model
 from repro.peft import apply_lora
-from repro.runtime import (DataParallelTrainer, DistributedError, FineTuner,
-                           TrainingConfig, train_data_parallel)
+from repro.runtime import (CaptureConfig, DataParallelTrainer,
+                           DistributedError, FineTuner, TrainingConfig,
+                           train_data_parallel)
 from repro.runtime.comms import (STAT_MASK_SYNCS, STAT_RECAPTURES,
                                  STAT_REPLAY_STEPS, chunk_schedule)
 from repro.sparsity import LongExposure, LongExposureConfig
@@ -47,7 +48,7 @@ def _nano_tuner():
 def _capturing_tuner():
     model = build_model(NANO, seed=0)
     apply_lora(model)
-    return FineTuner(model, TrainingConfig(capture_steps=True))
+    return FineTuner(model, TrainingConfig(capture=CaptureConfig(enabled=True)))
 
 
 def _engine_tuner():

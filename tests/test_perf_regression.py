@@ -314,6 +314,20 @@ def test_bench_scaling_structure():
     assert result["workers"]["2"]["comm_ms_per_step"] > 0
 
 
+def test_bench_serve_structure():
+    # Miniature Zipf traffic run; locks the serving contract the acceptance
+    # criteria name — warm capture-hit rate >= 0.9 and the isolation
+    # self-checks — not the throughput numbers.
+    result = bench.bench_serve(quick=True)
+    assert result["requests"] == 16
+    assert result["steps_per_s"] > 0
+    assert result["p99_latency_ms"] >= result["p50_latency_ms"] > 0
+    assert result["warm_capture_hit_rate"] >= 0.9
+    assert result["tenant_evictions"] > 0  # resident cap below tenant count
+    assert result["base_digest_stable"] == 1.0
+    assert result["distinct_tenant_digests"] == 1.0
+
+
 def test_bench_json_flag(tmp_path):
     json_path = tmp_path / "BENCH_perf.json"
     report = bench.main(["--json", str(json_path), "--repeats", "1",
@@ -327,7 +341,7 @@ def test_bench_json_flag(tmp_path):
                 "predicted_step", "predicted_quality", "prediction_overhead",
                 "geometry", "sparse_chain", "crossover", "optimizer_step",
                 "optimizer_regimes", "embedding_scatter", "long_context",
-                "scaling", "ops"):
+                "scaling", "serve", "ops"):
         assert key in on_disk and key in report
     assert on_disk["dense_step"]["fused_s"] > 0
     assert on_disk["predicted_step"]["speedup_vs_oracle"] > 0

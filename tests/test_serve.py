@@ -1,0 +1,274 @@
+"""Multi-tenant serving tests (`-m serve`): tenant isolation, state paging,
+signature-bucket scheduling.
+
+The contract under test is the service's whole reason to exist: tenants
+time-sharing one frozen base through compiled-plan replay must be
+*indistinguishable* — bitwise — from tenants that each owned a dedicated
+trainer, no matter how their steps interleave, how often their state is
+evicted to cold storage, or which signature buckets their batches land in.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.peft import get_peft_method
+from repro.runtime import CaptureConfig, FineTuner, TrainingConfig
+from repro.serve import (FineTuningService, ServiceConfig,
+                         SignatureBucketQueue, StepRequest)
+
+pytestmark = pytest.mark.serve
+
+MODEL = "opt-tiny"
+SEQ = 16
+
+
+def make_service(**overrides) -> FineTuningService:
+    defaults = dict(model=MODEL, adapters=("lora",), seq_buckets=(SEQ, 2 * SEQ),
+                    max_wait_steps=4)
+    defaults.update(overrides)
+    return FineTuningService(ServiceConfig(**defaults))
+
+
+def tenant_batches(tenants, steps, seq=SEQ, seed=11):
+    rng = np.random.default_rng(seed)
+    return {t: [rng.integers(0, 100, size=(2, seq)) for _ in range(steps)]
+            for t in tenants}
+
+
+def dedicated_adapter(kind, batch_list):
+    """The adapter a dedicated capture-enabled FineTuner trains to."""
+    model = build_model(MODEL, seed=0)
+    model, _ = get_peft_method(kind)(model)
+    tuner = FineTuner(model, TrainingConfig(
+        capture=CaptureConfig(enabled=True, warmup=0, compile_full_step=True)))
+    for batch in batch_list:
+        tuner.step(batch)
+    return {name: param.data.copy()
+            for name, param in model.named_parameters() if param.requires_grad}
+
+
+class TestTenantIsolation:
+    def test_interleaved_matches_dedicated_bitwise(self):
+        """Round-robin interleaving through the service == dedicated tuners."""
+        tenants = ("alice", "bob", "carol")
+        data = tenant_batches(tenants, steps=3)
+        service = make_service()
+        for step in range(3):
+            for tenant in tenants:
+                service.submit(tenant, data[tenant][step])
+        results = service.flush()
+        assert len(results) == 9
+        for tenant in tenants:
+            served = service.fetch_adapter(tenant).state
+            dedicated = dedicated_adapter("lora", data[tenant])
+            assert served.keys() == dedicated.keys()
+            for name in dedicated:
+                assert np.array_equal(served[name], dedicated[name]), (
+                    f"{tenant}:{name} diverged from the dedicated trainer")
+
+    def test_frozen_base_never_mutates(self):
+        service = make_service()
+        before = service.base_digest()
+        data = tenant_batches(("a", "b"), steps=4)
+        for step in range(4):
+            for tenant in ("a", "b"):
+                service.submit(tenant, data[tenant][step])
+        service.flush()
+        assert service.base_digest() == before
+
+    def test_tenants_diverge_from_each_other(self):
+        """Different data must produce different adapters (no state bleed)."""
+        service = make_service()
+        data = tenant_batches(("a", "b"), steps=2)
+        for step in range(2):
+            for tenant in ("a", "b"):
+                service.submit(tenant, data[tenant][step])
+        service.flush()
+        assert service.tenant_digest("a") != service.tenant_digest("b")
+
+    def test_bitfit_lane_does_not_leak_into_base(self):
+        """BitFit trains *backbone-named* biases: they must be private copies,
+        not aliases of the shared base arrays."""
+        service = make_service(adapters=("bitfit",))
+        before = service.base_digest()
+        data = tenant_batches(("t",), steps=2)
+        for batch in data["t"]:
+            service.submit("t", batch, adapter="bitfit")
+        service.flush()
+        assert service.base_digest() == before
+        dedicated = dedicated_adapter("bitfit", data["t"])
+        served = service.fetch_adapter("t").state
+        for name in dedicated:
+            assert np.array_equal(served[name], dedicated[name])
+
+
+class TestStatePaging:
+    def test_eviction_round_trip_preserves_bits(self):
+        """Training through evict/re-page cycles == training fully resident.
+
+        The second round's Adam updates consume the restored m/v moments, so
+        digest equality after round two proves the whole optimizer state —
+        not just the parameters — survives cold storage bit-exactly.
+        """
+        tenants = [f"t{i}" for i in range(6)]
+        data = tenant_batches(tenants, steps=2)
+
+        def run(max_resident):
+            service = make_service(max_resident_tenants=max_resident)
+            for step in range(2):
+                for tenant in tenants:
+                    service.submit(tenant, data[tenant][step])
+                service.flush()
+            return service
+
+        resident = run(8)       # everyone stays resident
+        churning = run(2)       # constant evict/re-page churn
+        assert resident.gauges()["tenant_evictions"] == 0
+        assert churning.gauges()["tenant_evictions"] > 0
+        assert churning.gauges()["tenant_pageins"] > 0
+        for tenant in tenants:
+            assert (resident.fetch_adapter(tenant).digest
+                    == churning.fetch_adapter(tenant).digest), tenant
+
+    def test_fetch_adapter_snapshot_is_detached(self):
+        service = make_service()
+        batch = tenant_batches(("t",), steps=1)["t"][0]
+        service.submit("t", batch)
+        service.flush()
+        snapshot = service.fetch_adapter("t")
+        digest = service.tenant_digest("t")
+        for array in snapshot.state.values():
+            array += 1.0        # mutating the copy must not touch the service
+        assert service.tenant_digest("t") == digest
+        assert snapshot.step_count == 1
+
+    def test_new_tenant_starts_from_pristine_init(self):
+        service = make_service()
+        batch = tenant_batches(("old",), steps=1)["old"][0]
+        service.submit("old", batch)
+        service.flush()
+        service.submit("new", batch)   # attaching after "old" trained
+        service.flush()
+        # Both saw the same single batch from the same init => identical.
+        assert (service.tenant_digest("new")
+                == dedicated_digest_of_one_step(batch))
+
+
+def dedicated_digest_of_one_step(batch):
+    import hashlib
+    state = dedicated_adapter("lora", [batch])
+    digest = hashlib.sha256()
+    flat = np.concatenate([state[name].ravel() for name in
+                           sorted_trainable_names(state)])
+    digest.update(np.ascontiguousarray(flat).tobytes())
+    return digest.hexdigest()
+
+
+def sorted_trainable_names(state):
+    # The registry's digest runs over the optimizer's parameter order —
+    # recover it from a lane-identical model rather than sorting.
+    model = build_model(MODEL, seed=0)
+    model, _ = get_peft_method("lora")(model)
+    return [name for name, param in model.named_parameters()
+            if param.requires_grad and name in state]
+
+
+class TestSchedulingAndCaptures:
+    def test_signature_buckets_replay_after_first_step(self):
+        service = make_service()
+        data = tenant_batches(("a", "b", "c"), steps=4)
+        for step in range(4):
+            for tenant in ("a", "b", "c"):
+                service.submit(tenant, data[tenant][step])
+        results = service.flush()
+        # One bucket: exactly the first step captures, everything else
+        # replays the compiled plan.
+        assert [r.replayed for r in results] == [False] + [True] * 11
+        gauges = service.gauges()
+        assert gauges["warm_capture_hit_rate"] == 1.0
+        assert gauges["capture_hit_rate"] >= 0.9
+
+    def test_mixed_lengths_bucket_separately_and_both_replay(self):
+        service = make_service()
+        rng = np.random.default_rng(5)
+        for step in range(3):
+            service.submit("short", rng.integers(0, 100, size=(2, SEQ)))
+            service.submit("long", rng.integers(0, 100, size=(2, 2 * SEQ)))
+        results = service.flush()
+        buckets = {r.bucket for r in results}
+        assert len(buckets) == 2
+        captures = [r for r in results if not r.replayed]
+        assert len(captures) == 2  # one per bucket, never more
+
+    def test_padding_routes_to_bucket(self):
+        service = make_service()
+        rng = np.random.default_rng(6)
+        ragged = rng.integers(0, 100, size=(2, SEQ - 3))
+        exact = rng.integers(0, 100, size=(2, SEQ))
+        key_ragged = service.bucket_key("lora", *service.pad_to_bucket(ragged))
+        key_exact = service.bucket_key("lora", *service.pad_to_bucket(exact))
+        assert key_ragged == key_exact
+        with pytest.raises(ValueError):
+            service.pad_to_bucket(rng.integers(0, 100, size=(2, 5 * SEQ)))
+
+    def test_max_wait_deadline_prevents_starvation(self):
+        queue = SignatureBucketQueue(max_wait_steps=3)
+        hot, cold = ("hot",), ("cold",)
+        queue.submit(cold, StepRequest(request_id=0, tenant="c", adapter="lora",
+                                       input_ids=np.zeros(1), submit_step=0))
+        for i in range(1, 10):
+            queue.submit(hot, StepRequest(request_id=i, tenant="h",
+                                          adapter="lora",
+                                          input_ids=np.zeros(1),
+                                          submit_step=i))
+        # Serving from the hot bucket: once the cold head has waited
+        # max_wait_steps service steps, it preempts the hot run.
+        served = []
+        current, now = hot, 1
+        while queue:
+            key = queue.select(current, now)
+            served.append(queue.pop(key).tenant)
+            current, now = key, now + 1
+        assert "c" in served[:4], served  # bounded, not starved to the end
+
+    def test_plan_cache_eviction_recaptures_cleanly(self):
+        service = make_service(max_plan_cache=1)
+        rng = np.random.default_rng(9)
+        short = [rng.integers(0, 100, size=(2, SEQ)) for _ in range(2)]
+        long = [rng.integers(0, 100, size=(2, 2 * SEQ)) for _ in range(2)]
+        # Alternate buckets with a cache of one: every switch evicts the
+        # other bucket's capture, so steps keep working (re-capturing), just
+        # without the cross-bucket plan reuse a larger cache would keep.
+        for s, l in zip(short, long):
+            service.submit("t", s)
+            service.flush()
+            service.submit("t", l)
+            service.flush()
+        assert service.gauges()["serve_steps"] == 4
+        assert service.gauges()["plan_caches"] <= 1
+
+
+class TestServiceSurface:
+    def test_public_facade_exports(self):
+        import repro
+        for name in ("create_model", "build_model", "apply_lora",
+                     "get_peft_method", "FineTuner", "TrainingConfig",
+                     "CaptureConfig", "AttentionConfig",
+                     "train_data_parallel", "FineTuningService",
+                     "ServiceConfig"):
+            assert name in repro.__all__ and hasattr(repro, name), name
+        assert repro.create_model is repro.build_model
+
+    def test_unknown_adapter_and_tenant_raise(self):
+        service = make_service()
+        with pytest.raises(KeyError):
+            service.submit("t", np.zeros((1, SEQ), dtype=np.int64),
+                           adapter="nope")
+        with pytest.raises(KeyError):
+            service.fetch_adapter("ghost")
+
+    def test_idle_step_returns_none(self):
+        service = make_service()
+        assert service.step() is None
+        assert service.flush() == []

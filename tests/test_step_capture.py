@@ -22,7 +22,8 @@ import parity
 from repro.models import build_model
 from repro.optim import Adam
 from repro.peft import apply_lora
-from repro.runtime import BufferArena, FineTuner, StepCapture, TrainingConfig
+from repro.runtime import (AttentionConfig, BufferArena, CaptureConfig,
+                           FineTuner, StepCapture, TrainingConfig)
 from repro.sparsity import LongExposure, LongExposureConfig
 from repro.tensor import arena as tensor_arena
 from repro.tensor.tensor import PlanMismatchError, Tensor, set_tape
@@ -413,8 +414,9 @@ def _build_full_tuner(backend: str, seq: int = 32, threads: int = 1,
     optimizer = Adam(model.trainable_parameters(), lr=1e-3)
     capture = StepCapture()
     tuner = FineTuner(model,
-                      TrainingConfig(compile_full_step=True,
-                                     executor_threads=threads),
+                      TrainingConfig(capture=CaptureConfig(
+                          compile_full_step=True,
+                          executor_threads=threads)),
                       optimizer=optimizer, engine=engine, capture=capture)
     ids = rng.integers(0, model.config.vocab_size, size=(2, seq))
     return tuner, ids, capture
@@ -570,10 +572,11 @@ def _build_streaming_tuner(streaming: bool, seq: int = 48, tile: int = 16,
     optimizer = Adam(model.trainable_parameters(), lr=1e-3)
     capture = StepCapture()
     tuner = FineTuner(model,
-                      TrainingConfig(streaming_attention=streaming,
-                                     streaming_tile=tile,
-                                     compile_full_step=full,
-                                     executor_threads=1),
+                      TrainingConfig(
+                          attention=AttentionConfig(streaming=streaming,
+                                                    streaming_tile=tile),
+                          capture=CaptureConfig(compile_full_step=full,
+                                                executor_threads=1)),
                       optimizer=optimizer, capture=capture)
     ids = rng.integers(0, model.config.vocab_size, size=(batch, seq))
     return tuner, ids, capture
@@ -709,8 +712,8 @@ def test_seq4096_streaming_breaks_memory_wall():
             model = build_model(cfg, seed=0)
             apply_lora(model)
             tuner = FineTuner(model,
-                              TrainingConfig(streaming_attention=streaming,
-                                             streaming_tile=128))
+                              TrainingConfig(attention=AttentionConfig(
+                                  streaming=streaming, streaming_tile=128)))
             tracemalloc.start()
             loss, _ = tuner.step(ids)
             _, peaks[streaming] = tracemalloc.get_traced_memory()
