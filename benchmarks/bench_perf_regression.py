@@ -1631,6 +1631,134 @@ def bench_serve(quick: bool = False) -> Dict:
     return bench_serve_traffic()
 
 
+def bench_fault(quick: bool = False, model_name: str = "gpt2-tiny",
+                step_timeout_s: float = 300.0) -> Dict:
+    """Fault-tolerance cost: recovery wall-time, checkpoint MB/s, CRC tax.
+
+    Three measurements, each against the machinery the ``fault`` test tier
+    locks for correctness (this section prices it):
+
+    * ``recovery`` — a 2-worker elastic run with one injected rank crash
+      (``worker_crash_before_barrier`` on rank 1's second step).  Records
+      the wall-clock of the quiesce -> respawn -> restore -> replay cycle
+      and asserts-by-record that exactly one restart happened and the
+      final parameter digest still matches an uninterrupted run — bitwise
+      recovery, timed.
+    * ``checksum`` — the CRC32 tax from the clean run's worker stats.
+      Per step the stats give seconds spent checksumming and seconds in
+      the comm phase, summed over ranks (summing cancels the rank wait
+      asymmetry — one rank's barrier wait is the other's work).  The
+      checksum work is deterministic (CRC32 over a fixed number of grad
+      bytes), so its *minimum* over steps is the honest steady-state
+      cost — any larger sample just caught a preemption inside the
+      timed window; comm is wait-dominated and noisy, so its *median*
+      over steps is the representative denominator.  Overhead =
+      min-checksum / median-comm: integrity verification must stay a
+      sliver (<2% on quiet hardware) of the reduction it protects.
+    * ``checkpoint`` — :class:`repro.serve.TenantStateStore` save/load
+      throughput for one tenant slab (params + m + v), best-of-N over a
+      tempdir: the price of the durable tier per MB.
+    """
+    import tempfile
+
+    from repro.runtime import DataParallelTrainer, FaultInjector, FaultRule
+    from repro.runtime.comms import STAT_NAMES
+    from repro.serve import TenantStateStore
+
+    # The clean run keeps real (non-quick) shapes even in quick mode: the
+    # checksum-overhead ratio needs a comm phase big enough to measure
+    # against, and these shapes cost single-digit seconds anyway.
+    steps = 6 if quick else 8
+    batch, seq = 4, 64
+    rng = np.random.default_rng(0)
+    data = [rng.integers(0, 64, size=(batch, seq)).astype(np.int64)
+            for _ in range(steps)]
+    factory = functools.partial(_scaling_tuner, model_name)
+
+    # Clean elastic run: baseline digest/losses + the checksum tax,
+    # accumulated across every rank and every step (the per-step stats
+    # slots hold that step's values, so the parent can read them after
+    # each step() returns).
+    chk_idx = STAT_NAMES.index("checksum_s")
+    comm_idx = STAT_NAMES.index("comm_s")
+    checksum_steps, comm_steps = [], []
+    clean_losses = []
+    with DataParallelTrainer(factory, workers=2,
+                             step_timeout_s=step_timeout_s) as trainer:
+        for batch in data:
+            loss, _ = trainer.step(batch)
+            clean_losses.append(loss)
+            stats = trainer._last_stats
+            checksum_steps.append(float(stats[:, chk_idx].sum()))
+            comm_steps.append(float(stats[:, comm_idx].sum()))
+        clean_failures = trainer.profiler.gauges()["comm_checksum_failures"]
+        _, clean_digest = trainer.fetch_params()
+    checksum_ms = min(checksum_steps) * 1000.0
+    comm_ms = float(np.median(comm_steps)) * 1000.0
+
+    # Faulted run: rank 1 dies on its second step; elastic recovery must
+    # respawn it and replay to the same digest.  The step timeout is the
+    # crash-detection latency (the survivor discovers the death when the
+    # grads barrier times out), so it is deliberately short here — it
+    # bounds the faulted run's wall clock, and recovery_wall_s measures
+    # only the quiesce -> respawn -> restore cycle after detection.
+    injector = FaultInjector(
+        rules=[FaultRule(site="worker_crash_before_barrier", rank=1,
+                         occurrence=2)])
+    recovery_start = time.perf_counter()
+    with DataParallelTrainer(factory, workers=2, step_timeout_s=15.0,
+                             fault_injector=injector) as trainer:
+        faulted = trainer.train(data)
+    faulted_wall_s = time.perf_counter() - recovery_start
+    recovery_wall_s = (faulted.recovery_events[0]["wall_s"]
+                       if faulted.recovery_events else 0.0)
+
+    # Durable checkpoint throughput: one tenant slab through the atomic
+    # write path (temp + fsync + rename + SHA-256) and back.
+    elems = (1 << 17) if quick else (1 << 20)
+    slab_rng = np.random.default_rng(7)
+    params = slab_rng.standard_normal(elems).astype(np.float32)
+    m = slab_rng.standard_normal(elems).astype(np.float32)
+    v = np.abs(slab_rng.standard_normal(elems)).astype(np.float32)
+    slab_mb = 3 * params.nbytes / 1e6
+    ckpt_repeats = 2 if quick else 5
+    with tempfile.TemporaryDirectory(prefix="bench-fault-") as tmp:
+        store = TenantStateStore(tmp)
+        write_s = _best_of(lambda: store.save("bench", 1, params, m, v),
+                           ckpt_repeats)
+        read_s = _best_of(lambda: store.load("bench"), ckpt_repeats)
+        _, r_params, r_m, r_v = store.load("bench")
+        roundtrip_ok = (np.array_equal(params, r_params)
+                        and np.array_equal(m, r_m) and np.array_equal(v, r_v))
+
+    return {
+        "model": model_name,
+        "steps": float(steps),
+        "recovery": {
+            "worker_restarts": float(faulted.worker_restarts),
+            "recovery_wall_s": recovery_wall_s,
+            "faulted_run_wall_s": faulted_wall_s,
+            "digest_match": bool(faulted.param_digest == clean_digest),
+            "losses_match": bool(np.array_equal(faulted.losses, clean_losses)),
+        },
+        "checksum": {
+            "checksum_ms_per_step": checksum_ms,
+            "comm_ms_per_step": comm_ms,
+            "checksum_overhead_pct": (100.0 * checksum_ms / comm_ms
+                                      if comm_ms > 0 else 0.0),
+            "checksum_failures": clean_failures,
+        },
+        "checkpoint": {
+            "slab_mb": slab_mb,
+            "write_s": write_s,
+            "read_s": read_s,
+            "write_mb_per_s": slab_mb / write_s if write_s > 0 else 0.0,
+            "read_mb_per_s": slab_mb / read_s if read_s > 0 else 0.0,
+            "roundtrip_bitwise": bool(roundtrip_ok),
+        },
+    }
+
+
 def run_benchmark(repeats: int = 5, op_repeats: int = 20,
                   batch: int = BATCH, seq: int = SEQ,
                   predicted_seq: int = PREDICTED_SEQ,
@@ -1705,6 +1833,7 @@ def run_benchmark(repeats: int = 5, op_repeats: int = 20,
         "scaling": bench_scaling(steps=3 if quick else 6,
                                  seq=32 if quick else 128),
         "serve": bench_serve(quick=quick),
+        "fault": bench_fault(quick=quick),
         "ops": bench_fused_ops(op_repeats),
     }
     return report
@@ -1866,6 +1995,22 @@ def _print_report(report: Dict) -> None:
           f"p99 {serve['p99_latency_ms']:6.1f} ms  "
           f"warm hit rate {serve['warm_capture_hit_rate']:.3f}  "
           f"evictions {int(serve['tenant_evictions'])}")
+    fault = report["fault"]
+    recovery = fault["recovery"]
+    checksum = fault["checksum"]
+    ckpt = fault["checkpoint"]
+    print(f"fault tolerance ({fault['model']}, 2 workers):")
+    print(f"  recovery   {recovery['recovery_wall_s'] * 1e3:8.1f} ms for "
+          f"{int(recovery['worker_restarts'])} rank restart  "
+          f"digest match {recovery['digest_match']}  "
+          f"losses match {recovery['losses_match']}")
+    print(f"  checksum   {checksum['checksum_ms_per_step']:8.3f} ms/step vs "
+          f"comm {checksum['comm_ms_per_step']:8.1f} ms/step  "
+          f"({checksum['checksum_overhead_pct']:.2f}% overhead)")
+    print(f"  checkpoint {ckpt['slab_mb']:6.1f} MB slab: "
+          f"write {ckpt['write_mb_per_s']:7.1f} MB/s  "
+          f"read {ckpt['read_mb_per_s']:7.1f} MB/s  "
+          f"bitwise {ckpt['roundtrip_bitwise']}")
     print("fused ops (forward + backward, best-of-N):")
     for name, row in report["ops"].items():
         print(f"  {name:<16} {row['fused_s'] * 1e3:7.2f} ms vs "

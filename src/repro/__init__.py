@@ -20,6 +20,10 @@ deep module paths (which keep working, but are implementation layout)::
 * **Serving** — :class:`FineTuningService` / :class:`ServiceConfig`: many
   tenants' adapters time-sharing one frozen base through signature-bucketed
   continuous batching (see ``repro.serve``).
+* **Resilience** — :class:`FaultInjector` / :class:`FaultRule` /
+  :class:`RetryPolicy` (seeded fault injection and bounded retry) and
+  :class:`TenantStateStore` (durable tenant checkpoints); elastic rank
+  recovery is built into the data-parallel trainer.
 
 See ``README.md`` for the quickstart, ``DESIGN.md`` for the system inventory
 and ``EXPERIMENTS.md`` for the paper-vs-measured record of every table and
@@ -29,10 +33,12 @@ figure.
 from repro.models import build_model, get_config, list_configs
 from repro.peft import (apply_adapter, apply_bitfit, apply_full_finetuning,
                         apply_lora, apply_prefix_tuning, get_peft_method)
-from repro.runtime import (AttentionConfig, CaptureConfig, FineTuner,
+from repro.runtime import (AttentionConfig, CaptureConfig, FaultInjector,
+                           FaultRule, FineTuner, InjectedFault, RetryPolicy,
                            TrainingConfig, TrainingReport, train_data_parallel)
-from repro.serve import (AdapterRegistry, FineTuningService, ServiceConfig,
-                         StepResult)
+from repro.serve import (AdapterRegistry, CheckpointCorruptError,
+                         FineTuningService, ServiceConfig, StepResult,
+                         TenantStateStore)
 from repro.sparsity import LongExposure, LongExposureConfig
 
 # Public alias: the facade's model constructor.  ``build_model`` remains as
@@ -69,5 +75,12 @@ __all__ = [
     "ServiceConfig",
     "StepResult",
     "AdapterRegistry",
+    # resilience
+    "FaultInjector",
+    "FaultRule",
+    "InjectedFault",
+    "RetryPolicy",
+    "TenantStateStore",
+    "CheckpointCorruptError",
     "__version__",
 ]

@@ -11,7 +11,9 @@ This package is the harness the paper's evaluation is built on:
   estimates used to contextualise the measured CPU numbers;
 * :mod:`repro.runtime.distributed` — real shared-memory data parallelism
   (sharded worker processes + flat-buffer chunked all-reduce) for the
-  strong-scaling study of Figure 14.
+  strong-scaling study of Figure 14, with elastic rank recovery;
+* :mod:`repro.runtime.fault` — seeded fault injection + bounded retry, the
+  harness behind the resilience test tier.
 """
 
 from repro.runtime.arena import BufferArena, StepCapture
@@ -20,9 +22,13 @@ from repro.runtime.trainer import (AttentionConfig, CaptureConfig, FineTuner,
 from repro.runtime.profiler import PhaseProfiler
 from repro.runtime.memory import MemoryModel, MemoryBreakdown
 from repro.runtime.platform import PlatformSpec, PLATFORMS, roofline_step_time
-from repro.runtime.comms import DistributedError, GradientAllReducer, chunk_schedule
+from repro.runtime.comms import (BarrierBroken, CommIntegrityError,
+                                 DistributedError, GradientAllReducer,
+                                 SharedSegment, chunk_schedule)
 from repro.runtime.distributed import (DataParallelTrainer, DistributedReport,
                                        train_data_parallel)
+from repro.runtime.fault import (FAULT_SITES, FaultInjector, FaultRule,
+                                 InjectedFault, RetryPolicy)
 
 __all__ = [
     "BufferArena",
@@ -39,10 +45,18 @@ __all__ = [
     "PlatformSpec",
     "PLATFORMS",
     "roofline_step_time",
+    "BarrierBroken",
+    "CommIntegrityError",
     "DistributedError",
     "GradientAllReducer",
+    "SharedSegment",
     "chunk_schedule",
     "DataParallelTrainer",
     "DistributedReport",
     "train_data_parallel",
+    "FAULT_SITES",
+    "FaultInjector",
+    "FaultRule",
+    "InjectedFault",
+    "RetryPolicy",
 ]

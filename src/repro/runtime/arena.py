@@ -406,9 +406,12 @@ class StepCapture:
 
     def drop_full_plan(self, fallback: bool = False) -> None:
         """Invalidate the compiled full-step plan (idempotent)."""
-        if self.forward_plan is None:
+        if getattr(self, "forward_plan", None) is None:
             return
-        self.forward_plan.close()
+        try:
+            self.forward_plan.close()
+        except Exception:
+            pass
         self.forward_plan = None
         self.full_schedule = None
         self.full_root = None
@@ -416,15 +419,19 @@ class StepCapture:
         self.full_seed = None
         self.full_layout_state = None
         if fallback:
-            self.full_fallbacks += 1
+            self.full_fallbacks = getattr(self, "full_fallbacks", 0) + 1
 
     def retire(self) -> None:
-        """Drop every plan and release the arena pool (terminal).
+        """Drop every plan and release the arena pool (terminal, idempotent).
 
         The serving layer keeps one capture per signature bucket in a bounded
         plan cache; evicting a bucket must reclaim its whole working set —
         the compiled plan's buffers, the retained backward schedule, and the
         arena pool they came from — not just forget the plan object.
+
+        Recovery paths call this unconditionally from any failure point, so
+        it must be safe to call twice and safe on an instance whose
+        construction never completed (every attribute access is defensive).
         """
         self.drop_full_plan()
         self.plan = None

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import threading
 import time
+import zlib
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -48,11 +49,28 @@ class DistributedError(RuntimeError):
     """A data-parallel run failed (worker death, divergence, protocol error)."""
 
 
+class BarrierBroken(DistributedError):
+    """A rendezvous broke or timed out — a peer died, hung, or aborted.
+
+    Kept distinct from :class:`DistributedError` because it is the one
+    failure the elastic recovery path treats as *survivable*: the worker's
+    own state is intact, only the rendezvous is gone.
+    """
+
+
+class CommIntegrityError(DistributedError):
+    """A per-chunk CRC32 checksum mismatched on the all-reduce path.
+
+    Raised *before* the corrupt chunk enters the reduction, so corruption is
+    detected, never propagated into the optimizer state.
+    """
+
+
 # -- protocol constants ---------------------------------------------------------
 
 CMD_IDLE, CMD_STEP, CMD_PARAMS, CMD_STOP = 0, 1, 2, 3
 
-ST_BOOTING, ST_READY, ST_STEPPED, ST_ERROR = 0, 1, 2, 3
+ST_BOOTING, ST_READY, ST_STEPPED, ST_ERROR, ST_RECOVERING = 0, 1, 2, 3, 4
 
 # ctl slot indices (int64 array in the boot segment)
 CTL_COMMAND = 0
@@ -64,6 +82,11 @@ CTL_GRAD_ELEMS = 8     # written by the parent after the boot handshake
 CTL_BLOB_CAP = 9
 CTL_PARAM_BLOB_LEN = 10
 CTL_MASK_BLOB_LEN = 11
+# Elastic-recovery slots (parent-driven; see runtime/distributed.py).
+CTL_RECOVERY_SEQ = 12  # bumped by the parent when a respawn needs a donor slab
+CTL_DONOR = 13         # surviving rank asked to export its state
+CTL_DONATION_READY = 14  # donor echoes CTL_RECOVERY_SEQ once the blob is up
+CTL_RESUME = 15        # bumped by the parent to release quiesced workers
 CTL_SLOTS = 16
 
 _DTYPE_CODES = {"int32": 1, "int64": 2, "float32": 3, "float64": 4}
@@ -78,10 +101,13 @@ STAT_RECAPTURES = 4
 STAT_REPLAY_STEPS = 5
 STAT_FULL_REPLAYS = 6
 STAT_MASK_SYNCS = 7
-STATS_SLOTS = 8
+STAT_CHECKSUM_FAILURES = 8
+STAT_CHECKSUM_S = 9
+STATS_SLOTS = 10
 
 STAT_NAMES = ("comm_s", "forward_s", "backward_s", "optimizer_s",
-              "recaptures", "replay_steps", "full_replays", "mask_syncs")
+              "recaptures", "replay_steps", "full_replays", "mask_syncs",
+              "checksum_failures", "checksum_s")
 
 DIGEST_BYTES = 32
 ERROR_BYTES = 4096
@@ -117,12 +143,89 @@ def boot_regions(world: int, batch_capacity: int) -> Tuple[Dict[str, int], int]:
 
 
 def data_regions(world: int, grad_elems: int, itemsize: int,
-                 blob_capacity: int) -> Tuple[Dict[str, int], int]:
+                 blob_capacity: int,
+                 n_chunks: int = 0) -> Tuple[Dict[str, int], int]:
     return _layout([
         ("grad", world * grad_elems * itemsize),
         ("reduced", grad_elems * itemsize),
+        ("crc", world * max(1, n_chunks) * 4),
         ("blob", blob_capacity),
     ])
+
+
+class SharedSegment:
+    """Idempotent lifecycle wrapper over one named shared-memory segment.
+
+    ``multiprocessing.shared_memory.SharedMemory`` raises on double
+    ``close()``/``unlink()`` and leaves no safe way to tear down a handle
+    whose construction failed half-way.  Recovery paths need the opposite
+    contract — cleanup must be callable unconditionally, any number of
+    times, from any failure point — so this wrapper guarantees:
+
+    * ``close()`` and ``unlink()`` are no-ops after the first call;
+    * both are safe on an instance whose constructor raised (or that was
+      never ``__init__``-ed at all);
+    * ``unlink()`` only ever removes the name once, and swallows the
+      already-gone case.
+    """
+
+    def __init__(self, name: str, create: bool = False, size: int = 0):
+        self.name = name
+        self._shm: Optional[shared_memory.SharedMemory] = None
+        self._closed = False
+        self._unlinked = False
+        self._shm = shared_memory.SharedMemory(
+            name=name, create=create, size=size)
+
+    @classmethod
+    def create(cls, name: str, size: int) -> "SharedSegment":
+        return cls(name, create=True, size=size)
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedSegment":
+        return cls(name)
+
+    @property
+    def buf(self):
+        if getattr(self, "_shm", None) is None:
+            raise DistributedError(
+                f"shared segment {getattr(self, 'name', '?')!r} is closed")
+        return self._shm.buf
+
+    @property
+    def closed(self) -> bool:
+        return bool(getattr(self, "_closed", True))
+
+    def close(self) -> None:
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        shm = getattr(self, "_shm", None)
+        self._shm = None
+        if shm is not None:
+            try:
+                shm.close()
+            except Exception:
+                pass
+
+    def unlink(self) -> None:
+        if getattr(self, "_unlinked", False):
+            return
+        self._unlinked = True
+        name = getattr(self, "name", None)
+        if name is None:
+            return
+        shm = getattr(self, "_shm", None)
+        try:
+            if shm is not None:
+                shm.unlink()
+            else:
+                # Already closed: unlink through a fresh handle by name.
+                handle = shared_memory.SharedMemory(name=name)
+                handle.close()
+                handle.unlink()
+        except Exception:
+            pass
 
 
 def chunk_schedule(total_elems: int, world: int,
@@ -164,6 +267,20 @@ class BarrierSet:
             except Exception:
                 pass
 
+    def reset_all(self) -> None:
+        """Return every barrier to the empty, unbroken state.
+
+        The elastic recovery path aborts the set to wake blocked peers, waits
+        for every survivor to quiesce *outside* the barriers, then resets so
+        the next step generation can rendezvous on the same objects (new
+        worker processes inherit them through fork/pickle at respawn).
+        """
+        for name in self._ALL_NAMES:
+            try:
+                getattr(self, name).reset()
+            except Exception:
+                pass
+
 
 @dataclass
 class CommSpec:
@@ -175,6 +292,8 @@ class CommSpec:
     step_timeout_s: float
     chunk_elems: int
     mask_broadcast: bool
+    elastic: bool = True         # quiesce + recover on peer failure (vs die)
+    verify_checksums: bool = True  # per-chunk CRC32 on the all-reduce path
 
     @property
     def boot_name(self) -> str:
@@ -188,8 +307,7 @@ class CommSpec:
 class BootViews:
     """Typed NumPy views over the boot segment's regions."""
 
-    def __init__(self, shm: shared_memory.SharedMemory, world: int,
-                 batch_capacity: int):
+    def __init__(self, shm, world: int, batch_capacity: int):
         offsets, _ = boot_regions(world, batch_capacity)
         buf = shm.buf
         self._batch_offset = offsets["batch"]
@@ -262,10 +380,11 @@ class BootViews:
 class DataViews:
     """Typed views over the data segment: grad slots, reduced buffer, blob."""
 
-    def __init__(self, shm: shared_memory.SharedMemory, world: int,
-                 grad_elems: int, dtype: np.dtype, blob_capacity: int):
+    def __init__(self, shm, world: int,
+                 grad_elems: int, dtype: np.dtype, blob_capacity: int,
+                 n_chunks: int = 0):
         offsets, _ = data_regions(world, grad_elems, dtype.itemsize,
-                                  blob_capacity)
+                                  blob_capacity, n_chunks)
         self._shm = shm
         self._blob_offset = offsets["blob"]
         self.blob_capacity = blob_capacity
@@ -273,6 +392,8 @@ class DataViews:
                                offsets["grad"])
         self.reduced = np.ndarray((grad_elems,), dtype, shm.buf,
                                   offsets["reduced"])
+        self.crc = np.ndarray((world, max(1, n_chunks)), np.uint32, shm.buf,
+                              offsets["crc"])
 
     def write_blob(self, payload: bytes) -> int:
         if len(payload) > self.blob_capacity:
@@ -294,11 +415,11 @@ class DataViews:
 
 
 def wait_barrier(barrier, timeout: Optional[float], what: str) -> None:
-    """Barrier wait that converts breakage/timeout into DistributedError."""
+    """Barrier wait that converts breakage/timeout into :class:`BarrierBroken`."""
     try:
         barrier.wait(timeout=timeout)
     except BrokenBarrier as exc:
-        raise DistributedError(
+        raise BarrierBroken(
             f"barrier {what!r} broken or timed out after {timeout}s — a peer "
             f"likely died or errored mid-step") from exc
 
@@ -325,10 +446,22 @@ class GradientAllReducer:
     A ``pre_reduce`` callback (set by the worker harness on rank 0 at
     sparsity-refresh steps) runs first, inside the timed window, so the mask
     broadcast is accounted as communication time.
+
+    With ``verify_checksums`` on (the default) every rank publishes a CRC32
+    per chunk of its own gradient slot before the ``grads`` barrier, and a
+    chunk owner re-verifies every rank's checksum *before* summing that
+    rank's bytes into the reduction.  A mismatch — shared memory corrupted
+    between the writer's hash and the reader's use — raises
+    :class:`CommIntegrityError` on the detecting rank instead of silently
+    feeding garbage into every rank's optimizer; under the elastic protocol
+    the whole step is then rolled back and replayed.  The checksum time is
+    tracked separately (``checksum_seconds``) so the bench can prove the
+    overhead stays a rounding error against the barrier-dominated comm time.
     """
 
     def __init__(self, optimizer, data: DataViews, rank: int, world: int,
-                 barriers: BarrierSet, timeout_s: float, chunk_elems: int):
+                 barriers: BarrierSet, timeout_s: float, chunk_elems: int,
+                 verify_checksums: bool = True, fault_injector=None):
         self.optimizer = optimizer
         self.data = data
         self.rank = rank
@@ -336,22 +469,64 @@ class GradientAllReducer:
         self.barriers = barriers
         self.timeout_s = timeout_s
         self.schedule = chunk_schedule(data.reduced.size, world, chunk_elems)
+        self.verify_checksums = bool(verify_checksums)
+        self.fault_injector = fault_injector
         self.pre_reduce: Optional[Callable[[], None]] = None
         self.comm_seconds = 0.0
+        self.checksum_seconds = 0.0
+        self.checksum_failures = 0
         self.steps = 0
+
+    def _publish_checksums(self, slot: np.ndarray) -> None:
+        crc_row = self.data.crc[self.rank]
+        for index, (chunk_start, chunk_end, _) in enumerate(self.schedule):
+            crc_row[index] = zlib.crc32(slot[chunk_start:chunk_end])
+
+    def _verify_chunk(self, index: int, chunk_start: int, chunk_end: int) -> None:
+        grad, crc = self.data.grad, self.data.crc
+        for other in range(self.world):
+            expected = int(crc[other, index])
+            actual = zlib.crc32(grad[other, chunk_start:chunk_end])
+            if actual != expected:
+                self.checksum_failures += 1
+                raise CommIntegrityError(
+                    f"gradient chunk {index} [{chunk_start}:{chunk_end}) from "
+                    f"rank {other} failed its CRC32 check "
+                    f"(expected {expected:#010x}, got {actual:#010x}) — "
+                    f"corrupt bytes were NOT reduced")
 
     def __call__(self, params) -> float:
         start = time.perf_counter()
+        injector, rank = self.fault_injector, self.rank
         if self.pre_reduce is not None:
             callback, self.pre_reduce = self.pre_reduce, None
             callback()
-        slot = self.data.grad[self.rank]
+        slot = self.data.grad[rank]
         self.optimizer.gather_flat_grad(slot)
+        checksum_s = 0.0
+        if self.verify_checksums:
+            crc_start = time.perf_counter()
+            self._publish_checksums(slot)
+            checksum_s += time.perf_counter() - crc_start
+        if injector is not None:
+            if injector.should_fire("shm_chunk_corruption", rank):
+                # Perturb after the CRC was published: in-flight corruption
+                # the verifier on the other side must catch.
+                slot[0] += 1.0
+            if injector.should_fire("barrier_timeout", rank):
+                time.sleep(self.timeout_s + 1.0)
+            if injector.should_fire("worker_crash_before_barrier", rank):
+                import os
+                os._exit(17)
         wait_barrier(self.barriers.grads, self.timeout_s, "grads")
         grad, reduced, world = self.data.grad, self.data.reduced, self.world
-        for chunk_start, chunk_end, owner in self.schedule:
-            if owner != self.rank:
+        for index, (chunk_start, chunk_end, owner) in enumerate(self.schedule):
+            if owner != rank:
                 continue
+            if self.verify_checksums:
+                crc_start = time.perf_counter()
+                self._verify_chunk(index, chunk_start, chunk_end)
+                checksum_s += time.perf_counter() - crc_start
             segment = reduced[chunk_start:chunk_end]
             np.copyto(segment, grad[0, chunk_start:chunk_end])
             for other in range(1, world):
@@ -359,8 +534,13 @@ class GradientAllReducer:
             if world > 1:
                 segment /= world
         wait_barrier(self.barriers.reduced, self.timeout_s, "reduced")
+        if injector is not None and injector.should_fire(
+                "worker_crash_after_barrier", rank):
+            import os
+            os._exit(18)
         self.optimizer.scatter_flat_grad(reduced)
         elapsed = time.perf_counter() - start
         self.comm_seconds += elapsed
+        self.checksum_seconds += checksum_s
         self.steps += 1
         return elapsed

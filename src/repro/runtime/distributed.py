@@ -24,15 +24,38 @@ Determinism contract
   shard-shaped GEMMs take different BLAS blocking paths, so the per-shard
   gradients — and hence their fixed-order mean — differ in final bits from
   the full-batch gradient.
+* **Recovery preserves bitwise identity.**  The optimizer tail only runs
+  after both all-reduce barriers complete, so a failure detected anywhere in
+  the step means *no* rank has applied a partial update whose inputs other
+  ranks lack.  Every worker snapshots its flat parameter/moment state at the
+  top of each step; on failure the survivors roll back to that snapshot and
+  the whole step is replayed from identical state and identical inputs —
+  the run's losses and final parameters are bit-for-bit what an
+  uninterrupted run produces (locked by the ``fault`` test tier).
 
-Failure contract
-----------------
-Every barrier wait carries a timeout.  A worker that dies mid-step breaks
-its peers' rendezvous within that timeout; survivors abort the remaining
-barriers and exit, and the parent raises :class:`DistributedError` with a
-per-rank diagnostic (status, exit codes, worker tracebacks) after
-terminating stragglers and unlinking both shared-memory segments — never a
-hang, never an orphaned ``/dev/shm`` entry.
+Failure contract (elastic)
+--------------------------
+Every barrier wait carries a timeout.  When a rank dies, hangs past the
+timeout, or detects gradient corruption (per-chunk CRC32, see
+:mod:`repro.runtime.comms`), the run no longer dies with it:
+
+1. **quiesce** — survivors catch the broken rendezvous, restore their
+   pre-step snapshot, and park in a polling loop outside every barrier;
+2. **respawn** — the parent identifies dead/hung ranks (killing hung ones),
+   resets the barrier set, and forks replacement processes for the victims;
+3. **restore** — a surviving donor rank exports its (pre-step) parameters,
+   Adam moments, step count and sparsity layouts as one pickled slab through
+   the shared blob region, SHA-256-stamped; each replacement verifies the
+   digest and scatters the slab into its fresh tuner via the optimizer's
+   flat-state API;
+4. **replay** — the parent releases everyone and re-issues the in-flight
+   step.
+
+``max_restarts`` bounds respawns across the trainer's lifetime; exhaustion
+(or an application-level worker exception, which would simply recur on
+replay) degrades to the fail-fast behaviour: :class:`DistributedError` with
+per-rank diagnostics *plus* the recovery history, stragglers terminated and
+both segments unlinked — never a hang, never an orphaned ``/dev/shm`` entry.
 
 Predictor-refresh amortization
 ------------------------------
@@ -55,7 +78,6 @@ import traceback
 import uuid
 import weakref
 from dataclasses import dataclass, field
-from multiprocessing import shared_memory
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 import multiprocessing as mp
@@ -63,17 +85,21 @@ import multiprocessing as mp
 import numpy as np
 
 from repro.runtime.comms import (
-    BarrierSet, BootViews, CommSpec, DataViews, DistributedError,
-    GradientAllReducer, boot_regions, data_regions, wait_barrier,
+    BarrierBroken, BarrierSet, BootViews, CommIntegrityError, CommSpec,
+    DataViews, DistributedError, GradientAllReducer, SharedSegment,
+    boot_regions, chunk_schedule, data_regions, wait_barrier,
     CMD_IDLE, CMD_PARAMS, CMD_STEP, CMD_STOP,
-    CTL_BLOB_CAP, CTL_COMMAND, CTL_GRAD_ELEMS, CTL_MASK_BLOB_LEN,
-    CTL_PARAM_BLOB_LEN, CTL_STEP_ID,
-    ST_ERROR, ST_READY, ST_STEPPED,
-    STAT_BACKWARD, STAT_COMM, STAT_FORWARD, STAT_MASK_SYNCS,
-    STAT_NAMES, STAT_OPTIMIZER, STAT_RECAPTURES, STAT_REPLAY_STEPS,
-    STAT_FULL_REPLAYS, STATS_SLOTS,
+    CTL_BLOB_CAP, CTL_COMMAND, CTL_DONATION_READY, CTL_DONOR,
+    CTL_GRAD_ELEMS, CTL_MASK_BLOB_LEN, CTL_PARAM_BLOB_LEN,
+    CTL_RECOVERY_SEQ, CTL_RESUME, CTL_STEP_ID,
+    ST_BOOTING, ST_ERROR, ST_READY, ST_RECOVERING, ST_STEPPED,
+    STAT_BACKWARD, STAT_CHECKSUM_FAILURES, STAT_CHECKSUM_S, STAT_COMM,
+    STAT_FORWARD, STAT_MASK_SYNCS, STAT_NAMES, STAT_OPTIMIZER,
+    STAT_RECAPTURES, STAT_REPLAY_STEPS, STAT_FULL_REPLAYS, STATS_SLOTS,
     _CODE_DTYPES, _DTYPE_CODES,
 )
+from repro.runtime.fault import FaultInjector
+from repro.runtime.profiler import PhaseProfiler
 from repro.runtime.trainer import (FineTuner, PhaseTimings, TrainingConfig,
                                    TrainingReport)
 
@@ -85,6 +111,9 @@ __all__ = [
 ]
 
 _PICKLE = pickle.HIGHEST_PROTOCOL
+
+# Poll period of the quiesced-worker recovery loop (seconds).
+_RECOVERY_POLL_S = 0.002
 
 
 # ---------------------------------------------------------------------------
@@ -109,15 +138,178 @@ def _worker_fail(views: Optional[BootViews], rank: int,
     barriers.abort_all()
 
 
+class _StepSnapshot:
+    """Pre-step state capture enabling exact in-flight-step replay.
+
+    Taken at the top of every CMD_STEP (two flat memcpys plus three
+    scalars — microseconds for PEFT populations).  ``restore()`` rolls the
+    worker back to the exact state the interrupted step started from:
+    parameters, Adam moments, step count, the sparsity engine's schedule
+    position, the loss-scaler's scale, and zeroed gradients (the backward
+    accumulates, so stale grads would double-count on replay).
+    """
+
+    def __init__(self, tuner: FineTuner, grad_elems: int, dtype: np.dtype):
+        self.tuner = tuner
+        self.params = np.empty(grad_elems, dtype)
+        self.m = np.empty(grad_elems, dtype)
+        self.v = np.empty(grad_elems, dtype)
+        self.step_count = 0
+        self.engine_step = 0
+        self.engine_layouts: Optional[list] = None
+        self.engine_refresh_steps: Optional[List[int]] = None
+        self.scale = 1.0
+
+    def take(self) -> None:
+        optimizer = self.tuner.optimizer
+        optimizer.gather_flat_params(self.params)
+        optimizer.gather_flat_state(self.m, self.v)
+        self.step_count = int(optimizer.step_count)
+        engine = self.tuner.engine
+        if engine is not None:
+            self.engine_step = int(engine.step_index)
+            # Refresh bookkeeping must roll back too: a mask refresh that
+            # ran inside the interrupted step would otherwise leave this
+            # rank thinking no refresh is due on replay while peers still
+            # wait at the masks barrier.
+            self.engine_layouts = engine.export_layouts()
+            self.engine_refresh_steps = [b._last_refresh_step
+                                         for b in engine._sparse_backends]
+        self.scale = float(self.tuner.scaler.scale)
+
+    def restore(self) -> None:
+        optimizer = self.tuner.optimizer
+        optimizer.scatter_flat_params(self.params)
+        optimizer.scatter_flat_state(self.m, self.v)
+        optimizer.step_count = self.step_count
+        engine = self.tuner.engine
+        if engine is not None:
+            engine.step_index = self.engine_step
+            for backend, entry, refresh in zip(engine._sparse_backends,
+                                               self.engine_layouts,
+                                               self.engine_refresh_steps):
+                if entry[0] == "attn":
+                    backend.last_layout = entry[1]
+                    backend._layout_seq_len = entry[2]
+                else:
+                    backend.last_active_blocks = entry[1]
+                backend._last_refresh_step = refresh
+        self.tuner.scaler.scale = self.scale
+        optimizer.zero_grad()
+        self.tuner.model.zero_grad()
+
+
+def _export_donation(tuner: FineTuner) -> bytes:
+    """The donor's current (pre-step) state as one pickled flat slab."""
+    optimizer = tuner.optimizer
+    total, dtype = optimizer.grad_layout()
+    params = np.empty(total, dtype)
+    m = np.empty(total, dtype)
+    v = np.empty(total, dtype)
+    optimizer.gather_flat_params(params)
+    optimizer.gather_flat_state(m, v)
+    engine = tuner.engine
+    payload = {
+        "params": params.tobytes(),
+        "m": m.tobytes(),
+        "v": v.tobytes(),
+        "step_count": int(optimizer.step_count),
+        "scale": float(tuner.scaler.scale),
+        "engine_step": int(engine.step_index) if engine is not None else None,
+        "layouts": engine.export_layouts() if engine is not None else None,
+    }
+    return pickle.dumps(payload, protocol=_PICKLE)
+
+
+def _adopt_donation(views: BootViews, data_views: DataViews,
+                    tuner: FineTuner, rank: int, spec: CommSpec) -> bool:
+    """Replacement-rank boot: restore state from the donor's verified slab.
+
+    Returns False when the parent stopped the session while we waited.
+    """
+    ctl = views.ctl
+    deadline = time.monotonic() + max(spec.step_timeout_s * 4, 60.0)
+    while int(ctl[CTL_DONATION_READY]) != int(ctl[CTL_RECOVERY_SEQ]):
+        if int(ctl[CTL_COMMAND]) == CMD_STOP:
+            return False
+        if time.monotonic() > deadline:
+            raise DistributedError(
+                f"rank {rank}: donor slab never arrived during recovery")
+        time.sleep(_RECOVERY_POLL_S)
+    donor = int(ctl[CTL_DONOR])
+    blob = data_views.read_blob(int(ctl[CTL_PARAM_BLOB_LEN]))
+    if hashlib.sha256(blob).digest() != bytes(views.digest[donor]):
+        raise DistributedError(
+            f"rank {rank}: donated state from rank {donor} failed its "
+            f"SHA-256 digest check — refusing to train from corrupt state")
+    payload = pickle.loads(blob)
+    optimizer = tuner.optimizer
+    total, dtype = optimizer.grad_layout()
+    optimizer.scatter_flat_params(np.frombuffer(payload["params"], dtype))
+    optimizer.scatter_flat_state(np.frombuffer(payload["m"], dtype),
+                                 np.frombuffer(payload["v"], dtype))
+    optimizer.step_count = int(payload["step_count"])
+    tuner.scaler.scale = float(payload["scale"])
+    engine = tuner.engine
+    if engine is not None and payload["engine_step"] is not None:
+        engine.step_index = int(payload["engine_step"])
+        if payload["layouts"]:
+            engine.adopt_layouts(payload["layouts"],
+                                 refresh_step=int(payload["engine_step"]))
+    return True
+
+
+def _elastic_wait(views: BootViews, data_views: DataViews, rank: int,
+                  spec: CommSpec, tuner: FineTuner) -> str:
+    """Quiesced-survivor loop: park outside every barrier until the parent
+    resumes (``"resume"``) or stops (``"stop"``) the session, serving donor
+    requests along the way.
+
+    The entry value of ``CTL_RESUME`` is read *before* the rank advertises
+    itself as ST_RECOVERING: the parent only bumps CTL_RESUME after seeing
+    every rank recovering, so reading first closes the race where a resume
+    issued between the two reads would be mistaken for the entry state.
+    """
+    ctl = views.ctl
+    entry_resume = int(ctl[CTL_RESUME])
+    views.status[rank] = ST_RECOVERING
+    deadline = time.monotonic() + max(spec.step_timeout_s * 10, 120.0)
+    while True:
+        if int(ctl[CTL_COMMAND]) == CMD_STOP:
+            return "stop"
+        if int(ctl[CTL_RESUME]) != entry_resume:
+            return "resume"
+        seq = int(ctl[CTL_RECOVERY_SEQ])
+        if seq != int(ctl[CTL_DONATION_READY]) and int(ctl[CTL_DONOR]) == rank:
+            blob = _export_donation(tuner)
+            views.digest[rank] = np.frombuffer(
+                hashlib.sha256(blob).digest(), np.uint8)
+            ctl[CTL_PARAM_BLOB_LEN] = data_views.write_blob(blob)
+            ctl[CTL_DONATION_READY] = seq
+        if time.monotonic() > deadline:
+            raise DistributedError(
+                f"rank {rank} quiesced for recovery but the parent never "
+                f"resumed the session")
+        time.sleep(_RECOVERY_POLL_S)
+
+
 def _worker_main(spec: CommSpec, rank: int,
                  tuner_factory: Callable[[], FineTuner],
-                 barriers: BarrierSet, step_delay_s: float = 0.0) -> None:
-    """Entry point of one data-parallel worker process."""
-    boot_shm = data_shm = None
+                 barriers: BarrierSet, step_delay_s: float = 0.0,
+                 fault_injector: Optional[FaultInjector] = None,
+                 resume_boot: bool = False) -> None:
+    """Entry point of one data-parallel worker process.
+
+    ``resume_boot=True`` is the replacement-rank path: the session is
+    already live, so the boot/setup rendezvous are skipped — the worker
+    validates its layout against the agreed ctl values, restores state from
+    the donor slab, and joins the quiesced ranks waiting for resume.
+    """
+    boot_seg = data_seg = None
     views = data_views = None
     try:
-        boot_shm = shared_memory.SharedMemory(name=spec.boot_name)
-        views = BootViews(boot_shm, spec.world, spec.batch_capacity)
+        boot_seg = SharedSegment.attach(spec.boot_name)
+        views = BootViews(boot_seg, spec.world, spec.batch_capacity)
     except BaseException as exc:                      # cannot even report
         _worker_fail(None, rank, barriers, exc)
         return
@@ -135,32 +327,64 @@ def _worker_main(spec: CommSpec, rank: int,
         params_bytes = sum(int(p.data.nbytes) for p in optimizer.params)
         blob_capacity = max(4 * params_bytes + (1 << 16), 1 << 20)
         views.meta[rank] = (grad_elems, _DTYPE_CODES[grad_dtype.name])
-        if rank == 0:
-            views.ctl[CTL_GRAD_ELEMS] = grad_elems
-            views.ctl[CTL_BLOB_CAP] = blob_capacity
-        views.status[rank] = ST_READY
+        if resume_boot:
+            if int(views.ctl[CTL_GRAD_ELEMS]) != grad_elems:
+                raise DistributedError(
+                    f"replacement rank {rank} built a tuner with "
+                    f"{grad_elems} gradient elements; the live session "
+                    f"agreed on {int(views.ctl[CTL_GRAD_ELEMS])} — the "
+                    f"factory is not deterministic")
+        else:
+            if rank == 0:
+                views.ctl[CTL_GRAD_ELEMS] = grad_elems
+                views.ctl[CTL_BLOB_CAP] = blob_capacity
+            views.status[rank] = ST_READY
+            boot_timeout = max(spec.step_timeout_s * 4, 60.0)
+            wait_barrier(barriers.boot, boot_timeout, "boot")
+            wait_barrier(barriers.setup, boot_timeout, "setup")
 
-        boot_timeout = max(spec.step_timeout_s * 4, 60.0)
-        wait_barrier(barriers.boot, boot_timeout, "boot")
-        wait_barrier(barriers.setup, boot_timeout, "setup")
-
-        data_shm = shared_memory.SharedMemory(name=spec.data_name)
-        data_views = DataViews(data_shm, spec.world,
-                               int(views.ctl[CTL_GRAD_ELEMS]), grad_dtype,
-                               int(views.ctl[CTL_BLOB_CAP]))
+        session_elems = int(views.ctl[CTL_GRAD_ELEMS])
+        n_chunks = len(chunk_schedule(session_elems, spec.world,
+                                      spec.chunk_elems))
+        data_seg = SharedSegment.attach(spec.data_name)
+        data_views = DataViews(data_seg, spec.world, session_elems,
+                               grad_dtype, int(views.ctl[CTL_BLOB_CAP]),
+                               n_chunks)
         reducer = GradientAllReducer(optimizer, data_views, rank, spec.world,
                                      barriers, spec.step_timeout_s,
-                                     spec.chunk_elems)
+                                     spec.chunk_elems,
+                                     verify_checksums=spec.verify_checksums,
+                                     fault_injector=fault_injector)
         tuner.grad_reducer = reducer
         engine = tuner.engine
         mask_syncs = 0
+        snapshot = (_StepSnapshot(tuner, grad_elems, grad_dtype)
+                    if spec.elastic else None)
+
+        if resume_boot:
+            if not _adopt_donation(views, data_views, tuner, rank, spec):
+                return
+            if _elastic_wait(views, data_views, rank, spec, tuner) == "stop":
+                return
+            views.status[rank] = ST_READY
 
         while True:
             # Between train() calls the parent may stay away arbitrarily
             # long, so this wait is unbounded; workers are daemons (they die
             # with the parent) and a failing peer aborts the barrier, which
             # wakes this wait with BrokenBarrierError.
-            barriers.step_begin.wait()
+            try:
+                barriers.step_begin.wait()
+            except Exception as exc:
+                if not spec.elastic:
+                    raise DistributedError("step_begin rendezvous broke") \
+                        from exc
+                # Nothing to roll back — the step never started.
+                if _elastic_wait(views, data_views, rank, spec,
+                                 tuner) == "stop":
+                    break
+                views.status[rank] = ST_READY
+                continue
             command = int(views.ctl[CTL_COMMAND])
             if command == CMD_STOP:
                 break
@@ -177,54 +401,76 @@ def _worker_main(spec: CommSpec, rank: int,
             if command != CMD_STEP:
                 raise DistributedError(f"unknown command {command}")
 
-            if step_delay_s > 0.0:      # test seam: slow the compute window
-                time.sleep(step_delay_s)
-            batch = views.read_batch()
-            shard_rows = batch.shape[0] // spec.world
-            shard = np.ascontiguousarray(
-                batch[rank * shard_rows:(rank + 1) * shard_rows])
+            try:
+                if snapshot is not None:
+                    snapshot.take()
+                if step_delay_s > 0.0:  # test seam: slow the compute window
+                    time.sleep(step_delay_s)
+                batch = views.read_batch()
+                shard_rows = batch.shape[0] // spec.world
+                shard = np.ascontiguousarray(
+                    batch[rank * shard_rows:(rank + 1) * shard_rows])
 
-            mask_wait_s = 0.0
-            refresh_due = (engine is not None and spec.world > 1
-                           and spec.mask_broadcast
-                           and engine.refresh_due_next(shard.shape[-1]))
-            if refresh_due:
-                mask_syncs += 1
-                if rank == 0:
-                    def _broadcast_masks() -> None:
-                        # Runs inside the reducer (post-backward, so the
-                        # refreshed layouts exist) while the other ranks are
-                        # still waiting to start their forward pass.
-                        blob = pickle.dumps(engine.export_layouts(),
-                                            protocol=_PICKLE)
-                        views.ctl[CTL_MASK_BLOB_LEN] = data_views.write_blob(blob)
+                mask_wait_s = 0.0
+                refresh_due = (engine is not None and spec.world > 1
+                               and spec.mask_broadcast
+                               and engine.refresh_due_next(shard.shape[-1]))
+                if refresh_due:
+                    mask_syncs += 1
+                    if rank == 0:
+                        def _broadcast_masks() -> None:
+                            # Runs inside the reducer (post-backward, so the
+                            # refreshed layouts exist) while the other ranks
+                            # are still waiting to start their forward pass.
+                            blob = pickle.dumps(engine.export_layouts(),
+                                                protocol=_PICKLE)
+                            views.ctl[CTL_MASK_BLOB_LEN] = \
+                                data_views.write_blob(blob)
+                            wait_barrier(barriers.masks, spec.step_timeout_s,
+                                         "masks")
+                        reducer.pre_reduce = _broadcast_masks
+                    else:
+                        mask_start = time.perf_counter()
                         wait_barrier(barriers.masks, spec.step_timeout_s,
                                      "masks")
-                    reducer.pre_reduce = _broadcast_masks
-                else:
-                    mask_start = time.perf_counter()
-                    wait_barrier(barriers.masks, spec.step_timeout_s, "masks")
-                    blob = data_views.read_blob(
-                        int(views.ctl[CTL_MASK_BLOB_LEN]))
-                    engine.adopt_layouts(pickle.loads(blob),
-                                         refresh_step=engine.step_index + 1)
-                    mask_wait_s = time.perf_counter() - mask_start
+                        blob = data_views.read_blob(
+                            int(views.ctl[CTL_MASK_BLOB_LEN]))
+                        engine.adopt_layouts(pickle.loads(blob),
+                                             refresh_step=engine.step_index + 1)
+                        mask_wait_s = time.perf_counter() - mask_start
 
-            loss, timing = tuner.step(shard)
-            views.loss[rank] = loss
-            stats = views.stats[rank]
-            stats[STAT_COMM] = timing.comm + mask_wait_s
-            stats[STAT_FORWARD] = timing.forward
-            stats[STAT_BACKWARD] = timing.backward
-            stats[STAT_OPTIMIZER] = timing.optimizer
-            capture = tuner.capture
-            if capture is not None:
-                stats[STAT_RECAPTURES] = capture.recaptures
-                stats[STAT_REPLAY_STEPS] = capture.replay_steps
-                stats[STAT_FULL_REPLAYS] = capture.full_replays
-            stats[STAT_MASK_SYNCS] = mask_syncs
-            views.status[rank] = ST_STEPPED
-            wait_barrier(barriers.step_end, spec.step_timeout_s, "step_end")
+                checksum_s_before = reducer.checksum_seconds
+                loss, timing = tuner.step(shard)
+                views.loss[rank] = loss
+                stats = views.stats[rank]
+                stats[STAT_COMM] = timing.comm + mask_wait_s
+                stats[STAT_FORWARD] = timing.forward
+                stats[STAT_BACKWARD] = timing.backward
+                stats[STAT_OPTIMIZER] = timing.optimizer
+                capture = tuner.capture
+                if capture is not None:
+                    stats[STAT_RECAPTURES] = capture.recaptures
+                    stats[STAT_REPLAY_STEPS] = capture.replay_steps
+                    stats[STAT_FULL_REPLAYS] = capture.full_replays
+                stats[STAT_MASK_SYNCS] = mask_syncs
+                stats[STAT_CHECKSUM_FAILURES] = reducer.checksum_failures
+                stats[STAT_CHECKSUM_S] = (reducer.checksum_seconds
+                                          - checksum_s_before)
+                views.status[rank] = ST_STEPPED
+                wait_barrier(barriers.step_end, spec.step_timeout_s,
+                             "step_end")
+            except (BarrierBroken, CommIntegrityError) as exc:
+                if not spec.elastic or snapshot is None:
+                    raise
+                # Survivable step failure: wake every blocked peer (and the
+                # parent), roll back to the pre-step snapshot, quiesce.  The
+                # parent respawns dead ranks and replays this step.
+                barriers.abort_all()
+                snapshot.restore()
+                if _elastic_wait(views, data_views, rank, spec,
+                                 tuner) == "stop":
+                    break
+                views.status[rank] = ST_READY
     except BaseException as exc:
         _worker_fail(views, rank, barriers, exc)
     finally:
@@ -233,12 +479,9 @@ def _worker_main(spec: CommSpec, rank: int,
             data_views.release()
         if views is not None:
             views.release()
-        for shm in (data_shm, boot_shm):
-            if shm is not None:
-                try:
-                    shm.close()
-                except Exception:
-                    pass
+        for seg in (data_seg, boot_seg):
+            if seg is not None:
+                seg.close()
 
 
 # ---------------------------------------------------------------------------
@@ -252,6 +495,10 @@ class DistributedReport(TrainingReport):
     ``step_timings`` aggregate each phase as the **max over ranks** (the
     critical path of the concurrent step); ``step_wall_s`` is the parent's
     wall clock per step, which is what throughput claims should use.
+    ``worker_restarts`` counts ranks respawned by elastic recovery;
+    ``recovery_events`` records each recovery (victims, reason, wall time);
+    ``comm_checksum_failures`` sums CRC32 mismatches detected (and rolled
+    back) on the all-reduce path.
     """
 
     workers: int = 1
@@ -260,6 +507,9 @@ class DistributedReport(TrainingReport):
     worker_stats: List[Dict[str, float]] = field(default_factory=list)
     param_digest: str = ""
     final_params: List[np.ndarray] = field(default_factory=list)
+    worker_restarts: int = 0
+    recovery_events: List[Dict] = field(default_factory=list)
+    comm_checksum_failures: float = 0.0
 
     def mean_comm_ms(self, skip_warmup: int = 1) -> float:
         values = self.comm_s_per_step[skip_warmup:] or self.comm_s_per_step
@@ -292,16 +542,10 @@ def _static_cleanup(state: dict) -> None:
             except Exception:
                 pass
     for key in ("boot_shm", "data_shm"):
-        shm = state.pop(key, None)
-        if shm is not None:
-            try:
-                shm.close()
-            except Exception:
-                pass
-            try:
-                shm.unlink()
-            except Exception:
-                pass
+        seg = state.pop(key, None)
+        if seg is not None:
+            seg.close()
+            seg.unlink()
     state["processes"] = []
 
 
@@ -326,7 +570,8 @@ class DataParallelTrainer:
         (no pickling constraints, instant startup), else ``spawn``.
     step_timeout_s:
         Bound on every intra-step barrier wait; a worker death surfaces as
-        :class:`DistributedError` within a small multiple of this.
+        a recovery (or :class:`DistributedError`) within a small multiple
+        of this.
     chunk_elems:
         Chunk size (elements) of the fixed-order reduce schedule.
     mask_broadcast:
@@ -335,6 +580,18 @@ class DataParallelTrainer:
     batch_capacity:
         Size in bytes of the shared batch region; default 4x the first
         published batch.
+    max_restarts:
+        Total rank respawns the trainer may perform before degrading to
+        fail-fast :class:`DistributedError` (with the recovery history in
+        the diagnostics).  ``0`` disables elastic recovery entirely.
+    verify_checksums:
+        Per-chunk CRC32 verification on the all-reduce path (default on);
+        a mismatch triggers a step rollback + replay instead of silently
+        reducing corrupt bytes.
+    fault_injector:
+        Optional :class:`~repro.runtime.fault.FaultInjector` forwarded to
+        the *original* worker incarnations (replacement ranks run
+        fault-free so a one-shot schedule cannot re-fire after respawn).
     """
 
     def __init__(self, tuner_factory: Callable[[], FineTuner],
@@ -345,12 +602,17 @@ class DataParallelTrainer:
                  chunk_elems: int = 1 << 16,
                  mask_broadcast: bool = True,
                  batch_capacity: Optional[int] = None,
+                 max_restarts: int = 2,
+                 verify_checksums: bool = True,
+                 fault_injector: Optional[FaultInjector] = None,
                  _test_step_delay_s: float = 0.0):
         config = config or TrainingConfig()
         world = int(workers if workers is not None
                     else config.data_parallel_workers)
         if world < 1:
             raise ValueError(f"need at least one worker, got {world}")
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
         self.tuner_factory = tuner_factory
         self.config = config
         self.world = world
@@ -358,6 +620,10 @@ class DataParallelTrainer:
         self.chunk_elems = int(chunk_elems)
         self.mask_broadcast = bool(mask_broadcast)
         self.batch_capacity = batch_capacity
+        self.max_restarts = int(max_restarts)
+        self.verify_checksums = bool(verify_checksums)
+        self.fault_injector = fault_injector
+        self.profiler = PhaseProfiler()
         self._test_step_delay_s = float(_test_step_delay_s)
         if start_method is None:
             start_method = ("fork" if "fork" in mp.get_all_start_methods()
@@ -369,6 +635,8 @@ class DataParallelTrainer:
         self._started = False
         self._closed = False
         self._step_id = 0
+        self._restarts = 0
+        self._recovery_history: List[Dict] = []
         self._spec: Optional[CommSpec] = None
         self._barriers: Optional[BarrierSet] = None
 
@@ -377,6 +645,18 @@ class DataParallelTrainer:
     @property
     def _parent_timeout(self) -> float:
         return self.step_timeout_s * 2 + 5.0
+
+    @property
+    def elastic(self) -> bool:
+        return self.max_restarts > 0
+
+    @property
+    def worker_restarts(self) -> int:
+        return self._restarts
+
+    @property
+    def recovery_history(self) -> List[Dict]:
+        return list(self._recovery_history)
 
     def _ensure_started(self, first_batch: np.ndarray) -> None:
         if self._closed:
@@ -390,12 +670,13 @@ class DataParallelTrainer:
                         batch_capacity=int(capacity),
                         step_timeout_s=self.step_timeout_s,
                         chunk_elems=self.chunk_elems,
-                        mask_broadcast=self.mask_broadcast)
+                        mask_broadcast=self.mask_broadcast,
+                        elastic=self.elastic,
+                        verify_checksums=self.verify_checksums)
         _, boot_bytes = boot_regions(self.world, spec.batch_capacity)
-        boot_shm = shared_memory.SharedMemory(name=spec.boot_name, create=True,
-                                              size=boot_bytes)
-        self._state["boot_shm"] = boot_shm
-        boot_views = BootViews(boot_shm, self.world, spec.batch_capacity)
+        boot_seg = SharedSegment.create(spec.boot_name, boot_bytes)
+        self._state["boot_shm"] = boot_seg
+        boot_views = BootViews(boot_seg, self.world, spec.batch_capacity)
         # Shared memory arrives zeroed on Linux, but make the protocol fields
         # explicit rather than rely on it.
         boot_views.ctl[:] = 0
@@ -407,7 +688,7 @@ class DataParallelTrainer:
             process = self._ctx.Process(
                 target=_worker_main,
                 args=(spec, rank, self.tuner_factory, barriers,
-                      self._test_step_delay_s),
+                      self._test_step_delay_s, self.fault_injector, False),
                 name=f"{self.session}-rank{rank}", daemon=True)
             process.start()
             processes.append(process)
@@ -429,13 +710,15 @@ class DataParallelTrainer:
         grad_elems = int(meta[0, 0])
         grad_dtype = _CODE_DTYPES[int(meta[0, 1])]
         blob_capacity = int(boot_views.ctl[CTL_BLOB_CAP])
+        n_chunks = len(chunk_schedule(grad_elems, self.world,
+                                      self.chunk_elems))
         _, data_bytes = data_regions(self.world, grad_elems,
-                                     grad_dtype.itemsize, blob_capacity)
-        data_shm = shared_memory.SharedMemory(name=spec.data_name, create=True,
-                                              size=data_bytes)
-        self._state["data_shm"] = data_shm
-        data_views = DataViews(data_shm, self.world, grad_elems, grad_dtype,
-                               blob_capacity)
+                                     grad_dtype.itemsize, blob_capacity,
+                                     n_chunks)
+        data_seg = SharedSegment.create(spec.data_name, data_bytes)
+        self._state["data_shm"] = data_seg
+        data_views = DataViews(data_seg, self.world, grad_elems, grad_dtype,
+                               blob_capacity, n_chunks)
         self._state["data_views"] = data_views
         self._data_views = data_views
         self._grad_dtype = grad_dtype
@@ -504,6 +787,14 @@ class DataParallelTrainer:
                     indented = "\n".join("    " + l
                                          for l in error.strip().splitlines())
                     diagnostic.append(indented)
+        if self._recovery_history:
+            diagnostic.append(f"  restart history ({self._restarts} restarts, "
+                              f"max_restarts={self.max_restarts}):")
+            for event in self._recovery_history:
+                diagnostic.append(f"    step {event['step_id']}: "
+                                  f"victims={event['victims']} "
+                                  f"wall={event['wall_s']:.2f}s — "
+                                  f"{event['reason']}")
         if self._barriers is not None:
             self._barriers.abort_all()
         self._closed = True
@@ -518,10 +809,117 @@ class DataParallelTrainer:
                       if value == ST_ERROR]
             self._fail(f"rank(s) {failed} reported an error")
 
+    # -- elastic recovery --------------------------------------------------------
+
+    def _recover(self, reason: str) -> None:
+        """Quiesce → respawn → restore → release; raises via _fail when the
+        failure is not survivable (see the module docstring)."""
+        views = self._boot_views
+        barriers = self._barriers
+        processes = self._state["processes"]
+        recover_start = time.perf_counter()
+        if np.any(views.status.copy() == ST_ERROR):
+            # An application-level worker exception would simply recur on
+            # replay; surface it instead of burning restarts.
+            self._fail(f"{reason}; a worker reported an error")
+        if not self.elastic:
+            self._fail(reason)
+        # Wake everything still blocked in a barrier; survivors roll back
+        # and park in the recovery loop, outside every barrier.
+        barriers.abort_all()
+        deadline = time.monotonic() + self.step_timeout_s * 2 + 10.0
+        while True:
+            status = views.status.copy()
+            pending = [rank for rank, process in enumerate(processes)
+                       if process.is_alive() and status[rank] != ST_RECOVERING]
+            if not pending:
+                break
+            if time.monotonic() > deadline:
+                # Hung ranks (alive, never quiesced — e.g. stuck in user
+                # code): treat them exactly like dead ones.
+                for rank in pending:
+                    try:
+                        processes[rank].terminate()
+                        processes[rank].join(timeout=2.0)
+                        if processes[rank].is_alive():
+                            processes[rank].kill()
+                    except Exception:
+                        pass
+                break
+            time.sleep(_RECOVERY_POLL_S)
+        for process in processes:           # reap zombies so is_alive is real
+            if not process.is_alive():
+                process.join(timeout=1.0)
+        victims = [rank for rank, process in enumerate(processes)
+                   if not process.is_alive()]
+        survivors = [rank for rank in range(self.world)
+                     if rank not in victims]
+        event = {"step_id": self._step_id, "reason": reason,
+                 "victims": victims, "wall_s": 0.0}
+        if not survivors:
+            self._recovery_history.append(event)
+            self._fail(f"{reason}; every rank died — no survivor to "
+                       f"recover from")
+        if self._restarts + len(victims) > self.max_restarts:
+            self._recovery_history.append(event)
+            self._fail(f"{reason}; respawning rank(s) {victims} would exceed "
+                       f"max_restarts={self.max_restarts}")
+        # Everyone alive is quiesced outside the barriers: safe to reset.
+        barriers.reset_all()
+        ctl = views.ctl
+        if victims:
+            ctl[CTL_DONOR] = survivors[0]
+            ctl[CTL_RECOVERY_SEQ] = int(ctl[CTL_RECOVERY_SEQ]) + 1
+            for rank in victims:
+                views.status[rank] = ST_BOOTING
+                views.err_len[rank] = 0
+                # Replacements run without the fault injector: their visit
+                # counters would restart from zero, so a one-shot schedule
+                # ("crash on the 2nd reduce") would re-fire forever.
+                replacement = self._ctx.Process(
+                    target=_worker_main,
+                    args=(self._spec, rank, self.tuner_factory, barriers,
+                          self._test_step_delay_s, None, True),
+                    name=f"{self.session}-rank{rank}-r{self._restarts + 1}",
+                    daemon=True)
+                replacement.start()
+                processes[rank] = replacement
+            self._restarts += len(victims)
+        # Replacements build a whole tuner before reporting in: boot-scale
+        # patience, not step-scale.
+        deadline = time.monotonic() + max(self.step_timeout_s * 4, 60.0)
+        while True:
+            status = views.status.copy()
+            if np.any(status == ST_ERROR):
+                self._recovery_history.append(event)
+                self._fail(f"{reason}; a rank errored during recovery")
+            if any(not processes[rank].is_alive() for rank in range(self.world)):
+                self._recovery_history.append(event)
+                self._fail(f"{reason}; a rank died during recovery")
+            if all(status[rank] == ST_RECOVERING
+                   for rank in range(self.world)):
+                break
+            if time.monotonic() > deadline:
+                self._recovery_history.append(event)
+                self._fail(f"{reason}; ranks never finished quiescing/"
+                           f"restoring for recovery")
+            time.sleep(_RECOVERY_POLL_S)
+        event["wall_s"] = time.perf_counter() - recover_start
+        self._recovery_history.append(event)
+        self.profiler.set_gauge("worker_restarts", float(self._restarts))
+        # Release every quiesced rank back into the command loop; the caller
+        # replays the in-flight step.
+        ctl[CTL_RESUME] = int(ctl[CTL_RESUME]) + 1
+
     # -- stepping ----------------------------------------------------------------
 
     def step(self, batch: np.ndarray) -> (float, PhaseTimings):
-        """Run one global step; returns (global mean loss, max-phase timings)."""
+        """Run one global step; returns (global mean loss, max-phase timings).
+
+        Under the elastic protocol a failed step is recovered and *replayed*
+        (same batch, same step id, rolled-back state) until it completes or
+        recovery itself gives up with :class:`DistributedError`.
+        """
         batch = np.asarray(batch)
         if batch.shape[0] % self.world != 0:
             raise ValueError(f"global batch of {batch.shape[0]} sequences "
@@ -529,11 +927,19 @@ class DataParallelTrainer:
         self._ensure_started(batch)
         views = self._boot_views
         self._step_id += 1
-        views.publish_batch(self._step_id, batch)
-        views.ctl[CTL_COMMAND] = CMD_STEP
-        wall_start = time.perf_counter()
-        self._guarded_wait(self._barriers.step_begin, "step_begin")
-        self._guarded_wait(self._barriers.step_end, "step_end")
+        while True:
+            views.publish_batch(self._step_id, batch)
+            views.ctl[CTL_COMMAND] = CMD_STEP
+            wall_start = time.perf_counter()
+            try:
+                wait_barrier(self._barriers.step_begin, self._parent_timeout,
+                             "step_begin")
+                wait_barrier(self._barriers.step_end, self._parent_timeout,
+                             "step_end")
+            except BarrierBroken:
+                self._recover(f"step {self._step_id} rendezvous broke")
+                continue
+            break
         wall = time.perf_counter() - wall_start
         self._check_worker_errors()
         losses = views.loss.copy()
@@ -549,6 +955,10 @@ class DataParallelTrainer:
         )
         self._last_wall_s = wall
         self._last_stats = stats
+        self.profiler.set_gauge("worker_restarts", float(self._restarts))
+        self.profiler.set_gauge(
+            "comm_checksum_failures",
+            float(stats[:, STAT_CHECKSUM_FAILURES].sum()))
         return loss, timing
 
     def fetch_params(self) -> (List[np.ndarray], str):
@@ -603,10 +1013,12 @@ class DataParallelTrainer:
                       f"wall={self._last_wall_s * 1000:.1f}ms "
                       f"comm={timing.comm * 1000:.1f}ms")
         worker_stats = []
+        checksum_failures = 0.0
         stats = getattr(self, "_last_stats", None)
         if stats is not None:
             worker_stats = [dict(zip(STAT_NAMES, stats[rank].tolist()))
                             for rank in range(self.world)]
+            checksum_failures = float(stats[:, STAT_CHECKSUM_FAILURES].sum())
         params: List[np.ndarray] = []
         digest = ""
         if fetch_params and losses:
@@ -615,7 +1027,10 @@ class DataParallelTrainer:
             steps=len(losses), losses=losses, step_timings=timings,
             tokens_processed=tokens, workers=self.world, step_wall_s=walls,
             comm_s_per_step=comms, worker_stats=worker_stats,
-            param_digest=digest, final_params=params)
+            param_digest=digest, final_params=params,
+            worker_restarts=self._restarts,
+            recovery_events=self.recovery_history,
+            comm_checksum_failures=checksum_failures)
 
 
 def train_data_parallel(tuner_factory: Callable[[], FineTuner],

@@ -1,0 +1,211 @@
+"""Seeded fault injection and bounded retry for the resilience layer.
+
+Production failure modes — a rank SIGKILLed mid-step, a hung barrier, a
+flipped bit in a shared-memory gradient slot, a checkpoint write that dies
+half-way — are exactly the events a fault-tolerant system must survive, and
+exactly the events that never happen on a developer box.  This module makes
+them *schedulable*: a :class:`FaultInjector` carries a list of
+:class:`FaultRule`\\ s and is threaded through the comms/distributed/store
+layers, which ask ``should_fire(site, ...)`` at well-defined injection
+points:
+
+``worker_crash_before_barrier``
+    the worker process exits abruptly (``os._exit``) after gathering its
+    gradients but *before* the ``grads`` barrier — peers discover the death
+    as a barrier timeout;
+``worker_crash_after_barrier``
+    the abrupt exit happens after the ``reduced`` barrier — peers have the
+    full reduced gradient and complete their local step before discovering
+    the death;
+``barrier_timeout``
+    the worker sleeps past the step timeout instead of dying — a *hung*
+    rank, which survivors must treat exactly like a dead one;
+``shm_chunk_corruption``
+    one element of the rank's own gradient slot is perturbed *after* its
+    CRC32 checksums were published — the downstream verifier must detect the
+    mismatch before the corrupt bytes enter the reduction;
+``checkpoint_write_failure``
+    the tenant-state store raises :class:`InjectedFault` mid-write — the
+    atomic write-temp → fsync → rename protocol must leave no torn file
+    behind.
+
+Determinism: every decision is a pure function of ``(seed, site, rank,
+occurrence index)``.  Two processes (or two runs) asking the same question
+get the same answer regardless of wall clock or interleaving, which is what
+lets the recovery tests assert *bitwise* equality against an uninterrupted
+run.
+
+:class:`RetryPolicy` is the reusable consumer-side half: bounded retries
+with exponential backoff and deterministic jitter (same seed → same delay
+sequence), used by the durable tenant store and available to any caller
+that wants to survive transient faults without a thundering herd.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultRule",
+    "FaultInjector",
+    "InjectedFault",
+    "RetryPolicy",
+]
+
+FAULT_SITES = (
+    "worker_crash_before_barrier",
+    "worker_crash_after_barrier",
+    "barrier_timeout",
+    "shm_chunk_corruption",
+    "checkpoint_write_failure",
+)
+
+
+class InjectedFault(RuntimeError):
+    """An error raised (not simulated) by an injection point."""
+
+
+@dataclass
+class FaultRule:
+    """One scheduled fault.
+
+    Parameters
+    ----------
+    site:
+        One of :data:`FAULT_SITES`.
+    rank:
+        Restrict the rule to one worker rank (``None`` matches any rank;
+        sites outside the worker protocol pass ``rank=None``).
+    occurrence:
+        Fire on the Nth *eligible* visit to the site (1-based) for the
+        matching ``(site, rank)`` stream.  ``None`` makes every visit
+        eligible, gated only by ``probability``.
+    hits:
+        Total number of times this rule may fire before it goes inert.
+    probability:
+        Seeded firing probability for eligible visits; 1.0 fires always.
+    """
+
+    site: str
+    rank: Optional[int] = None
+    occurrence: Optional[int] = 1
+    hits: int = 1
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise ValueError(f"unknown fault site {self.site!r}; "
+                             f"known: {FAULT_SITES}")
+        if self.hits < 1:
+            raise ValueError("hits must be >= 1")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+
+
+@dataclass
+class FaultInjector:
+    """Deterministic, seeded fault scheduler (see module docstring).
+
+    The injector is forked/pickled into worker processes; each process owns
+    its copy's counters, but because decisions depend only on the per-
+    ``(site, rank)`` visit count — never on cross-process state — the
+    overall schedule is reproducible run to run.
+    """
+
+    rules: Sequence[FaultRule] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.rules = [rule if isinstance(rule, FaultRule) else FaultRule(**rule)
+                      for rule in self.rules]
+        self._visits: Dict[Tuple[str, Optional[int]], int] = {}
+        self._fired: Dict[int, int] = {}        # rule index -> times fired
+        self.fired_events: List[Tuple[str, Optional[int], int]] = []
+
+    def should_fire(self, site: str, rank: Optional[int] = None) -> bool:
+        """Record a visit to ``site`` (for ``rank``) and decide whether the
+        scheduled fault fires there; deterministic for a given seed."""
+        key = (site, rank)
+        visit = self._visits.get(key, 0) + 1
+        self._visits[key] = visit
+        for index, rule in enumerate(self.rules):
+            if rule.site != site:
+                continue
+            if rule.rank is not None and rank is not None and rule.rank != rank:
+                continue
+            if self._fired.get(index, 0) >= rule.hits:
+                continue
+            if rule.occurrence is not None and visit != rule.occurrence:
+                continue
+            if rule.probability < 1.0:
+                # Hash the full coordinates into a private stream so the
+                # draw is independent of every other site's call pattern.
+                draw = random.Random(
+                    f"{self.seed}:{site}:{rank}:{visit}").random()
+                if draw >= rule.probability:
+                    continue
+            self._fired[index] = self._fired.get(index, 0) + 1
+            self.fired_events.append((site, rank, visit))
+            return True
+        return False
+
+    def maybe_raise(self, site: str, rank: Optional[int] = None) -> None:
+        """Raise :class:`InjectedFault` when the schedule fires here."""
+        if self.should_fire(site, rank):
+            raise InjectedFault(f"injected fault at {site!r} "
+                                f"(rank={rank})")
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    ``delays()`` yields the full backoff sequence up front —
+    ``base_delay_s * backoff**i``, capped at ``max_delay_s``, each scaled by
+    a seeded jitter factor in ``[1 - jitter, 1 + jitter]`` — so two policies
+    built from the same seed retry on an identical schedule (no thundering
+    herd *and* no flaky tests).
+    """
+
+    max_retries: int = 3
+    base_delay_s: float = 0.01
+    max_delay_s: float = 1.0
+    backoff: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delays(self) -> List[float]:
+        rng = random.Random(f"retry:{self.seed}")
+        out: List[float] = []
+        for attempt in range(self.max_retries):
+            delay = min(self.base_delay_s * self.backoff ** attempt,
+                        self.max_delay_s)
+            out.append(delay * (1.0 + self.jitter * (2.0 * rng.random() - 1.0)))
+        return out
+
+    def call(self, fn: Callable, *args,
+             retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+             sleep: Callable[[float], None] = time.sleep, **kwargs):
+        """Run ``fn`` with up to ``max_retries`` retries on ``retry_on``.
+
+        The last failure is re-raised once the budget is exhausted; the
+        injected-vs-real distinction is the caller's business.
+        """
+        delays = self.delays()
+        for attempt in range(self.max_retries + 1):
+            try:
+                return fn(*args, **kwargs)
+            except retry_on:
+                if attempt >= self.max_retries:
+                    raise
+                sleep(delays[attempt])

@@ -10,19 +10,24 @@ Public surface:
   (LRU-resident over a buffer arena, cold storage beyond that).
 * :class:`SignatureBucketQueue` / :class:`StepRequest` — the request queue
   with the max-wait anti-starvation policy.
+* :class:`TenantStateStore` — atomic, SHA-256-verified checkpoint files
+  giving cold tenant state a durable tier (service crash-restart safe).
 """
 
 from repro.serve.queue import SignatureBucketQueue, StepRequest
 from repro.serve.registry import AdapterRegistry, AdapterSnapshot, TenantState
 from repro.serve.service import FineTuningService, ServiceConfig, StepResult
+from repro.serve.store import CheckpointCorruptError, TenantStateStore
 
 __all__ = [
     "AdapterRegistry",
     "AdapterSnapshot",
+    "CheckpointCorruptError",
     "FineTuningService",
     "ServiceConfig",
     "SignatureBucketQueue",
     "StepRequest",
     "StepResult",
     "TenantState",
+    "TenantStateStore",
 ]

@@ -17,10 +17,19 @@ what lets thousands of adapters share one compiled step.
 Resident slabs live in a private :class:`~repro.tensor.arena.BufferArena`
 (take/release only, no generations — tenant state is persistent, not
 per-step).  Beyond ``max_resident`` tenants, the least-recently-attached
-non-active tenant is demoted to cold storage (``tobytes`` snapshots —
-bit-exact round-trip, verified by the serve test tier) and its arena buffers
-are released; re-attaching pages it back in.  ``tenant_evictions`` counts the
+non-active tenant is demoted to cold storage and its arena buffers are
+released; re-attaching pages it back in.  ``tenant_evictions`` counts the
 demotions.
+
+Cold storage comes in two tiers.  Without a store, demotion keeps
+``tobytes`` snapshots in process memory (bit-exact round-trip, verified by
+the serve test tier) — fast, but lost on restart.  With a
+:class:`~repro.serve.store.TenantStateStore`, demotion writes the slabs as
+an atomic, SHA-256-verified checkpoint file instead, and a registry built
+over the same store *rehydrates* every saved tenant at construction — a
+restarted service pages tenants back in bit-exact (same digest as before
+the crash).  ``checkpoint_all()`` additionally persists every tenant on
+demand, independent of eviction pressure.
 """
 
 from __future__ import annotations
@@ -34,12 +43,13 @@ import numpy as np
 
 from repro.nn.module import Parameter
 from repro.optim.adam import Adam
+from repro.serve.store import TenantStateStore
 from repro.tensor.arena import BufferArena
 
 
 @dataclass
 class TenantState:
-    """One tenant's pageable training state (resident slabs or cold bytes)."""
+    """One tenant's pageable training state (resident, cold bytes, or disk)."""
 
     tenant: str
     step_count: int = 0
@@ -49,6 +59,8 @@ class TenantState:
     v: Optional[np.ndarray] = None
     # Cold form: bit-exact byte snapshots (params, m, v).
     cold: Optional[Tuple[bytes, bytes, bytes]] = None
+    # Durable form: the registry's store holds a verified checkpoint file.
+    on_disk: bool = False
     last_used: int = 0
 
     @property
@@ -80,12 +92,18 @@ class AdapterRegistry:
     max_resident:
         Resident-tenant bound; beyond it the LRU non-attached tenant is
         demoted to cold storage.
+    store:
+        Optional :class:`TenantStateStore`.  When given, demotions persist
+        to disk instead of process memory, and every tenant the store holds
+        a verified checkpoint for is registered (non-resident) at
+        construction — the durable-restart path.
     """
 
     def __init__(self, optimizer: Adam,
                  named_params: List[Tuple[str, Parameter]],
                  max_resident: int = 8,
-                 arena: Optional[BufferArena] = None):
+                 arena: Optional[BufferArena] = None,
+                 store: Optional[TenantStateStore] = None):
         if [p for _, p in named_params] != list(optimizer.params):
             raise ValueError("named_params must list the optimizer's "
                              "parameters in order")
@@ -110,6 +128,14 @@ class AdapterRegistry:
         self.tenant_evictions = 0
         self.attaches = 0
         self.pageins = 0
+        self.store = store
+        if store is not None:
+            # Rehydrate: every verified checkpoint becomes a known tenant
+            # whose state pages in lazily on first attach.  Corrupt files
+            # were quarantined by scan() — the registry still comes up.
+            for tenant, step_count in store.scan().items():
+                self._tenants[tenant] = TenantState(
+                    tenant=tenant, step_count=step_count, on_disk=True)
 
     # -- lifecycle -----------------------------------------------------------
     def attach(self, tenant: str) -> None:
@@ -147,13 +173,21 @@ class AdapterRegistry:
             np.copyto(state.params, self._init_params)
             self._tenants[tenant] = state
         elif not state.resident:
-            params_b, m_b, v_b = state.cold
+            if state.cold is not None:
+                params_b, m_b, v_b = state.cold
+                params = np.frombuffer(params_b, dtype=self.dtype)
+                m = np.frombuffer(m_b, dtype=self.dtype)
+                v = np.frombuffer(v_b, dtype=self.dtype)
+            else:
+                # Durable tier: verified read through the store.
+                step_count, params, m, v = self.store.load(state.tenant)
+                state.step_count = step_count
             state.params = self.arena.take((self.total,), self.dtype)
             state.m = self.arena.take((self.total,), self.dtype)
             state.v = self.arena.take((self.total,), self.dtype)
-            np.copyto(state.params, np.frombuffer(params_b, dtype=self.dtype))
-            np.copyto(state.m, np.frombuffer(m_b, dtype=self.dtype))
-            np.copyto(state.v, np.frombuffer(v_b, dtype=self.dtype))
+            np.copyto(state.params, params)
+            np.copyto(state.m, m)
+            np.copyto(state.v, v)
             state.cold = None
             self.pageins += 1
         return state
@@ -165,8 +199,15 @@ class AdapterRegistry:
             if len(resident) + 1 <= self.max_resident:
                 return
             victim = min(resident, key=lambda s: s.last_used)
-            victim.cold = (victim.params.tobytes(), victim.m.tobytes(),
-                           victim.v.tobytes())
+            if self.store is not None:
+                # Durable demotion: the slab goes to an atomic, checksummed
+                # file; a restart pages it back bit-exact.
+                self.store.save(victim.tenant, victim.step_count,
+                                victim.params, victim.m, victim.v)
+                victim.on_disk = True
+            else:
+                victim.cold = (victim.params.tobytes(), victim.m.tobytes(),
+                               victim.v.tobytes())
             self.arena.release(victim.params)
             self.arena.release(victim.m)
             self.arena.release(victim.v)
@@ -190,7 +231,40 @@ class AdapterRegistry:
             self.sync()
         if state.resident:
             return state.params
-        return np.frombuffer(state.cold[0], dtype=self.dtype)
+        if state.cold is not None:
+            return np.frombuffer(state.cold[0], dtype=self.dtype)
+        _, params, _, _ = self.store.load(tenant)
+        return params
+
+    def checkpoint_all(self) -> int:
+        """Persist every tenant's current state through the store.
+
+        Returns the number of checkpoints written.  Resident tenants (the
+        attached one synced first) are written from their live slabs;
+        memory-cold tenants from their byte snapshots; disk-only tenants are
+        already durable and skipped.
+        """
+        if self.store is None:
+            raise RuntimeError("registry has no TenantStateStore; pass "
+                               "state_dir= / store= to enable durability")
+        self.sync()
+        written = 0
+        for state in self._tenants.values():
+            if state.resident:
+                self.store.save(state.tenant, state.step_count,
+                                state.params, state.m, state.v)
+            elif state.cold is not None:
+                params_b, m_b, v_b = state.cold
+                self.store.save(state.tenant, state.step_count,
+                                np.frombuffer(params_b, dtype=self.dtype),
+                                np.frombuffer(m_b, dtype=self.dtype),
+                                np.frombuffer(v_b, dtype=self.dtype))
+                state.cold = None
+            else:
+                continue  # on_disk only: already durable
+            state.on_disk = True
+            written += 1
+        return written
 
     def digest(self, tenant: str) -> str:
         """SHA-256 over the tenant's flat adapter parameters (leakage checks)."""
@@ -214,11 +288,17 @@ class AdapterRegistry:
             .hexdigest())
 
     def gauges(self) -> Dict[str, float]:
-        return {
+        gauges = {
             "tenants": float(len(self._tenants)),
             "resident_tenants": float(len(self.resident_tenants())),
             "tenant_evictions": float(self.tenant_evictions),
             "tenant_pageins": float(self.pageins),
             "tenant_attaches": float(self.attaches),
             "tenant_state_bytes": float(self.arena.bytes_held),
+            "tenant_checkpoint_writes": 0.0,
+            "tenant_restores": 0.0,
+            "tenant_quarantined": 0.0,
         }
+        if self.store is not None:
+            gauges.update(self.store.gauges())
+        return gauges

@@ -40,6 +40,7 @@ holds only on the deterministic single-thread replay path.
 from __future__ import annotations
 
 import hashlib
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
@@ -51,10 +52,13 @@ from repro.nn import Module
 from repro.optim import Adam
 from repro.peft import PEFTResult, get_peft_method
 from repro.runtime.arena import StepCapture
+from repro.runtime.fault import FaultInjector
+from repro.runtime.profiler import PhaseProfiler
 from repro.runtime.trainer import (AttentionConfig, CaptureConfig, FineTuner,
                                    TrainingConfig)
 from repro.serve.queue import SignatureBucketQueue, StepRequest
 from repro.serve.registry import AdapterRegistry, AdapterSnapshot
+from repro.serve.store import TenantStateStore
 
 
 @dataclass
@@ -83,6 +87,18 @@ class ServiceConfig:
     # always runs dense ("dense"); the key slot keeps signatures forward-
     # compatible with predicted-sparsity lanes.
     sparsity_mode: str = "dense"
+    # Durability: when set, each lane's registry pages cold tenants to
+    # atomic checkpoint files under <state_dir>/<kind>/ and rehydrates them
+    # at construction (see repro.serve.store).
+    state_dir: Optional[str] = None
+    # PEFT-economics guard: a lane whose *trainable* state exceeds this
+    # byte budget is rejected at construction.  The service's whole design
+    # (values-only tenant swaps, per-tenant flat slabs, N tenants per box)
+    # assumes adapter-sized trainable state; a `full` fine-tuning lane on a
+    # real model breaks that arithmetic by 3-4 orders of magnitude and is a
+    # documented anti-goal (README "Scope and anti-goals").  None disables
+    # the guard.
+    max_lane_trainable_bytes: Optional[int] = 1 << 20
 
 
 @dataclass
@@ -122,20 +138,23 @@ class _Lane:
 class FineTuningService:
     """Serve many tenants' PEFT fine-tuning over one shared frozen base."""
 
-    def __init__(self, config: Optional[ServiceConfig] = None):
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 fault_injector: Optional[FaultInjector] = None):
         self.config = config or ServiceConfig()
         cfg = self.config
         if not cfg.adapters:
             raise ValueError("at least one adapter kind is required")
+        self.fault_injector = fault_injector
+        self.profiler = PhaseProfiler()
         self.base_model = build_model(cfg.model, seed=cfg.seed)
         base_params = dict(self.base_model.named_parameters())
         base_ids = {id(p.data) for p in base_params.values()}
         self._lanes: Dict[str, _Lane] = {}
+        self._tenant_lanes: Dict[str, str] = {}
         for kind in cfg.adapters:
             self._lanes[kind] = self._build_lane(kind, base_params, base_ids)
         self.queue = SignatureBucketQueue(max_wait_steps=cfg.max_wait_steps)
         self._current_key: Optional[Hashable] = None
-        self._tenant_lanes: Dict[str, str] = {}
         self._next_request_id = 1
         self.steps = 0
         self.capture_hits = 0
@@ -169,11 +188,30 @@ class FineTuningService:
                                       fused_kernels=cfg.fused_kernels))
         named_trainable = [(n, p) for n, p in model.named_parameters()
                            if p.requires_grad]
+        trainable_bytes = sum(int(p.data.nbytes) for _, p in named_trainable)
+        budget = cfg.max_lane_trainable_bytes
+        if budget is not None and trainable_bytes > budget:
+            raise ValueError(
+                f"lane {kind!r} has {trainable_bytes} trainable bytes, over "
+                f"the {budget}-byte per-lane budget "
+                f"(max_lane_trainable_bytes).  The service's per-tenant "
+                f"paging economics assume adapter-sized trainable state; "
+                f"full fine-tuning at scale is a documented anti-goal "
+                f"(README: Scope and anti-goals).  Raise the budget or set "
+                f"it to None to opt in anyway.")
         optimizer = Adam([p for _, p in named_trainable],
                          lr=cfg.learning_rate, weight_decay=cfg.weight_decay)
         tuner = FineTuner(model, training, optimizer=optimizer)
+        store = None
+        if cfg.state_dir is not None:
+            store = TenantStateStore(os.path.join(cfg.state_dir, kind),
+                                     fault_injector=self.fault_injector)
         registry = AdapterRegistry(optimizer, named_trainable,
-                                   max_resident=cfg.max_resident_tenants)
+                                   max_resident=cfg.max_resident_tenants,
+                                   store=store)
+        # Rehydrated tenants must be routable before their first submit.
+        for tenant in registry.tenants():
+            self._tenant_lanes.setdefault(tenant, kind)
         return _Lane(kind, model, result, optimizer, tuner, registry)
 
     # -- request intake ------------------------------------------------------
@@ -307,6 +345,23 @@ class FineTuningService:
             digest.update(np.ascontiguousarray(param.data).tobytes())
         return digest.hexdigest()
 
+    def checkpoint(self) -> int:
+        """Persist every tenant in every lane through the durable store.
+
+        Returns the number of checkpoint files written.  Requires
+        ``config.state_dir``; a service constructed over the same directory
+        rehydrates all tenants bit-exact (same ``tenant_digest``) — the
+        crash-restart contract locked by the fault test tier.
+        """
+        if self.config.state_dir is None:
+            raise RuntimeError("ServiceConfig.state_dir is not set; the "
+                               "service has no durable store to checkpoint to")
+        with self.profiler.phase("checkpoint"):
+            written = sum(lane.registry.checkpoint_all()
+                          for lane in self._lanes.values())
+        self.gauges()  # refresh the durability gauges on the profiler
+        return written
+
     # -- reporting -----------------------------------------------------------
     def gauges(self) -> Dict[str, float]:
         gauges = {
@@ -325,7 +380,13 @@ class FineTuningService:
                                      for l in self._lanes.values())),
         }
         for name in ("tenants", "resident_tenants", "tenant_evictions",
-                     "tenant_pageins", "tenant_attaches", "tenant_state_bytes"):
+                     "tenant_pageins", "tenant_attaches", "tenant_state_bytes",
+                     "tenant_checkpoint_writes", "tenant_restores",
+                     "tenant_quarantined"):
             gauges[name] = float(sum(l.registry.gauges()[name]
                                      for l in self._lanes.values()))
+        # Mirror onto the service profiler so durability/traffic counters
+        # travel with phase timings in PhaseProfiler.summary_dict().
+        for name, value in gauges.items():
+            self.profiler.set_gauge(name, value)
         return gauges

@@ -175,9 +175,13 @@ class TestMaskBroadcast:
 
 class TestFailureHandling:
     def test_worker_killed_mid_step_raises_and_unlinks(self):
+        # max_restarts=0 opts out of elastic recovery: this test locks the
+        # fail-fast degradation path (the recovery path is locked by the
+        # fault tier in tests/test_fault.py).
         batch = _batches(count=1)[0]
         trainer = DataParallelTrainer(_nano_tuner, workers=2,
                                       step_timeout_s=2.0,
+                                      max_restarts=0,
                                       _test_step_delay_s=1.0)
         try:
             trainer.step(batch)                      # boots the workers
